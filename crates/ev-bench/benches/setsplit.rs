@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the E-stage: partition refinement and
+//! the set-splitting strategies (feeds the Fig. 5–7 analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ev_core::ids::Eid;
+use ev_core::partition::{EidPartition, VagueCover};
+use ev_datagen::{sample_targets, DatasetConfig, EvDataset};
+use ev_matching::practical::split_practical;
+use ev_matching::setsplit::{split_ideal, SelectionStrategy, SetSplitConfig};
+use std::collections::BTreeSet;
+
+fn dataset() -> EvDataset {
+    EvDataset::generate(&DatasetConfig {
+        population: 400,
+        duration: 300,
+        ..DatasetConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn bench_partition_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_split_by");
+    for n in [100u64, 1000, 5000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let universe: Vec<Eid> = (0..n).map(Eid::from_u64).collect();
+            let halves: Vec<BTreeSet<Eid>> = (0..10)
+                .map(|i| {
+                    (0..n)
+                        .filter(|e| (e >> (i % 10)) & 1 == 1)
+                        .map(Eid::from_u64)
+                        .collect()
+                })
+                .collect();
+            b.iter(|| {
+                let mut p = EidPartition::new(universe.iter().copied());
+                for c in &halves {
+                    p.split_by(c);
+                }
+                p.block_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_vague_cover(c: &mut Criterion) {
+    use ev_core::region::CellId;
+    use ev_core::scenario::{EScenario, ZoneAttr};
+    use ev_core::time::Timestamp;
+    c.bench_function("vague_cover_split_1000", |b| {
+        let n = 1000u64;
+        let scenarios: Vec<EScenario> = (0..10)
+            .map(|i| {
+                let mut s = EScenario::new(CellId::new(0), Timestamp::new(i));
+                for e in 0..n {
+                    if (e >> (i % 10)) & 1 == 1 {
+                        let attr = if e % 17 == 0 {
+                            ZoneAttr::Vague
+                        } else {
+                            ZoneAttr::Inclusive
+                        };
+                        s.insert(Eid::from_u64(e), attr);
+                    }
+                }
+                s
+            })
+            .collect();
+        b.iter(|| {
+            let mut cover = VagueCover::new((0..n).map(Eid::from_u64));
+            for s in &scenarios {
+                cover.split_by_scenario(s);
+            }
+            cover.block_count()
+        });
+    });
+}
+
+fn bench_split_strategies(c: &mut Criterion) {
+    let data = dataset();
+    let targets = sample_targets(&data, 100, 1);
+    let mut group = c.benchmark_group("setsplit_strategy");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("random", SelectionStrategy::RandomTime { seed: 1 }),
+        ("chrono", SelectionStrategy::Chronological),
+    ] {
+        group.bench_function(name, |b| {
+            let config = SetSplitConfig {
+                strategy,
+                ..SetSplitConfig::default()
+            };
+            b.iter(|| split_ideal(&data.estore, &targets, &config).recorded.len());
+        });
+    }
+    group.bench_function("practical-random", |b| {
+        let config = SetSplitConfig::default();
+        b.iter(|| split_practical(&data.estore, &targets, &config).recorded.len());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition_split,
+    bench_vague_cover,
+    bench_split_strategies
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Experiment runner CLI: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [--out DIR] <id>... | all
+//! ```
+//!
+//! Known ids: fig5, fig6, fig7, fig8, fig9, fig10, fig11, table1,
+//! table2, ablate-selection, ablate-vague, ablate-refine,
+//! ablate-workers, all.
+
+use ev_bench::{all_experiment_ids, run_experiment, Scale};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                if let Some(dir) = args.next() {
+                    out_dir = PathBuf::from(dir);
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = all_experiment_ids().iter().map(ToString::to_string).collect();
+    }
+
+    let overall = Instant::now();
+    for id in &ids {
+        let start = Instant::now();
+        match run_experiment(id, scale) {
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                eprintln!("known ids: {}", all_experiment_ids().join(", "));
+                std::process::exit(2);
+            }
+            Some(tables) => {
+                for table in tables {
+                    println!("{table}");
+                    if let Err(e) = table.save_json(&out_dir) {
+                        eprintln!("warning: could not save {}.json: {e}", table.id);
+                    }
+                }
+                println!("[{id} took {:.1?}]\n", start.elapsed());
+            }
+        }
+    }
+    println!(
+        "all done in {:.1?}; JSON results in {}",
+        overall.elapsed(),
+        out_dir.display()
+    );
+}
+
+fn print_usage() {
+    println!("usage: experiments [--quick] [--out DIR] <id>... | all");
+    println!("known ids: {}", all_experiment_ids().join(", "));
+}

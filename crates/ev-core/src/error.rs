@@ -1,0 +1,120 @@
+//! Error types shared across the EV-Matching workspace.
+
+use std::fmt;
+
+/// A specialized [`Result`](std::result::Result) with [`Error`] as the error
+/// type, used throughout the `ev-core` crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while constructing or manipulating core domain values.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A geometric or region parameter was not strictly positive, was NaN,
+    /// or otherwise outside its legal domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A point lies outside the surveillance region.
+    OutOfRegion {
+        /// The x coordinate of the offending point.
+        x: f64,
+        /// The y coordinate of the offending point.
+        y: f64,
+    },
+    /// A cell identifier does not exist in the region it was used with.
+    UnknownCell {
+        /// The raw cell index that failed to resolve.
+        index: usize,
+    },
+    /// Two feature vectors of differing dimensionality were compared.
+    DimensionMismatch {
+        /// Dimensionality of the left operand.
+        left: usize,
+        /// Dimensionality of the right operand.
+        right: usize,
+    },
+    /// A textual identity (e.g. a MAC address) failed to parse.
+    ParseIdentity {
+        /// The input that failed to parse.
+        input: String,
+        /// Why parsing failed.
+        reason: &'static str,
+    },
+    /// An operation on an EID partition referenced an EID that is not a
+    /// member of the partition's universe.
+    UnknownEid {
+        /// The foreign EID.
+        eid: crate::ids::Eid,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Error::OutOfRegion { x, y } => {
+                write!(f, "point ({x}, {y}) lies outside the surveillance region")
+            }
+            Error::UnknownCell { index } => write!(f, "cell index {index} does not exist"),
+            Error::DimensionMismatch { left, right } => write!(
+                f,
+                "feature vectors have mismatched dimensions ({left} vs {right})"
+            ),
+            Error::ParseIdentity { input, reason } => {
+                write!(f, "cannot parse identity from {input:?}: {reason}")
+            }
+            Error::UnknownEid { eid } => {
+                write!(f, "EID {eid} is not part of this partition's universe")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Eid;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidParameter {
+            name: "cell_size",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("cell_size"));
+        assert!(e.to_string().contains("must be positive"));
+
+        let e = Error::OutOfRegion { x: -1.0, y: 2.0 };
+        assert!(e.to_string().contains("(-1, 2)"));
+
+        let e = Error::DimensionMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+
+        let e = Error::UnknownEid {
+            eid: Eid::from_u64(9),
+        };
+        assert!(e.to_string().contains("universe"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::UnknownCell { index: 3 });
+    }
+
+    #[test]
+    fn errors_are_comparable_and_clonable() {
+        let a = Error::UnknownCell { index: 1 };
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, Error::UnknownCell { index: 2 });
+    }
+}

@@ -1,0 +1,858 @@
+//! Partition refinement over EID universes — the data structure behind EID
+//! set splitting (paper §IV-B1).
+//!
+//! A group of EIDs that the algorithm cannot yet tell apart is an
+//! *undistinguishable EID set*; the collection of all such sets is a
+//! partition of the EID universe ([`EidPartition`]). One E-Scenario splits
+//! every block into the EIDs that appear in the scenario and those that do
+//! not (`SplitBy` in Algorithm 1). A scenario is **effective** when it
+//! actually changes the partition.
+//!
+//! For the practical setting (drifting EIDs, paper §IV-C2), the analogous
+//! structure is [`VagueCover`]: EIDs observed in a scenario's vague zone
+//! are duplicated into *both* children of a split, so blocks may overlap
+//! until an all-inclusive path distinguishes the EID, at which point its
+//! tentative copies are pruned (mirroring the exclusion step in the proof
+//! of Theorem 4.1).
+
+use crate::ids::Eid;
+use crate::scenario::{EScenario, ZoneAttr};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of splitting a partition (or cover) by one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitOutcome {
+    /// Whether the scenario changed the structure (i.e. was *effective*
+    /// and must be recorded per Algorithm 1).
+    pub effective: bool,
+    /// How many blocks were divided by this scenario.
+    pub blocks_split: usize,
+}
+
+/// A partition of an EID universe into disjoint undistinguishable sets
+/// (ideal setting).
+///
+/// # Examples
+///
+/// ```
+/// use ev_core::partition::EidPartition;
+/// use ev_core::Eid;
+/// use std::collections::BTreeSet;
+///
+/// let eids: Vec<Eid> = (0..4).map(Eid::from_u64).collect();
+/// let mut p = EidPartition::new(eids.iter().copied());
+/// assert_eq!(p.block_count(), 1);
+///
+/// // Scenario containing EIDs 0 and 1 splits {0,1,2,3} into {0,1} | {2,3}.
+/// let c: BTreeSet<Eid> = eids[..2].iter().copied().collect();
+/// assert!(p.split_by(&c).effective);
+/// assert_eq!(p.block_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EidPartition {
+    /// Blocks, each a non-empty ordered set of EIDs. Indices are stable
+    /// only between mutations.
+    blocks: Vec<BTreeSet<Eid>>,
+    /// Reverse index: which block each EID currently belongs to.
+    membership: BTreeMap<Eid, usize>,
+}
+
+impl EidPartition {
+    /// Creates the trivial partition `{U}` over the given universe.
+    /// Duplicate EIDs in the input are collapsed. An empty universe yields
+    /// a partition with zero blocks.
+    #[must_use]
+    pub fn new(universe: impl IntoIterator<Item = Eid>) -> Self {
+        let set: BTreeSet<Eid> = universe.into_iter().collect();
+        if set.is_empty() {
+            return EidPartition {
+                blocks: Vec::new(),
+                membership: BTreeMap::new(),
+            };
+        }
+        let membership = set.iter().map(|&e| (e, 0)).collect();
+        EidPartition {
+            blocks: vec![set],
+            membership,
+        }
+    }
+
+    /// Reassembles a partition from externally computed blocks (e.g. the
+    /// merge step of the MapReduce set splitting, paper Algorithm 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidParameter`] if any block is empty or
+    /// an EID appears in two blocks.
+    pub fn from_blocks(
+        blocks: impl IntoIterator<Item = BTreeSet<Eid>>,
+    ) -> crate::Result<Self> {
+        let blocks: Vec<BTreeSet<Eid>> = blocks.into_iter().collect();
+        let mut membership = BTreeMap::new();
+        for (i, block) in blocks.iter().enumerate() {
+            if block.is_empty() {
+                return Err(crate::Error::InvalidParameter {
+                    name: "blocks",
+                    reason: format!("block {i} is empty"),
+                });
+            }
+            for &eid in block {
+                if membership.insert(eid, i).is_some() {
+                    return Err(crate::Error::InvalidParameter {
+                        name: "blocks",
+                        reason: format!("EID {eid} appears in more than one block"),
+                    });
+                }
+            }
+        }
+        Ok(EidPartition { blocks, membership })
+    }
+
+    /// Number of EIDs in the universe.
+    #[must_use]
+    pub fn universe_len(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// Whether the universe is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.membership.is_empty()
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether every block is a singleton — i.e. every EID has been
+    /// distinguished from every other.
+    #[must_use]
+    pub fn is_fully_split(&self) -> bool {
+        self.blocks.iter().all(|b| b.len() == 1)
+    }
+
+    /// The block containing `eid`, if the EID is part of the universe.
+    #[must_use]
+    pub fn block_of(&self, eid: Eid) -> Option<&BTreeSet<Eid>> {
+        self.membership.get(&eid).map(|&i| &self.blocks[i])
+    }
+
+    /// Whether `eid` has been distinguished (is alone in its block).
+    #[must_use]
+    pub fn is_distinguished(&self, eid: Eid) -> bool {
+        self.block_of(eid).is_some_and(|b| b.len() == 1)
+    }
+
+    /// Iterates over the blocks in unspecified order.
+    pub fn blocks(&self) -> impl Iterator<Item = &BTreeSet<Eid>> {
+        self.blocks.iter()
+    }
+
+    /// All EIDs that are already distinguished.
+    pub fn distinguished(&self) -> impl Iterator<Item = Eid> + '_ {
+        self.blocks
+            .iter()
+            .filter(|b| b.len() == 1)
+            .filter_map(|b| b.first().copied())
+    }
+
+    /// Splits every block by the scenario EID set `c` (`SplitBy` of
+    /// Algorithm 1): each block `A` becomes `A ∩ C` and `A \ C`, with empty
+    /// halves discarded. EIDs in `c` that are not in the universe are
+    /// ignored.
+    ///
+    /// Runs in `O(|c| log n + k)` where `k` is the total size of the
+    /// affected blocks — it never touches blocks disjoint from `c`.
+    pub fn split_by(&mut self, c: &BTreeSet<Eid>) -> SplitOutcome {
+        // Group the scenario's EIDs by the block they currently live in.
+        let mut hits: BTreeMap<usize, BTreeSet<Eid>> = BTreeMap::new();
+        for &eid in c {
+            if let Some(&b) = self.membership.get(&eid) {
+                hits.entry(b).or_default().insert(eid);
+            }
+        }
+        let mut blocks_split = 0;
+        for (block_idx, inside) in hits {
+            // A scenario that contains all (or none) of a block's EIDs
+            // cannot split that block — skip it (paper's Remark).
+            if inside.len() == self.blocks[block_idx].len() {
+                continue;
+            }
+            debug_assert!(!inside.is_empty());
+            // Shrink the existing block to `A \ C` and append `A ∩ C`.
+            let block = &mut self.blocks[block_idx];
+            for eid in &inside {
+                block.remove(eid);
+            }
+            let new_idx = self.blocks.len();
+            for &eid in &inside {
+                self.membership.insert(eid, new_idx);
+            }
+            self.blocks.push(inside);
+            blocks_split += 1;
+        }
+        SplitOutcome {
+            effective: blocks_split > 0,
+            blocks_split,
+        }
+    }
+
+    /// Splits by the EIDs of an [`EScenario`] regardless of zone attribute
+    /// (ideal-setting semantics).
+    pub fn split_by_scenario(&mut self, scenario: &EScenario) -> SplitOutcome {
+        let c: BTreeSet<Eid> = scenario.eids().collect();
+        self.split_by(&c)
+    }
+
+    /// Removes an EID from the universe entirely (used by the refinement
+    /// loop when an EID's match has been accepted). Its block shrinks; an
+    /// emptied block is discarded.
+    pub fn remove(&mut self, eid: Eid) -> bool {
+        let Some(idx) = self.membership.remove(&eid) else {
+            return false;
+        };
+        self.blocks[idx].remove(&eid);
+        if self.blocks[idx].is_empty() {
+            // Swap-remove the empty block and fix up the moved block's
+            // membership entries.
+            let last = self.blocks.len() - 1;
+            self.blocks.swap(idx, last);
+            self.blocks.pop();
+            if idx < self.blocks.len() {
+                for &moved in &self.blocks[idx] {
+                    self.membership.insert(moved, idx);
+                }
+            }
+        }
+        true
+    }
+
+    /// Verifies the internal invariants: blocks are non-empty, pairwise
+    /// disjoint, cover exactly the universe, and the reverse index agrees.
+    /// Intended for tests and debug assertions.
+    #[must_use]
+    pub fn check_invariants(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        for (i, block) in self.blocks.iter().enumerate() {
+            if block.is_empty() {
+                return false;
+            }
+            for &eid in block {
+                if !seen.insert(eid) {
+                    return false; // appears in two blocks
+                }
+                if self.membership.get(&eid) != Some(&i) {
+                    return false; // reverse index disagrees
+                }
+            }
+        }
+        seen.len() == self.membership.len()
+    }
+}
+
+/// An overlapping cover of the EID universe for the practical setting with
+/// vague zones.
+///
+/// Splitting by a scenario sends scenario-inclusive EIDs to one child and
+/// absent EIDs to the other, while EIDs observed in the scenario's vague
+/// zone are duplicated into both (we cannot tell which side of the border
+/// they are really on). Each copy carries a confidence flag: a copy is
+/// *firm* when every placement along its path was inclusive, *tentative*
+/// once any placement was vague. Any singleton block distinguishes its EID
+/// (a tentative singleton just means its VID may be missing from some
+/// selected V-Scenarios — the refinement loop copes); pruning then deletes
+/// the EID's other copies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VagueCover {
+    /// Blocks: EID -> firmness (`true` = firm/inclusive path).
+    blocks: Vec<BTreeMap<Eid, bool>>,
+    universe: BTreeSet<Eid>,
+}
+
+impl VagueCover {
+    /// Creates the trivial cover `{U}` with every EID firm.
+    #[must_use]
+    pub fn new(universe: impl IntoIterator<Item = Eid>) -> Self {
+        let set: BTreeSet<Eid> = universe.into_iter().collect();
+        if set.is_empty() {
+            return VagueCover {
+                blocks: Vec::new(),
+                universe: set,
+            };
+        }
+        let block = set.iter().map(|&e| (e, true)).collect();
+        VagueCover {
+            blocks: vec![block],
+            universe: set,
+        }
+    }
+
+    /// Number of EIDs in the universe.
+    #[must_use]
+    pub fn universe_len(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// Number of blocks in the cover.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterates over the blocks; each item maps EID to its firmness flag.
+    pub fn blocks(&self) -> impl Iterator<Item = &BTreeMap<Eid, bool>> {
+        self.blocks.iter()
+    }
+
+    /// Whether `eid` is distinguished: some block is exactly the singleton
+    /// `{eid}`, meaning every other EID has been confidently ruled out of
+    /// that block's scenario signature.
+    ///
+    /// A *tentative* singleton still distinguishes the EID — its VID may
+    /// simply fail to show up in some of the selected V-Scenarios, which
+    /// the matching-refining loop handles (paper §IV-C4).
+    #[must_use]
+    pub fn is_distinguished(&self, eid: Eid) -> bool {
+        self.blocks
+            .iter()
+            .any(|b| b.len() == 1 && b.contains_key(&eid))
+    }
+
+    /// Whether `eid` is distinguished by a *firm* singleton: every
+    /// placement on its path was inclusive, so its VID is expected in every
+    /// selected V-Scenario.
+    #[must_use]
+    pub fn is_firmly_distinguished(&self, eid: Eid) -> bool {
+        self.blocks
+            .iter()
+            .any(|b| b.len() == 1 && b.get(&eid) == Some(&true))
+    }
+
+    /// All currently distinguished EIDs, in order.
+    #[must_use]
+    pub fn distinguished(&self) -> BTreeSet<Eid> {
+        self.blocks
+            .iter()
+            .filter(|b| b.len() == 1)
+            .filter_map(|b| b.keys().next().copied())
+            .collect()
+    }
+
+    /// Whether every EID of the universe is distinguished.
+    #[must_use]
+    pub fn is_fully_split(&self) -> bool {
+        self.distinguished().len() == self.universe.len()
+    }
+
+    /// Splits every block by an [`EScenario`] with vague-zone semantics
+    /// (paper §IV-C2 and the splitting rule in Theorem 4.3):
+    ///
+    /// * EIDs **inclusive** in the scenario go to the *in* child; the
+    ///   placement is firm only if the EID was firm in the block too
+    ///   ("inclusive in both the E-Scenario and the original node"),
+    ///   tentative otherwise;
+    /// * EIDs absent from the scenario keep their firmness in the *out*
+    ///   child;
+    /// * EIDs **vague** in the scenario are copied into *both* children as
+    ///   tentative — electronic drift means they could be on either side.
+    ///
+    /// A block is only split when the scenario confidently discriminates —
+    /// i.e. it has at least one inclusive member and at least one absent
+    /// member in the block; otherwise the block is left untouched. Returns
+    /// whether the scenario was effective anywhere.
+    pub fn split_by_scenario(&mut self, scenario: &EScenario) -> SplitOutcome {
+        let mut new_blocks: Vec<BTreeMap<Eid, bool>> = Vec::with_capacity(self.blocks.len());
+        let mut blocks_split = 0;
+        for block in self.blocks.drain(..) {
+            let mut child_in: BTreeMap<Eid, bool> = BTreeMap::new();
+            let mut child_out: BTreeMap<Eid, bool> = BTreeMap::new();
+            let mut only_in = 0usize; // inclusive members (left side only)
+            let mut only_out = 0usize; // absent members (right side only)
+            for (&eid, &firm) in &block {
+                match scenario.attr(eid) {
+                    Some(ZoneAttr::Inclusive) => {
+                        child_in.insert(eid, firm);
+                        only_in += 1;
+                    }
+                    Some(ZoneAttr::Vague) => {
+                        // Could be on either side of the border.
+                        child_in.insert(eid, false);
+                        child_out.insert(eid, false);
+                    }
+                    None => {
+                        child_out.insert(eid, firm);
+                        only_out += 1;
+                    }
+                }
+            }
+            if only_in > 0 && only_out > 0 {
+                blocks_split += 1;
+                new_blocks.push(child_in);
+                new_blocks.push(child_out);
+            } else {
+                new_blocks.push(block);
+            }
+        }
+        // Deduplicate identical blocks (vague duplication can converge).
+        new_blocks.sort();
+        new_blocks.dedup();
+        self.blocks = new_blocks;
+        SplitOutcome {
+            effective: blocks_split > 0,
+            blocks_split,
+        }
+    }
+
+    /// Prunes a distinguished EID: removes it from every block except one
+    /// singleton (a firm one if available), discarding blocks that empty
+    /// out. Mirrors the exclusion-and-merge step in the proof of
+    /// Theorem 4.1.
+    pub fn prune_distinguished(&mut self, eid: Eid) -> bool {
+        if !self.is_distinguished(eid) {
+            return false;
+        }
+        let keep_firm = self.is_firmly_distinguished(eid);
+        let mut kept_singleton = false;
+        self.blocks.retain_mut(|b| {
+            let is_keeper = b.len() == 1
+                && b.contains_key(&eid)
+                && (!keep_firm || b.get(&eid) == Some(&true));
+            if is_keeper {
+                if kept_singleton {
+                    return false; // duplicate singleton
+                }
+                kept_singleton = true;
+                return true;
+            }
+            b.remove(&eid);
+            !b.is_empty()
+        });
+        self.blocks.sort();
+        self.blocks.dedup();
+        true
+    }
+
+    /// Removes an EID from the cover entirely (accepted-match cleanup in
+    /// the refinement loop).
+    pub fn remove(&mut self, eid: Eid) -> bool {
+        if !self.universe.remove(&eid) {
+            return false;
+        }
+        self.blocks.retain_mut(|b| {
+            b.remove(&eid);
+            !b.is_empty()
+        });
+        self.blocks.sort();
+        self.blocks.dedup();
+        true
+    }
+
+    /// Verifies the cover invariants: non-empty blocks; every block EID is
+    /// in the universe; every universe EID appears in at least one block.
+    #[must_use]
+    pub fn check_invariants(&self) -> bool {
+        let mut covered = BTreeSet::new();
+        for block in &self.blocks {
+            if block.is_empty() {
+                return false;
+            }
+            for &eid in block.keys() {
+                if !self.universe.contains(&eid) {
+                    return false;
+                }
+                covered.insert(eid);
+            }
+        }
+        covered == self.universe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::CellId;
+    use crate::time::Timestamp;
+
+    fn eids(raw: impl IntoIterator<Item = u64>) -> BTreeSet<Eid> {
+        raw.into_iter().map(Eid::from_u64).collect()
+    }
+
+    fn scenario(inclusive: &[u64], vague: &[u64]) -> EScenario {
+        let mut s = EScenario::new(CellId::new(0), Timestamp::ZERO);
+        for &e in inclusive {
+            s.insert(Eid::from_u64(e), ZoneAttr::Inclusive);
+        }
+        for &e in vague {
+            s.insert(Eid::from_u64(e), ZoneAttr::Vague);
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_partition_has_one_block() {
+        let p = EidPartition::new(eids(0..5));
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.universe_len(), 5);
+        assert!(!p.is_fully_split());
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn empty_universe_partition() {
+        let p = EidPartition::new(std::iter::empty());
+        assert_eq!(p.block_count(), 0);
+        assert!(p.is_empty());
+        assert!(p.is_fully_split(), "vacuously fully split");
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn from_blocks_validates_and_reassembles() {
+        let p = EidPartition::from_blocks(vec![eids([0, 1]), eids([2])]).unwrap();
+        assert_eq!(p.block_count(), 2);
+        assert_eq!(p.universe_len(), 3);
+        assert!(p.is_distinguished(Eid::from_u64(2)));
+        assert!(p.check_invariants());
+        assert!(EidPartition::from_blocks(vec![eids([])]).is_err());
+        assert!(
+            EidPartition::from_blocks(vec![eids([0, 1]), eids([1])]).is_err(),
+            "overlapping blocks rejected"
+        );
+        let empty = EidPartition::from_blocks(Vec::new()).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn duplicates_in_universe_collapse() {
+        let p = EidPartition::new([1, 1, 2, 2].into_iter().map(Eid::from_u64));
+        assert_eq!(p.universe_len(), 2);
+    }
+
+    #[test]
+    fn split_divides_block_in_two() {
+        let mut p = EidPartition::new(eids(0..4));
+        let out = p.split_by(&eids([0, 1]));
+        assert!(out.effective);
+        assert_eq!(out.blocks_split, 1);
+        assert_eq!(p.block_count(), 2);
+        assert_eq!(p.block_of(Eid::from_u64(0)), p.block_of(Eid::from_u64(1)));
+        assert_ne!(p.block_of(Eid::from_u64(0)), p.block_of(Eid::from_u64(2)));
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn ineffective_scenarios_are_detected() {
+        let mut p = EidPartition::new(eids(0..4));
+        // Contains every EID -> no split.
+        assert!(!p.split_by(&eids(0..4)).effective);
+        // Contains none -> no split.
+        assert!(!p.split_by(&eids(10..14)).effective);
+        assert_eq!(p.block_count(), 1);
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn foreign_eids_in_scenario_are_ignored() {
+        let mut p = EidPartition::new(eids(0..4));
+        let out = p.split_by(&eids([2, 3, 99]));
+        assert!(out.effective);
+        assert_eq!(p.block_count(), 2);
+        assert!(p.block_of(Eid::from_u64(99)).is_none());
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn one_scenario_can_split_several_blocks() {
+        let mut p = EidPartition::new(eids(0..8));
+        p.split_by(&eids(0..4)); // {0..3} | {4..7}
+        let out = p.split_by(&eids([0, 1, 4, 5]));
+        assert_eq!(out.blocks_split, 2);
+        assert_eq!(p.block_count(), 4);
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn full_split_reached_with_log_n_scenarios_in_the_best_case() {
+        // Theorem 4.2 lower bound: binary-code scenarios distinguish
+        // 8 EIDs with exactly 3 scenarios.
+        let mut p = EidPartition::new(eids(0..8));
+        for bit in 0..3 {
+            let c: BTreeSet<Eid> = (0u64..8)
+                .filter(|e| (e >> bit) & 1 == 1)
+                .map(Eid::from_u64)
+                .collect();
+            assert!(p.split_by(&c).effective);
+        }
+        assert!(p.is_fully_split());
+        assert_eq!(p.block_count(), 8);
+        for e in 0..8 {
+            assert!(p.is_distinguished(Eid::from_u64(e)));
+        }
+    }
+
+    #[test]
+    fn upper_bound_each_effective_split_adds_at_least_one_block() {
+        // Theorem 4.2 upper bound: n-1 effective scenarios always suffice.
+        let mut p = EidPartition::new(eids(0..6));
+        let mut effective = 0;
+        // Singleton scenarios: worst-case one new block per scenario.
+        for e in 0..6 {
+            if p.split_by(&eids([e])).effective {
+                effective += 1;
+            }
+        }
+        assert!(p.is_fully_split());
+        assert!(effective <= 5, "n-1 = 5 effective scenarios suffice");
+    }
+
+    #[test]
+    fn distinguished_iterator_reports_singletons() {
+        let mut p = EidPartition::new(eids(0..3));
+        p.split_by(&eids([0]));
+        let d: Vec<Eid> = p.distinguished().collect();
+        assert_eq!(d, vec![Eid::from_u64(0)]);
+    }
+
+    #[test]
+    fn remove_shrinks_universe_and_blocks() {
+        let mut p = EidPartition::new(eids(0..4));
+        p.split_by(&eids([0, 1]));
+        assert!(p.remove(Eid::from_u64(0)));
+        assert!(!p.remove(Eid::from_u64(0)), "double remove is a no-op");
+        assert_eq!(p.universe_len(), 3);
+        assert!(p.is_distinguished(Eid::from_u64(1)));
+        assert!(p.check_invariants());
+        // Removing the last element of a block drops the block.
+        assert!(p.remove(Eid::from_u64(1)));
+        assert_eq!(p.block_count(), 1);
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn split_by_scenario_uses_all_eids() {
+        let mut p = EidPartition::new(eids(0..4));
+        let s = scenario(&[0], &[1]);
+        assert!(p.split_by_scenario(&s).effective);
+        // Ideal semantics ignore the vague attribute: {0,1} | {2,3}.
+        assert_eq!(p.block_of(Eid::from_u64(0)), p.block_of(Eid::from_u64(1)));
+    }
+
+    // ---- VagueCover ----
+
+    #[test]
+    fn vague_cover_initial_state() {
+        let c = VagueCover::new(eids(0..4));
+        assert_eq!(c.block_count(), 1);
+        assert_eq!(c.universe_len(), 4);
+        assert!(!c.is_fully_split());
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn all_inclusive_split_behaves_like_partition() {
+        let mut c = VagueCover::new(eids(0..4));
+        let out = c.split_by_scenario(&scenario(&[0, 1], &[]));
+        assert!(out.effective);
+        assert_eq!(c.block_count(), 2);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn vague_eids_are_duplicated_into_both_children() {
+        let mut c = VagueCover::new(eids(0..4));
+        // EID 1 is vague: the split must keep it on both sides.
+        c.split_by_scenario(&scenario(&[0], &[1]));
+        let containing: usize = c
+            .blocks()
+            .filter(|b| b.contains_key(&Eid::from_u64(1)))
+            .count();
+        assert_eq!(containing, 2);
+        // And its copies are tentative.
+        for b in c.blocks() {
+            if let Some(&firm) = b.get(&Eid::from_u64(1)) {
+                assert!(!firm);
+            }
+        }
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn drifted_eid_resolves_through_later_confident_scenarios() {
+        let mut c = VagueCover::new(eids(0..3));
+        // EID 1 drifts (vague); 0 is confidently in, 2 confidently out.
+        c.split_by_scenario(&scenario(&[0], &[1]));
+        // Blocks: {0 firm, 1 tent} | {1 tent, 2 firm}. Nobody is alone yet.
+        assert!(!c.is_distinguished(Eid::from_u64(0)));
+        assert!(!c.is_distinguished(Eid::from_u64(1)));
+        // A later scenario observes 1 confidently: every copy of 1 follows
+        // it into the in-child and the copies deduplicate.
+        c.split_by_scenario(&scenario(&[1], &[]));
+        assert!(c.is_fully_split());
+        assert!(c.is_distinguished(Eid::from_u64(1)));
+        assert!(
+            !c.is_firmly_distinguished(Eid::from_u64(1)),
+            "1's path went through a vague placement"
+        );
+        assert!(c.is_firmly_distinguished(Eid::from_u64(0)));
+        assert!(c.is_firmly_distinguished(Eid::from_u64(2)));
+    }
+
+    #[test]
+    fn split_without_firm_discrimination_is_ineffective() {
+        let mut c = VagueCover::new(eids(0..2));
+        // Everyone vague: nothing firm on either side -> skip.
+        let out = c.split_by_scenario(&scenario(&[], &[0, 1]));
+        assert!(!out.effective);
+        assert_eq!(c.block_count(), 1);
+        // Everyone inclusive -> out-child has no firm EID -> skip.
+        let out = c.split_by_scenario(&scenario(&[0, 1], &[]));
+        assert!(!out.effective);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn prune_removes_tentative_copies() {
+        let mut c = VagueCover::new(eids(0..3));
+        c.split_by_scenario(&scenario(&[0], &[2])); // {0,2?} | {1,2?}
+        c.split_by_scenario(&scenario(&[2], &[])); // distinguishes 2 firmly
+        assert!(c.is_distinguished(Eid::from_u64(2)));
+        assert!(c.prune_distinguished(Eid::from_u64(2)));
+        // After pruning, 2 appears only in its firm singleton.
+        let containing: usize = c
+            .blocks()
+            .filter(|b| b.contains_key(&Eid::from_u64(2)))
+            .count();
+        assert_eq!(containing, 1);
+        assert!(c.check_invariants());
+        let mut fresh = VagueCover::new(eids(0..3));
+        assert!(
+            !fresh.prune_distinguished(Eid::from_u64(0)),
+            "nothing distinguished in a fresh cover"
+        );
+    }
+
+    #[test]
+    fn cover_remove_eid() {
+        let mut c = VagueCover::new(eids(0..3));
+        c.split_by_scenario(&scenario(&[0], &[]));
+        assert!(c.remove(Eid::from_u64(0)));
+        assert!(!c.remove(Eid::from_u64(0)));
+        assert_eq!(c.universe_len(), 2);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn fully_split_cover() {
+        let mut c = VagueCover::new(eids(0..3));
+        c.split_by_scenario(&scenario(&[0], &[]));
+        c.split_by_scenario(&scenario(&[1], &[]));
+        assert!(c.is_fully_split());
+        assert_eq!(c.distinguished(), eids(0..3));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_universe() -> impl Strategy<Value = Vec<u64>> {
+        prop::collection::vec(0u64..40, 1..30)
+    }
+
+    fn arb_scenarios() -> impl Strategy<Value = Vec<Vec<u64>>> {
+        prop::collection::vec(prop::collection::vec(0u64..40, 0..20), 0..20)
+    }
+
+    proptest! {
+        /// Splitting preserves the partition invariants regardless of the
+        /// scenario sequence.
+        #[test]
+        fn partition_invariants_hold_under_any_splits(
+            universe in arb_universe(),
+            scenarios in arb_scenarios(),
+        ) {
+            let mut p = EidPartition::new(universe.iter().copied().map(Eid::from_u64));
+            let n = p.universe_len();
+            for c in &scenarios {
+                let set: BTreeSet<Eid> = c.iter().copied().map(Eid::from_u64).collect();
+                let before = p.block_count();
+                let out = p.split_by(&set);
+                prop_assert!(p.check_invariants());
+                prop_assert_eq!(p.universe_len(), n);
+                // Effectiveness <=> block count grew.
+                prop_assert_eq!(out.effective, p.block_count() > before);
+                prop_assert_eq!(p.block_count(), before + out.blocks_split);
+            }
+            // Block count never exceeds the universe size.
+            prop_assert!(p.block_count() <= n.max(1));
+        }
+
+        /// Two EIDs end in the same block iff every scenario either
+        /// contains both or neither (signature equality).
+        #[test]
+        fn blocks_equal_signature_classes(
+            universe in arb_universe(),
+            scenarios in arb_scenarios(),
+        ) {
+            let eids: BTreeSet<Eid> =
+                universe.iter().copied().map(Eid::from_u64).collect();
+            let mut p = EidPartition::new(eids.iter().copied());
+            let sets: Vec<BTreeSet<Eid>> = scenarios
+                .iter()
+                .map(|c| c.iter().copied().map(Eid::from_u64).collect())
+                .collect();
+            for c in &sets {
+                p.split_by(c);
+            }
+            let signature = |e: Eid| -> Vec<bool> {
+                sets.iter().map(|c| c.contains(&e)).collect()
+            };
+            for &a in &eids {
+                for &b in &eids {
+                    let same_block = p.block_of(a) == p.block_of(b);
+                    prop_assert_eq!(same_block, signature(a) == signature(b));
+                }
+            }
+        }
+
+        /// The vague cover always keeps every EID covered and respects its
+        /// invariants under arbitrary inclusive/vague scenario sequences.
+        #[test]
+        fn cover_invariants_hold(
+            universe in arb_universe(),
+            scenarios in prop::collection::vec(
+                (prop::collection::vec(0u64..40, 0..10),
+                 prop::collection::vec(0u64..40, 0..10)),
+                0..12,
+            ),
+        ) {
+            let mut cover =
+                VagueCover::new(universe.iter().copied().map(Eid::from_u64));
+            for (inc, vague) in &scenarios {
+                let mut s = EScenario::new(
+                    crate::region::CellId::new(0),
+                    crate::time::Timestamp::ZERO,
+                );
+                for &e in inc {
+                    s.insert(Eid::from_u64(e), ZoneAttr::Inclusive);
+                }
+                for &e in vague {
+                    // Vague attribution wins on conflict to stress the
+                    // duplication path.
+                    s.insert(Eid::from_u64(e), ZoneAttr::Vague);
+                }
+                cover.split_by_scenario(&s);
+                prop_assert!(cover.check_invariants());
+            }
+            // Prune every distinguished EID; invariants must survive.
+            for eid in cover.distinguished() {
+                cover.prune_distinguished(eid);
+                prop_assert!(cover.check_invariants());
+            }
+        }
+    }
+}

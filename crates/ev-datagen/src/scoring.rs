@@ -1,0 +1,141 @@
+//! Accuracy scoring against ground truth (paper §VI-B).
+//!
+//! "Matching accuracy is defined as the percentage of the correctly
+//! matched EIDs. An EID is correctly matched only when the majority of
+//! the VIDs chosen from the scenarios for this EID is the right VID."
+
+use crate::dataset::EvDataset;
+use ev_matching::MatchReport;
+use serde::{Deserialize, Serialize};
+
+/// Accuracy breakdown of one matching report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyStats {
+    /// EIDs evaluated.
+    pub total: usize,
+    /// EIDs whose majority-chosen VID equals the ground truth.
+    pub correct: usize,
+    /// EIDs with a majority winner that is the *wrong* VID.
+    pub wrong: usize,
+    /// EIDs with no majority winner at all.
+    pub unmatched: usize,
+    /// `correct / total` (0 when nothing was evaluated).
+    pub accuracy: f64,
+}
+
+impl AccuracyStats {
+    /// Accuracy as a percentage, as the paper's tables report it.
+    #[must_use]
+    pub fn percent(&self) -> f64 {
+        self.accuracy * 100.0
+    }
+}
+
+/// Scores a matching report against the dataset's ground truth.
+///
+/// EIDs in the report that have no ground truth (not carried by anyone)
+/// count as wrong when matched and unmatched otherwise — the algorithm
+/// asserted an identity for a device nobody carries.
+#[must_use]
+pub fn score_report(dataset: &EvDataset, report: &MatchReport) -> AccuracyStats {
+    let mut correct = 0usize;
+    let mut wrong = 0usize;
+    let mut unmatched = 0usize;
+    for outcome in &report.outcomes {
+        if !outcome.is_majority() {
+            unmatched += 1;
+            continue;
+        }
+        match (dataset.true_vid(outcome.eid), outcome.vid) {
+            (Some(truth), Some(vid)) if truth == vid => correct += 1,
+            _ => wrong += 1,
+        }
+    }
+    let total = report.outcomes.len();
+    AccuracyStats {
+        total,
+        correct,
+        wrong,
+        unmatched,
+        accuracy: if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+    use ev_core::ids::{Eid, PersonId};
+    use ev_matching::MatchOutcome;
+
+    fn dataset() -> EvDataset {
+        EvDataset::generate(&DatasetConfig {
+            population: 10,
+            duration: 60,
+            ..DatasetConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn outcome(person: u64, vid: Option<u64>, share: f64) -> MatchOutcome {
+        MatchOutcome {
+            eid: PersonId::new(person).canonical_eid(),
+            vid: vid.map(ev_core::Vid::new),
+            votes: Vec::new(),
+            vote_share: share,
+            confidence: share,
+            margin: 1.0,
+        }
+    }
+
+    #[test]
+    fn scoring_categories() {
+        let d = dataset();
+        let report = MatchReport {
+            outcomes: vec![
+                outcome(0, Some(0), 1.0),  // correct
+                outcome(1, Some(2), 1.0),  // wrong vid
+                outcome(2, Some(2), 0.4),  // no majority
+                outcome(3, None, 0.0),     // unmatched
+            ],
+            ..MatchReport::default()
+        };
+        let stats = score_report(&d, &report);
+        assert_eq!(stats.total, 4);
+        assert_eq!(stats.correct, 1);
+        assert_eq!(stats.wrong, 1);
+        assert_eq!(stats.unmatched, 2);
+        assert!((stats.accuracy - 0.25).abs() < 1e-12);
+        assert!((stats.percent() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_eid_matched_counts_as_wrong() {
+        let d = dataset();
+        let report = MatchReport {
+            outcomes: vec![MatchOutcome {
+                eid: Eid::from_u64(0xdead),
+                vid: Some(ev_core::Vid::new(1)),
+                votes: Vec::new(),
+                vote_share: 1.0,
+                confidence: 1.0,
+                margin: 1.0,
+            }],
+            ..MatchReport::default()
+        };
+        let stats = score_report(&d, &report);
+        assert_eq!(stats.wrong, 1);
+    }
+
+    #[test]
+    fn empty_report_scores_zero() {
+        let d = dataset();
+        let stats = score_report(&d, &MatchReport::default());
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.accuracy, 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Experiment workload helpers.
+
+use crate::dataset::EvDataset;
+use ev_core::ids::Eid;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+
+/// Samples `count` EIDs to match, uniformly without replacement,
+/// deterministically for a given `seed` (the "number of matched EIDs"
+/// axis of paper Figs. 5, 7, 8 and Table I). Asking for more EIDs than
+/// exist returns them all.
+#[must_use]
+pub fn sample_targets(dataset: &EvDataset, count: usize, seed: u64) -> BTreeSet<Eid> {
+    let mut eids = dataset.eids();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    eids.shuffle(&mut rng);
+    eids.into_iter().take(count).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+
+    fn dataset() -> EvDataset {
+        EvDataset::generate(&DatasetConfig {
+            population: 30,
+            duration: 60,
+            ..DatasetConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn samples_are_the_requested_size_and_deterministic() {
+        let d = dataset();
+        let a = sample_targets(&d, 10, 1);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a, sample_targets(&d, 10, 1));
+        assert_ne!(a, sample_targets(&d, 10, 2));
+        for eid in &a {
+            assert!(d.true_vid(*eid).is_some());
+        }
+    }
+
+    #[test]
+    fn oversampling_returns_everyone() {
+        let d = dataset();
+        let all = sample_targets(&d, 1000, 0);
+        assert_eq!(all.len(), 30);
+    }
+
+    #[test]
+    fn zero_sample_is_empty() {
+        let d = dataset();
+        assert!(sample_targets(&d, 0, 0).is_empty());
+    }
+}

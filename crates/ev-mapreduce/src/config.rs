@@ -1,0 +1,212 @@
+//! Cluster and fault-injection configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated fault behaviour of the cluster.
+///
+/// Failures and stragglers are drawn deterministically from `seed`, the
+/// task id and the attempt number, so a job either always or never
+/// exercises a given fault path for a fixed configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that a task *attempt* fails and must be retried.
+    pub task_failure_rate: f64,
+    /// Probability that a task attempt straggles (runs `straggler_factor`
+    /// times its normal busy-work).
+    pub straggler_rate: f64,
+    /// Extra work multiplier for straggling attempts (≥ 1).
+    pub straggler_factor: u64,
+    /// Maximum attempts per task before the job aborts.
+    pub max_attempts: u32,
+    /// Launch a backup attempt for straggling tasks and keep the first
+    /// finisher (speculative execution).
+    pub speculative_execution: bool,
+    /// Seed for the deterministic fault draws.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    /// A healthy cluster: no faults, no stragglers, 4 attempts allowed.
+    fn default() -> Self {
+        FaultPlan {
+            task_failure_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_factor: 8,
+            max_attempts: 4,
+            speculative_execution: false,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Validates rates and bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ev_core::Error::InvalidParameter`] if a rate is outside
+    /// `[0, 1)` for failures / `[0, 1]` for stragglers, `max_attempts` is
+    /// zero, or `straggler_factor` is zero.
+    pub fn validate(&self) -> ev_core::Result<()> {
+        if !self.task_failure_rate.is_finite() || !(0.0..1.0).contains(&self.task_failure_rate) {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "task_failure_rate",
+                reason: format!("must be in [0, 1), got {}", self.task_failure_rate),
+            });
+        }
+        if !self.straggler_rate.is_finite() || !(0.0..=1.0).contains(&self.straggler_rate) {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "straggler_rate",
+                reason: format!("must be in [0, 1], got {}", self.straggler_rate),
+            });
+        }
+        if self.max_attempts == 0 {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "max_attempts",
+                reason: "at least one attempt is required".into(),
+            });
+        }
+        if self.straggler_factor == 0 {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "straggler_factor",
+                reason: "multiplier must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Shape of the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker threads ("nodes"). The paper's testbed has 14
+    /// four-core machines; [`ClusterConfig::paper_cluster`] mirrors it.
+    pub workers: usize,
+    /// Input records per map split. Each split becomes one map task.
+    pub split_size: usize,
+    /// Number of reduce partitions (= reduce tasks).
+    pub reduce_partitions: usize,
+    /// Fault-injection plan.
+    pub faults: FaultPlan,
+    /// Busy-work units burned per map task attempt, simulating fixed task
+    /// overhead (JVM start-up, scheduling) — lets stragglers and
+    /// speculation have something to be slow *at* even for cheap mappers.
+    pub task_overhead_units: u64,
+}
+
+impl Default for ClusterConfig {
+    /// A small healthy cluster sized to the local machine.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4);
+        ClusterConfig {
+            workers,
+            split_size: 64,
+            reduce_partitions: workers,
+            faults: FaultPlan::default(),
+            task_overhead_units: 0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's 14-node cluster shape (14 workers).
+    #[must_use]
+    pub fn paper_cluster() -> Self {
+        ClusterConfig {
+            workers: 14,
+            reduce_partitions: 14,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// A single-worker configuration — the sequential baseline.
+    #[must_use]
+    pub fn sequential() -> Self {
+        ClusterConfig {
+            workers: 1,
+            reduce_partitions: 1,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ev_core::Error::InvalidParameter`] on zero workers,
+    /// splits or partitions, or an invalid fault plan.
+    pub fn validate(&self) -> ev_core::Result<()> {
+        if self.workers == 0 {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "workers",
+                reason: "need at least one worker".into(),
+            });
+        }
+        if self.split_size == 0 {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "split_size",
+                reason: "splits must hold at least one record".into(),
+            });
+        }
+        if self.reduce_partitions == 0 {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "reduce_partitions",
+                reason: "need at least one reduce partition".into(),
+            });
+        }
+        self.faults.validate()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit per-field mutation reads clearer in validation tests
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        ClusterConfig::default().validate().unwrap();
+        ClusterConfig::paper_cluster().validate().unwrap();
+        ClusterConfig::sequential().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_cluster_has_14_workers() {
+        let c = ClusterConfig::paper_cluster();
+        assert_eq!(c.workers, 14);
+        assert_eq!(c.reduce_partitions, 14);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = ClusterConfig::default();
+        c.workers = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.split_size = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.reduce_partitions = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.faults.task_failure_rate = 1.0; // certain failure can never finish
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.faults.max_attempts = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.faults.straggler_rate = -0.1;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.faults.straggler_factor = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! An in-memory simulated distributed file system.
+//!
+//! MapReduce "stores all data in an underlying distributed file system"
+//! (paper §V-A). This module provides the minimal equivalent the engine's
+//! users need: named files split into fixed-size blocks, each block
+//! replicated onto `replication` distinct simulated nodes, with node
+//! failure marking and locality-aware reads.
+//!
+//! It is intentionally simple — in-memory `bytes::Bytes` blocks instead of
+//! disks — but preserves the behaviours that matter for the simulation:
+//! block placement, replica-loss detection and rebalancing.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of a simulated storage node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Errors from DFS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DfsError {
+    /// The requested file does not exist.
+    FileNotFound {
+        /// The missing path.
+        path: String,
+    },
+    /// Every replica of a block lives on a failed node.
+    BlockUnavailable {
+        /// File the block belongs to.
+        path: String,
+        /// Block index within the file.
+        block: usize,
+    },
+    /// Replication exceeds the number of nodes, or is zero.
+    BadReplication {
+        /// The requested factor.
+        replication: usize,
+        /// Cluster size.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::FileNotFound { path } => write!(f, "file not found: {path}"),
+            DfsError::BlockUnavailable { path, block } => {
+                write!(f, "all replicas of {path} block {block} are on failed nodes")
+            }
+            DfsError::BadReplication { replication, nodes } => write!(
+                f,
+                "replication factor {replication} impossible on {nodes} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[derive(Debug, Clone)]
+struct Block {
+    data: Bytes,
+    replicas: BTreeSet<NodeId>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    files: BTreeMap<String, Vec<Block>>,
+    failed: BTreeSet<NodeId>,
+    next_placement: usize,
+}
+
+/// The simulated distributed file system.
+#[derive(Debug)]
+pub struct Dfs {
+    nodes: usize,
+    block_size: usize,
+    replication: usize,
+    state: RwLock<State>,
+}
+
+impl Dfs {
+    /// Creates a DFS over `nodes` storage nodes with the given block size
+    /// and replication factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::BadReplication`] if `replication` is zero or
+    /// exceeds `nodes`.
+    pub fn new(nodes: usize, block_size: usize, replication: usize) -> Result<Self, DfsError> {
+        if replication == 0 || replication > nodes {
+            return Err(DfsError::BadReplication { replication, nodes });
+        }
+        Ok(Dfs {
+            nodes,
+            block_size: block_size.max(1),
+            replication,
+            state: RwLock::new(State::default()),
+        })
+    }
+
+    /// Number of storage nodes (failed ones included).
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Writes (or overwrites) a file, splitting it into blocks and placing
+    /// replicas round-robin across live nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::BadReplication`] when fewer live nodes remain
+    /// than the replication factor requires.
+    pub fn put(&self, path: &str, data: impl Into<Bytes>) -> Result<(), DfsError> {
+        let data: Bytes = data.into();
+        let mut state = self.state.write();
+        let live: Vec<NodeId> = (0..self.nodes)
+            .map(NodeId)
+            .filter(|n| !state.failed.contains(n))
+            .collect();
+        if live.len() < self.replication {
+            return Err(DfsError::BadReplication {
+                replication: self.replication,
+                nodes: live.len(),
+            });
+        }
+        let mut blocks = Vec::new();
+        let chunks: Vec<Bytes> = if data.is_empty() {
+            vec![Bytes::new()]
+        } else {
+            (0..data.len())
+                .step_by(self.block_size)
+                .map(|off| data.slice(off..(off + self.block_size).min(data.len())))
+                .collect()
+        };
+        for chunk in chunks {
+            let mut replicas = BTreeSet::new();
+            for r in 0..self.replication {
+                let node = live[(state.next_placement + r) % live.len()];
+                replicas.insert(node);
+            }
+            state.next_placement = state.next_placement.wrapping_add(1);
+            blocks.push(Block {
+                data: chunk,
+                replicas,
+            });
+        }
+        state.files.insert(path.to_owned(), blocks);
+        Ok(())
+    }
+
+    /// Reads a whole file back, failing if any block lost all replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::FileNotFound`] or [`DfsError::BlockUnavailable`].
+    pub fn get(&self, path: &str) -> Result<Bytes, DfsError> {
+        let state = self.state.read();
+        let blocks = state.files.get(path).ok_or_else(|| DfsError::FileNotFound {
+            path: path.to_owned(),
+        })?;
+        let mut out = Vec::new();
+        for (i, block) in blocks.iter().enumerate() {
+            if block.replicas.iter().all(|n| state.failed.contains(n)) {
+                return Err(DfsError::BlockUnavailable {
+                    path: path.to_owned(),
+                    block: i,
+                });
+            }
+            out.extend_from_slice(&block.data);
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// The nodes holding live replicas of each block of `path` — the
+    /// locality information a scheduler would use to place map tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::FileNotFound`] for unknown paths.
+    pub fn locate(&self, path: &str) -> Result<Vec<Vec<NodeId>>, DfsError> {
+        let state = self.state.read();
+        let blocks = state.files.get(path).ok_or_else(|| DfsError::FileNotFound {
+            path: path.to_owned(),
+        })?;
+        Ok(blocks
+            .iter()
+            .map(|b| {
+                b.replicas
+                    .iter()
+                    .filter(|n| !state.failed.contains(n))
+                    .copied()
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Marks a node failed. Blocks it held survive while another replica
+    /// lives.
+    pub fn fail_node(&self, node: NodeId) {
+        self.state.write().failed.insert(node);
+    }
+
+    /// Brings a failed node back (its replicas become readable again).
+    pub fn recover_node(&self, node: NodeId) {
+        self.state.write().failed.remove(&node);
+    }
+
+    /// Re-replicates under-replicated blocks onto live nodes (what a DFS
+    /// master does after detecting a dead datanode). Returns how many
+    /// replicas were created.
+    pub fn rebalance(&self) -> usize {
+        let mut state = self.state.write();
+        let failed = state.failed.clone();
+        let live: Vec<NodeId> = (0..self.nodes)
+            .map(NodeId)
+            .filter(|n| !failed.contains(n))
+            .collect();
+        if live.is_empty() {
+            return 0;
+        }
+        let mut created = 0;
+        let mut cursor = state.next_placement;
+        for blocks in state.files.values_mut() {
+            for block in blocks.iter_mut() {
+                let alive = block
+                    .replicas
+                    .iter()
+                    .filter(|n| !failed.contains(n))
+                    .count();
+                if alive == 0 {
+                    continue; // data lost; nothing to copy from
+                }
+                let mut need = self.replication.min(live.len()) - alive.min(self.replication);
+                let mut tries = 0;
+                while need > 0 && tries < live.len() {
+                    let candidate = live[cursor % live.len()];
+                    cursor = cursor.wrapping_add(1);
+                    tries += 1;
+                    if block.replicas.insert(candidate) {
+                        created += 1;
+                        need -= 1;
+                    }
+                }
+            }
+        }
+        state.next_placement = cursor;
+        created
+    }
+
+    /// Lists all file paths.
+    #[must_use]
+    pub fn list(&self) -> Vec<String> {
+        self.state.read().files.keys().cloned().collect()
+    }
+
+    /// Deletes a file; returns whether it existed.
+    pub fn delete(&self, path: &str) -> bool {
+        self.state.write().files.remove(path).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dfs = Dfs::new(4, 8, 2).unwrap();
+        dfs.put("/a", &b"hello distributed world"[..]).unwrap();
+        assert_eq!(dfs.get("/a").unwrap(), Bytes::from_static(b"hello distributed world"));
+        assert_eq!(dfs.list(), vec!["/a".to_string()]);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let dfs = Dfs::new(2, 8, 1).unwrap();
+        dfs.put("/empty", Bytes::new()).unwrap();
+        assert_eq!(dfs.get("/empty").unwrap(), Bytes::new());
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dfs = Dfs::new(2, 8, 1).unwrap();
+        assert!(matches!(
+            dfs.get("/nope"),
+            Err(DfsError::FileNotFound { .. })
+        ));
+        assert!(dfs.locate("/nope").is_err());
+        assert!(!dfs.delete("/nope"));
+    }
+
+    #[test]
+    fn bad_replication_rejected() {
+        assert!(Dfs::new(2, 8, 3).is_err());
+        assert!(Dfs::new(2, 8, 0).is_err());
+        assert!(Dfs::new(2, 8, 2).is_ok());
+    }
+
+    #[test]
+    fn blocks_are_replicated_on_distinct_nodes() {
+        let dfs = Dfs::new(5, 4, 3);
+        let dfs = dfs.unwrap();
+        dfs.put("/f", &b"0123456789abcdef"[..]).unwrap();
+        let locations = dfs.locate("/f").unwrap();
+        assert_eq!(locations.len(), 4, "16 bytes / 4-byte blocks");
+        for replicas in &locations {
+            assert_eq!(replicas.len(), 3);
+            let set: BTreeSet<_> = replicas.iter().collect();
+            assert_eq!(set.len(), 3, "replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn single_node_failure_keeps_data_readable() {
+        let dfs = Dfs::new(4, 4, 2).unwrap();
+        dfs.put("/f", &b"0123456789"[..]).unwrap();
+        dfs.fail_node(NodeId(0));
+        assert_eq!(dfs.get("/f").unwrap(), Bytes::from_static(b"0123456789"));
+    }
+
+    #[test]
+    fn losing_all_replicas_is_detected() {
+        let dfs = Dfs::new(2, 4, 2).unwrap();
+        dfs.put("/f", &b"data"[..]).unwrap();
+        dfs.fail_node(NodeId(0));
+        dfs.fail_node(NodeId(1));
+        assert!(matches!(
+            dfs.get("/f"),
+            Err(DfsError::BlockUnavailable { .. })
+        ));
+        dfs.recover_node(NodeId(0));
+        assert!(dfs.get("/f").is_ok());
+    }
+
+    #[test]
+    fn rebalance_restores_replication() {
+        let dfs = Dfs::new(5, 4, 2).unwrap();
+        dfs.put("/f", &b"0123456789abcdef"[..]).unwrap();
+        dfs.fail_node(NodeId(0));
+        let created = dfs.rebalance();
+        assert!(created > 0, "some blocks lost a replica");
+        // Every block is back at full replication on live nodes only.
+        let locations = dfs.locate("/f").unwrap();
+        for replicas in locations {
+            assert!(replicas.len() >= 2, "under-replicated after rebalance");
+            for n in replicas {
+                assert_ne!(n, NodeId(0));
+            }
+        }
+        // A second rebalance is a no-op.
+        assert_eq!(dfs.rebalance(), 0);
+    }
+
+    #[test]
+    fn put_with_too_few_live_nodes_fails() {
+        let dfs = Dfs::new(2, 4, 2).unwrap();
+        dfs.fail_node(NodeId(0));
+        assert!(matches!(
+            dfs.put("/f", &b"x"[..]),
+            Err(DfsError::BadReplication { .. })
+        ));
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let dfs = Dfs::new(3, 4, 1).unwrap();
+        dfs.put("/f", &b"old"[..]).unwrap();
+        dfs.put("/f", &b"new content"[..]).unwrap();
+        assert_eq!(dfs.get("/f").unwrap(), Bytes::from_static(b"new content"));
+        assert!(dfs.delete("/f"));
+        assert!(dfs.get("/f").is_err());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let dfs = std::sync::Arc::new(Dfs::new(4, 16, 2).unwrap());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let dfs = dfs.clone();
+                std::thread::spawn(move || {
+                    let path = format!("/t{i}");
+                    let body = vec![i as u8; 100];
+                    dfs.put(&path, body.clone()).unwrap();
+                    assert_eq!(dfs.get(&path).unwrap(), Bytes::from(body));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dfs.list().len(), 8);
+    }
+}

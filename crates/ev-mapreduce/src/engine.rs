@@ -1,0 +1,728 @@
+//! The job executor: split → map → shuffle → reduce with retries and
+//! speculative execution.
+
+use crate::api::{Combiner, Emitter, HashPartitioner, Mapper, Partitioner, Reducer};
+use crate::config::{ClusterConfig, FaultPlan};
+use crate::metrics::JobMetrics;
+use crossbeam::channel;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+use std::time::Instant;
+
+/// Errors a job can end with.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JobError {
+    /// The cluster configuration failed validation.
+    InvalidConfig(ev_core::Error),
+    /// A task exhausted its retry budget.
+    TaskExhausted {
+        /// Which stage the task belonged to.
+        stage: &'static str,
+        /// Task index within the stage.
+        task: usize,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::InvalidConfig(e) => write!(f, "invalid cluster configuration: {e}"),
+            JobError::TaskExhausted {
+                stage,
+                task,
+                attempts,
+            } => write!(
+                f,
+                "{stage} task {task} failed after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::InvalidConfig(e) => Some(e),
+            JobError::TaskExhausted { .. } => None,
+        }
+    }
+}
+
+/// A finished job: outputs plus execution metrics.
+#[derive(Debug, Clone)]
+pub struct JobResult<K, T> {
+    /// Flattened reduce outputs, ordered by key.
+    pub output: Vec<T>,
+    /// Reduce outputs grouped per key, ordered by key.
+    pub grouped: Vec<(K, Vec<T>)>,
+    /// Execution counters and timings.
+    pub metrics: JobMetrics,
+}
+
+/// The MapReduce engine. Create one per cluster configuration and submit
+/// jobs with [`run`](MapReduce::run) or
+/// [`run_with`](MapReduce::run_with).
+#[derive(Debug, Clone)]
+pub struct MapReduce {
+    config: ClusterConfig,
+}
+
+/// SplitMix64: cheap deterministic per-(seed, task, attempt) draw.
+fn fault_draw(seed: u64, stage: u64, task: u64, attempt: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(stage.wrapping_mul(0x9e3779b97f4a7c15))
+        .wrapping_add(task.wrapping_mul(0xbf58476d1ce4e5b9))
+        .wrapping_add(attempt.wrapping_mul(0x94d049bb133111eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Burns `units` of deterministic CPU work (same kernel as the vision
+/// cost model, duplicated to avoid a dependency cycle).
+fn burn(units: u64) -> u64 {
+    let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+    for i in 0..units {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i | 1);
+        acc ^= acc >> 29;
+    }
+    std::hint::black_box(acc)
+}
+
+/// A map task's payload: the (possibly combined) pairs plus the raw
+/// pre-combine emit count.
+type MapPayload<K, V> = (Vec<(K, V)>, u64);
+/// Reduce outputs grouped by key.
+type Grouped<K, T> = Vec<(K, Vec<T>)>;
+
+enum TaskOutcome<T> {
+    Done { task: usize, payload: T },
+    Failed { task: usize },
+}
+
+impl MapReduce {
+    /// Creates an engine with the given configuration.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        MapReduce { config }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Runs a job with the default hash partitioner and no combiner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::InvalidConfig`] for a bad configuration or
+    /// [`JobError::TaskExhausted`] if fault injection defeats the retry
+    /// budget.
+    pub fn run<I, M, R>(
+        &self,
+        inputs: Vec<I>,
+        mapper: &M,
+        reducer: &R,
+    ) -> Result<JobResult<M::Key, R::Output>, JobError>
+    where
+        I: Send + Sync,
+        M: Mapper<I>,
+        M::Key: Ord + Hash + Clone + Send + Sync,
+        M::Value: Send + Sync,
+        R: Reducer<M::Key, M::Value>,
+        R::Output: Send + Clone,
+    {
+        self.run_with(
+            inputs,
+            mapper,
+            reducer,
+            None::<&NoCombiner>,
+            &HashPartitioner,
+        )
+    }
+
+    /// Runs a job with an optional combiner and a custom partitioner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::InvalidConfig`] for a bad configuration or
+    /// [`JobError::TaskExhausted`] if fault injection defeats the retry
+    /// budget.
+    pub fn run_with<I, M, R, C, P>(
+        &self,
+        inputs: Vec<I>,
+        mapper: &M,
+        reducer: &R,
+        combiner: Option<&C>,
+        partitioner: &P,
+    ) -> Result<JobResult<M::Key, R::Output>, JobError>
+    where
+        I: Send + Sync,
+        M: Mapper<I>,
+        M::Key: Ord + Hash + Clone + Send + Sync,
+        M::Value: Send + Sync,
+        R: Reducer<M::Key, M::Value>,
+        R::Output: Send + Clone,
+        C: Combiner<M::Key, M::Value>,
+        P: Partitioner<M::Key>,
+    {
+        self.config.validate().map_err(JobError::InvalidConfig)?;
+        let job_start = Instant::now();
+        let mut metrics = JobMetrics::default();
+
+        // ---- split ----
+        let splits: Vec<&[I]> = inputs.chunks(self.config.split_size).collect();
+        metrics.map_tasks = splits.len();
+
+        // ---- map ----
+        let map_start = Instant::now();
+        let map_outputs: Vec<MapPayload<M::Key, M::Value>> = self.run_stage(
+            "map",
+            0,
+            splits.len(),
+            &mut metrics,
+            |task| {
+                let mut emitter = Emitter::new();
+                for record in splits[task] {
+                    mapper.map(record, &mut emitter);
+                }
+                let pairs = emitter.into_pairs();
+                let raw = pairs.len() as u64;
+                let combined = match combiner {
+                    None => pairs,
+                    Some(c) => {
+                        // Group this task's pairs by key, combine each
+                        // group locally.
+                        let mut groups: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
+                        for (k, v) in pairs {
+                            groups.entry(k).or_default().push(v);
+                        }
+                        let mut combined = Vec::new();
+                        for (k, vs) in groups {
+                            for v in c.combine(&k, vs) {
+                                combined.push((k.clone(), v));
+                            }
+                        }
+                        combined
+                    }
+                };
+                (combined, raw)
+            },
+            |payload: &MapPayload<M::Key, M::Value>| payload.1,
+            &mut |m, raw| m.pre_combine_pairs += raw,
+        )?;
+        metrics.map_time = map_start.elapsed();
+
+        // ---- shuffle: partition, route, sort, group ----
+        let shuffle_start = Instant::now();
+        let partitions = self.config.reduce_partitions;
+        let mut buckets: Vec<BTreeMap<M::Key, Vec<M::Value>>> =
+            (0..partitions).map(|_| BTreeMap::new()).collect();
+        // Iterate tasks in task order so value order is deterministic
+        // regardless of which worker ran which task when.
+        for (pairs, _) in map_outputs {
+            metrics.shuffled_pairs += pairs.len() as u64;
+            for (k, v) in pairs {
+                let p = partitioner.partition(&k, partitions);
+                buckets[p].entry(k).or_default().push(v);
+            }
+        }
+        if combiner.is_none() {
+            metrics.pre_combine_pairs = metrics.shuffled_pairs;
+        }
+        metrics.distinct_keys = buckets.iter().map(|b| b.len() as u64).sum();
+        metrics.shuffle_time = shuffle_start.elapsed();
+
+        // ---- reduce ----
+        let reduce_start = Instant::now();
+        let nonempty: Vec<usize> = (0..partitions)
+            .filter(|&p| !buckets[p].is_empty())
+            .collect();
+        metrics.reduce_tasks = nonempty.len();
+        let reduced: Vec<Grouped<M::Key, R::Output>> = self.run_stage(
+            "reduce",
+            1,
+            nonempty.len(),
+            &mut metrics,
+            |idx| {
+                let bucket = &buckets[nonempty[idx]];
+                bucket
+                    .iter()
+                    .map(|(k, vs)| (k.clone(), reducer.reduce(k, vs)))
+                    .collect()
+            },
+            |_out: &Grouped<M::Key, R::Output>| 0,
+            &mut |_m, _raw| {},
+        )?;
+        metrics.reduce_time = reduce_start.elapsed();
+
+        // Merge partitions into key order.
+        let mut grouped: Vec<(M::Key, Vec<R::Output>)> = reduced.into_iter().flatten().collect();
+        grouped.sort_by(|a, b| a.0.cmp(&b.0));
+        let output = grouped
+            .iter()
+            .flat_map(|(_, outs)| outs.iter())
+            .cloned()
+            .collect::<Vec<_>>();
+
+        metrics.total_time = job_start.elapsed();
+        Ok(JobResult {
+            output,
+            grouped,
+            metrics,
+        })
+    }
+
+    /// Runs one stage's tasks on the worker pool with retry, straggler
+    /// simulation and speculative execution. `work` must be safe to run
+    /// multiple times for the same task (pure).
+    #[allow(clippy::too_many_arguments)]
+    fn run_stage<T, F, S>(
+        &self,
+        stage_name: &'static str,
+        stage_id: u64,
+        task_count: usize,
+        metrics: &mut JobMetrics,
+        work: F,
+        size_of: S,
+        on_raw: &mut dyn FnMut(&mut JobMetrics, u64),
+    ) -> Result<Vec<T>, JobError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        S: Fn(&T) -> u64 + Sync,
+    {
+        if task_count == 0 {
+            return Ok(Vec::new());
+        }
+        let faults = self.config.faults;
+        let overhead = self.config.task_overhead_units;
+        let workers = self.config.workers;
+
+        let (task_tx, task_rx) = channel::unbounded::<(usize, u32)>();
+        let (done_tx, done_rx) = channel::unbounded::<TaskOutcome<T>>();
+
+        let mut attempts_next: Vec<u32> = vec![0; task_count];
+        let mut failures: Vec<u32> = vec![0; task_count];
+        let mut results: Vec<Option<T>> = (0..task_count).map(|_| None).collect();
+        let mut remaining = task_count;
+
+        // Schedule the first attempt of every task; launch a speculative
+        // backup right away for attempts the fault plan marks straggling.
+        fn schedule(
+            task: usize,
+            attempts_next: &mut [u32],
+            metrics: &mut JobMetrics,
+            tx: &channel::Sender<(usize, u32)>,
+            faults: &FaultPlan,
+            stage_id: u64,
+        ) {
+            let attempt = attempts_next[task];
+            attempts_next[task] += 1;
+            metrics.map_attempts += u64::from(stage_id == 0);
+            tx.send((task, attempt)).expect("task channel open");
+            let straggles = faults.straggler_rate > 0.0
+                && fault_draw(faults.seed ^ 0x5757, stage_id, task as u64, attempt.into())
+                    < faults.straggler_rate;
+            if straggles && faults.speculative_execution {
+                let backup = attempts_next[task];
+                attempts_next[task] += 1;
+                metrics.speculative_attempts += 1;
+                metrics.map_attempts += u64::from(stage_id == 0);
+                tx.send((task, backup)).expect("task channel open");
+            }
+        }
+        for task in 0..task_count {
+            schedule(
+                task,
+                &mut attempts_next,
+                metrics,
+                &task_tx,
+                &faults,
+                stage_id,
+            );
+        }
+
+        std::thread::scope(|scope| -> Result<(), JobError> {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let done_tx = done_tx.clone();
+                let work = &work;
+                scope.spawn(move || {
+                    while let Ok((task, attempt)) = task_rx.recv() {
+                        // Injected failure?
+                        if faults.task_failure_rate > 0.0
+                            && fault_draw(
+                                faults.seed,
+                                stage_id,
+                                task as u64,
+                                attempt.into(),
+                            ) < faults.task_failure_rate
+                        {
+                            let _ = done_tx.send(TaskOutcome::Failed { task });
+                            continue;
+                        }
+                        // Fixed task overhead; stragglers burn a multiple.
+                        if overhead > 0 {
+                            let straggles = faults.straggler_rate > 0.0
+                                && fault_draw(
+                                    faults.seed ^ 0x5757,
+                                    stage_id,
+                                    task as u64,
+                                    attempt.into(),
+                                ) < faults.straggler_rate;
+                            let units = if straggles {
+                                overhead * faults.straggler_factor
+                            } else {
+                                overhead
+                            };
+                            let _ = burn(units);
+                        }
+                        let payload = work(task);
+                        let _ = done_tx.send(TaskOutcome::Done { task, payload });
+                    }
+                });
+            }
+            drop(done_tx);
+
+            while remaining > 0 {
+                match done_rx.recv().expect("workers alive while tasks pending") {
+                    TaskOutcome::Done { task, payload } => {
+                        if results[task].is_none() {
+                            on_raw(metrics, size_of(&payload));
+                            results[task] = Some(payload);
+                            remaining -= 1;
+                        }
+                        // Else: a speculative or duplicate attempt lost the
+                        // race; drop its output.
+                    }
+                    TaskOutcome::Failed { task } => {
+                        if results[task].is_some() {
+                            continue; // another attempt already won
+                        }
+                        metrics.failed_attempts += 1;
+                        failures[task] += 1;
+                        if failures[task] >= faults.max_attempts {
+                            // Abort: close the queue so workers drain out.
+                            drop(task_tx);
+                            return Err(JobError::TaskExhausted {
+                                stage: stage_name,
+                                task,
+                                attempts: failures[task],
+                            });
+                        }
+                        schedule(
+                            task,
+                            &mut attempts_next,
+                            metrics,
+                            &task_tx,
+                            &faults,
+                            stage_id,
+                        );
+                    }
+                }
+            }
+            drop(task_tx);
+            Ok(())
+        })?;
+
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all tasks completed"))
+            .collect())
+    }
+}
+
+/// Placeholder combiner type for [`MapReduce::run`]'s `None`.
+struct NoCombiner;
+impl<K, V> Combiner<K, V> for NoCombiner {
+    fn combine(&self, _key: &K, values: Vec<V>) -> Vec<V> {
+        values
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit per-field mutation reads clearer in validation tests
+mod tests {
+    use super::*;
+    use crate::config::FaultPlan;
+
+    struct Tokenize;
+    impl Mapper<String> for Tokenize {
+        type Key = String;
+        type Value = u64;
+        fn map(&self, line: &String, out: &mut Emitter<String, u64>) {
+            for w in line.split_whitespace() {
+                out.emit(w.to_string(), 1);
+            }
+        }
+    }
+
+    struct Sum;
+    impl Reducer<String, u64> for Sum {
+        type Output = (String, u64);
+        fn reduce(&self, key: &String, values: &[u64]) -> Vec<(String, u64)> {
+            vec![(key.clone(), values.iter().sum())]
+        }
+    }
+
+    struct SumCombiner;
+    impl Combiner<String, u64> for SumCombiner {
+        fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+    }
+
+    fn corpus(lines: usize) -> Vec<String> {
+        (0..lines)
+            .map(|i| format!("w{} w{} shared", i % 7, i % 13))
+            .collect()
+    }
+
+    fn assert_wordcount_correct(output: &[(String, u64)], lines: usize) {
+        let total: u64 = output.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 3 * lines as u64, "every token counted once");
+        let shared = output.iter().find(|(w, _)| w == "shared").unwrap();
+        assert_eq!(shared.1, lines as u64);
+    }
+
+    #[test]
+    fn wordcount_end_to_end() {
+        let engine = MapReduce::new(ClusterConfig::default());
+        let result = engine.run(corpus(100), &Tokenize, &Sum).unwrap();
+        assert_wordcount_correct(&result.output, 100);
+        // Output is key-ordered.
+        let keys: Vec<&String> = result.output.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert!(result.metrics.map_tasks >= 1);
+        assert_eq!(result.metrics.failed_attempts, 0);
+    }
+
+    #[test]
+    fn output_is_deterministic_across_runs_and_worker_counts() {
+        let base = MapReduce::new(ClusterConfig::sequential())
+            .run(corpus(200), &Tokenize, &Sum)
+            .unwrap();
+        for workers in [2, 4, 8] {
+            let cfg = ClusterConfig {
+                workers,
+                reduce_partitions: 3,
+                split_size: 17,
+                ..ClusterConfig::default()
+            };
+            let r = MapReduce::new(cfg).run(corpus(200), &Tokenize, &Sum).unwrap();
+            assert_eq!(r.output, base.output, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let engine = MapReduce::new(ClusterConfig::default());
+        let result = engine.run(Vec::<String>::new(), &Tokenize, &Sum).unwrap();
+        assert!(result.output.is_empty());
+        assert_eq!(result.metrics.map_tasks, 0);
+        assert_eq!(result.metrics.reduce_tasks, 0);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_without_changing_results() {
+        let cfg = ClusterConfig {
+            split_size: 50,
+            ..ClusterConfig::default()
+        };
+        let engine = MapReduce::new(cfg);
+        let plain = engine.run(corpus(200), &Tokenize, &Sum).unwrap();
+        let combined = engine
+            .run_with(
+                corpus(200),
+                &Tokenize,
+                &Sum,
+                Some(&SumCombiner),
+                &HashPartitioner,
+            )
+            .unwrap();
+        assert_eq!(plain.output, combined.output);
+        assert!(
+            combined.metrics.shuffled_pairs < plain.metrics.shuffled_pairs,
+            "combiner must shrink the shuffle ({} vs {})",
+            combined.metrics.shuffled_pairs,
+            plain.metrics.shuffled_pairs
+        );
+        assert!(combined.metrics.combine_ratio() > 0.5);
+        assert_eq!(plain.metrics.combine_ratio(), 0.0);
+    }
+
+    #[test]
+    fn grouped_output_collects_per_key() {
+        let engine = MapReduce::new(ClusterConfig::default());
+        let result = engine.run(corpus(50), &Tokenize, &Sum).unwrap();
+        assert_eq!(result.grouped.len(), result.output.len());
+        for (k, outs) in &result.grouped {
+            assert_eq!(outs.len(), 1);
+            assert_eq!(&outs[0].0, k);
+        }
+    }
+
+    #[test]
+    fn injected_failures_are_retried_to_success() {
+        let cfg = ClusterConfig {
+            faults: FaultPlan {
+                task_failure_rate: 0.4,
+                max_attempts: 50,
+                seed: 3,
+                ..FaultPlan::default()
+            },
+            split_size: 5,
+            ..ClusterConfig::default()
+        };
+        let engine = MapReduce::new(cfg);
+        let result = engine.run(corpus(100), &Tokenize, &Sum).unwrap();
+        assert_wordcount_correct(&result.output, 100);
+        assert!(
+            result.metrics.failed_attempts > 0,
+            "with 40% failure rate over 20 tasks some attempts must fail"
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_aborts_the_job() {
+        let cfg = ClusterConfig {
+            faults: FaultPlan {
+                task_failure_rate: 0.95,
+                max_attempts: 2,
+                seed: 1,
+                ..FaultPlan::default()
+            },
+            split_size: 1,
+            ..ClusterConfig::default()
+        };
+        let engine = MapReduce::new(cfg);
+        let err = engine.run(corpus(50), &Tokenize, &Sum).unwrap_err();
+        match err {
+            JobError::TaskExhausted { attempts, .. } => assert_eq!(attempts, 2),
+            other => panic!("expected TaskExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let mut cfg = ClusterConfig::default();
+        cfg.workers = 0;
+        let err = MapReduce::new(cfg)
+            .run(corpus(10), &Tokenize, &Sum)
+            .unwrap_err();
+        assert!(matches!(err, JobError::InvalidConfig(_)));
+        assert!(err.to_string().contains("worker"));
+    }
+
+    #[test]
+    fn speculative_execution_launches_backups_and_keeps_results_correct() {
+        let cfg = ClusterConfig {
+            faults: FaultPlan {
+                straggler_rate: 0.5,
+                straggler_factor: 4,
+                speculative_execution: true,
+                seed: 9,
+                ..FaultPlan::default()
+            },
+            split_size: 5,
+            task_overhead_units: 10_000,
+            ..ClusterConfig::default()
+        };
+        let engine = MapReduce::new(cfg);
+        let result = engine.run(corpus(100), &Tokenize, &Sum).unwrap();
+        assert_wordcount_correct(&result.output, 100);
+        assert!(
+            result.metrics.speculative_attempts > 0,
+            "half the tasks straggle; backups must launch"
+        );
+    }
+
+    #[test]
+    fn stragglers_without_speculation_still_finish() {
+        let cfg = ClusterConfig {
+            faults: FaultPlan {
+                straggler_rate: 0.3,
+                straggler_factor: 3,
+                speculative_execution: false,
+                seed: 5,
+                ..FaultPlan::default()
+            },
+            split_size: 10,
+            task_overhead_units: 1_000,
+            ..ClusterConfig::default()
+        };
+        let result = MapReduce::new(cfg).run(corpus(100), &Tokenize, &Sum).unwrap();
+        assert_wordcount_correct(&result.output, 100);
+        assert_eq!(result.metrics.speculative_attempts, 0);
+    }
+
+    #[test]
+    fn failures_and_speculation_compose() {
+        let cfg = ClusterConfig {
+            faults: FaultPlan {
+                task_failure_rate: 0.2,
+                straggler_rate: 0.3,
+                straggler_factor: 2,
+                speculative_execution: true,
+                max_attempts: 50,
+                seed: 11,
+            },
+            split_size: 4,
+            task_overhead_units: 500,
+            ..ClusterConfig::default()
+        };
+        let result = MapReduce::new(cfg).run(corpus(100), &Tokenize, &Sum).unwrap();
+        assert_wordcount_correct(&result.output, 100);
+    }
+
+    #[test]
+    fn single_record_splits() {
+        let cfg = ClusterConfig {
+            split_size: 1,
+            ..ClusterConfig::default()
+        };
+        let result = MapReduce::new(cfg).run(corpus(10), &Tokenize, &Sum).unwrap();
+        assert_eq!(result.metrics.map_tasks, 10);
+        assert_wordcount_correct(&result.output, 10);
+    }
+
+    #[test]
+    fn custom_partitioner_is_honored() {
+        /// Everything to partition 0.
+        struct Zero;
+        impl<K> Partitioner<K> for Zero {
+            fn partition(&self, _key: &K, _partitions: usize) -> usize {
+                0
+            }
+        }
+        let cfg = ClusterConfig {
+            reduce_partitions: 8,
+            ..ClusterConfig::default()
+        };
+        let result = MapReduce::new(cfg)
+            .run_with(corpus(30), &Tokenize, &Sum, None::<&SumCombiner>, &Zero)
+            .unwrap();
+        assert_eq!(result.metrics.reduce_tasks, 1, "only partition 0 is used");
+        assert_wordcount_correct(&result.output, 30);
+    }
+
+    #[test]
+    fn fault_draw_is_deterministic_and_uniform() {
+        let a = fault_draw(1, 0, 2, 3);
+        assert_eq!(a, fault_draw(1, 0, 2, 3));
+        assert_ne!(a, fault_draw(1, 0, 2, 4));
+        let mean: f64 =
+            (0..10_000).map(|i| fault_draw(42, 0, i, 0)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Job execution metrics.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters and timings reported by a finished MapReduce job.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Number of map tasks (input splits).
+    pub map_tasks: usize,
+    /// Number of reduce tasks (partitions with at least the shuffle run).
+    pub reduce_tasks: usize,
+    /// Total map-task attempts, including retries and speculative copies.
+    pub map_attempts: u64,
+    /// Attempts that failed and were retried.
+    pub failed_attempts: u64,
+    /// Speculative backup attempts launched for stragglers.
+    pub speculative_attempts: u64,
+    /// Intermediate pairs leaving the map stage (after combining).
+    pub shuffled_pairs: u64,
+    /// Intermediate pairs before the combiner ran (equals
+    /// `shuffled_pairs` when no combiner is configured).
+    pub pre_combine_pairs: u64,
+    /// Distinct keys seen by the reduce stage.
+    pub distinct_keys: u64,
+    /// Wall time of the map stage.
+    pub map_time: Duration,
+    /// Wall time of the shuffle (partition + sort + group).
+    pub shuffle_time: Duration,
+    /// Wall time of the reduce stage.
+    pub reduce_time: Duration,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+}
+
+impl JobMetrics {
+    /// Combiner effectiveness: fraction of pairs eliminated before the
+    /// shuffle (0 when no combining happened).
+    #[must_use]
+    pub fn combine_ratio(&self) -> f64 {
+        if self.pre_combine_pairs == 0 {
+            return 0.0;
+        }
+        1.0 - self.shuffled_pairs as f64 / self.pre_combine_pairs as f64
+    }
+
+    /// Merges another job's metrics into this one (for multi-job
+    /// pipelines such as iterative set splitting).
+    pub fn absorb(&mut self, other: &JobMetrics) {
+        self.map_tasks += other.map_tasks;
+        self.reduce_tasks += other.reduce_tasks;
+        self.map_attempts += other.map_attempts;
+        self.failed_attempts += other.failed_attempts;
+        self.speculative_attempts += other.speculative_attempts;
+        self.shuffled_pairs += other.shuffled_pairs;
+        self.pre_combine_pairs += other.pre_combine_pairs;
+        self.distinct_keys += other.distinct_keys;
+        self.map_time += other.map_time;
+        self.shuffle_time += other.shuffle_time;
+        self.reduce_time += other.reduce_time;
+        self.total_time += other.total_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_ratio_handles_edge_cases() {
+        let m = JobMetrics::default();
+        assert_eq!(m.combine_ratio(), 0.0);
+        let m = JobMetrics {
+            pre_combine_pairs: 100,
+            shuffled_pairs: 25,
+            ..JobMetrics::default()
+        };
+        assert!((m.combine_ratio() - 0.75).abs() < 1e-12);
+        let m = JobMetrics {
+            pre_combine_pairs: 100,
+            shuffled_pairs: 100,
+            ..JobMetrics::default()
+        };
+        assert_eq!(m.combine_ratio(), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = JobMetrics {
+            map_tasks: 2,
+            shuffled_pairs: 10,
+            map_time: Duration::from_millis(5),
+            ..JobMetrics::default()
+        };
+        let b = JobMetrics {
+            map_tasks: 3,
+            shuffled_pairs: 7,
+            map_time: Duration::from_millis(3),
+            ..JobMetrics::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.map_tasks, 5);
+        assert_eq!(a.shuffled_pairs, 17);
+        assert_eq!(a.map_time, Duration::from_millis(8));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: the engine must compute exactly what a sequential
+//! reference computes, for any input, any cluster shape, and any
+//! (survivable) fault plan.
+
+use ev_mapreduce::{ClusterConfig, Emitter, FaultPlan, MapReduce, Mapper, Reducer};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Mapper: emit (value mod k, value) for each record.
+struct ModMapper {
+    k: u64,
+}
+impl Mapper<u64> for ModMapper {
+    type Key = u64;
+    type Value = u64;
+    fn map(&self, input: &u64, out: &mut Emitter<u64, u64>) {
+        out.emit(input % self.k, *input);
+    }
+}
+
+/// Reducer: (key, sum, count, min, max) per group.
+struct StatsReducer;
+impl Reducer<u64, u64> for StatsReducer {
+    type Output = (u64, u64, usize, u64, u64);
+    fn reduce(&self, key: &u64, values: &[u64]) -> Vec<(u64, u64, usize, u64, u64)> {
+        let sum = values.iter().sum();
+        let min = *values.iter().min().expect("non-empty group");
+        let max = *values.iter().max().expect("non-empty group");
+        vec![(*key, sum, values.len(), min, max)]
+    }
+}
+
+/// The sequential reference implementation.
+fn reference(inputs: &[u64], k: u64) -> Vec<(u64, u64, usize, u64, u64)> {
+    let mut groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for &v in inputs {
+        groups.entry(v % k).or_default().push(v);
+    }
+    groups
+        .into_iter()
+        .map(|(key, values)| {
+            (
+                key,
+                values.iter().sum(),
+                values.len(),
+                *values.iter().min().expect("non-empty"),
+                *values.iter().max().expect("non-empty"),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engine_matches_sequential_reference(
+        inputs in prop::collection::vec(0u64..10_000, 0..300),
+        k in 1u64..20,
+        workers in 1usize..6,
+        split_size in 1usize..40,
+        reduce_partitions in 1usize..6,
+    ) {
+        let engine = MapReduce::new(ClusterConfig {
+            workers,
+            split_size,
+            reduce_partitions,
+            ..ClusterConfig::default()
+        });
+        let result = engine
+            .run(inputs.clone(), &ModMapper { k }, &StatsReducer)
+            .expect("healthy cluster");
+        prop_assert_eq!(result.output, reference(&inputs, k));
+    }
+
+    #[test]
+    fn faults_never_change_results(
+        inputs in prop::collection::vec(0u64..10_000, 1..200),
+        k in 1u64..10,
+        failure_rate in 0.0f64..0.5,
+        straggler_rate in 0.0f64..0.5,
+        speculative in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let engine = MapReduce::new(ClusterConfig {
+            workers: 3,
+            split_size: 7,
+            reduce_partitions: 3,
+            faults: FaultPlan {
+                task_failure_rate: failure_rate,
+                straggler_rate,
+                straggler_factor: 3,
+                speculative_execution: speculative,
+                max_attempts: 100,
+                seed,
+            },
+            task_overhead_units: 100,
+            ..ClusterConfig::default()
+        });
+        let result = engine
+            .run(inputs.clone(), &ModMapper { k }, &StatsReducer)
+            .expect("100 attempts absorb any sub-certain failure rate");
+        prop_assert_eq!(result.output, reference(&inputs, k));
+    }
+
+    #[test]
+    fn metrics_are_internally_consistent(
+        inputs in prop::collection::vec(0u64..1_000, 0..200),
+        split_size in 1usize..50,
+    ) {
+        let engine = MapReduce::new(ClusterConfig {
+            split_size,
+            ..ClusterConfig::default()
+        });
+        let result = engine
+            .run(inputs.clone(), &ModMapper { k: 5 }, &StatsReducer)
+            .expect("healthy cluster");
+        let m = &result.metrics;
+        prop_assert_eq!(m.map_tasks, inputs.len().div_ceil(split_size));
+        prop_assert_eq!(m.shuffled_pairs, inputs.len() as u64);
+        prop_assert_eq!(m.pre_combine_pairs, inputs.len() as u64);
+        prop_assert_eq!(m.distinct_keys as usize, result.grouped.len());
+        prop_assert!(m.map_attempts >= m.map_tasks as u64);
+        prop_assert_eq!(m.failed_attempts, 0);
+    }
+}

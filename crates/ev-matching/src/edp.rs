@@ -1,0 +1,384 @@
+//! The EDP baseline (Teng et al., INFOCOM 2012 \[24\]).
+//!
+//! EDP matches **one EID at a time** with a two-stage E-filtering /
+//! V-identification strategy: scan the E-data for scenarios containing
+//! the target EID, keeping only scenarios that shrink the set of EIDs
+//! co-present in *every* selected scenario, until the target is the
+//! unique survivor; then identify the VID common to the corresponding
+//! V-Scenarios.
+//!
+//! For a fair comparison with the parallel set-splitting algorithm, the
+//! paper adapts EDP to MapReduce "by assigning each mapper one EID
+//! matching task" (§VI-B); [`match_edp_parallel`] does exactly that on
+//! the [`ev_mapreduce`] engine. Scenario selections are *not* shared
+//! between EIDs — the reuse that makes set splitting cheaper simply does
+//! not happen, although a scenario picked independently for two EIDs is
+//! only extracted (and counted) once.
+
+use crate::types::{MatchOutcome, MatchReport, ScenarioList, StageTimings};
+use crate::vfilter::{filter_one, VFilterConfig};
+use ev_core::ids::Eid;
+use ev_core::scenario::ScenarioId;
+use ev_mapreduce::{ClusterConfig, Emitter, MapReduce, Mapper, Reducer};
+use ev_store::{EScenarioStore, VideoStore};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// Configuration of the EDP baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdpConfig {
+    /// VID filtering settings (EDP never uses exclusion — each EID is
+    /// matched independently; the flag is ignored).
+    pub vfilter: VFilterConfig,
+    /// Cap on scenarios selected per EID (`None` = until unique or
+    /// exhausted).
+    pub max_scenarios_per_eid: Option<usize>,
+    /// Seed for the per-EID random scan order.
+    pub seed: u64,
+}
+
+impl Default for EdpConfig {
+    fn default() -> Self {
+        EdpConfig {
+            vfilter: VFilterConfig {
+                exclusion: false,
+                ..VFilterConfig::default()
+            },
+            max_scenarios_per_eid: None,
+            seed: 0,
+        }
+    }
+}
+
+/// E-filtering for one EID: scan the scenarios where `eid` was
+/// confidently observed (inclusive zone) in a seeded random order,
+/// keeping those that shrink the co-presence intersection, until `eid`
+/// is unique.
+///
+/// The intersection runs over **all** EIDs in the E-data (not just a
+/// requested subset) — EDP has no notion of a matching cohort. The
+/// random order matters: consecutive time windows share cohabitants
+/// (people move slowly), so a chronological scan shrinks the
+/// intersection far more slowly than temporally spread picks.
+#[must_use]
+pub fn efilter_one(store: &EScenarioStore, eid: Eid, config: &EdpConfig) -> ScenarioList {
+    let cap = config.max_scenarios_per_eid.unwrap_or(usize::MAX);
+    let mut pool: Vec<&ev_core::EScenario> = store
+        .containing(eid)
+        .filter(|s| s.contains_inclusive(eid))
+        .collect();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
+        config.seed ^ eid.as_u64().wrapping_mul(0x9e3779b97f4a7c15),
+    );
+    pool.shuffle(&mut rng);
+    let mut candidates: Option<BTreeSet<Eid>> = None;
+    let mut list: ScenarioList = Vec::new();
+    for scenario in pool {
+        if list.len() >= cap {
+            break;
+        }
+        let eids: BTreeSet<Eid> = scenario.eids().collect();
+        let next = match &candidates {
+            None => eids,
+            Some(current) => {
+                let next: BTreeSet<Eid> = current.intersection(&eids).copied().collect();
+                if next.len() == current.len() {
+                    continue; // no discrimination; skip this scenario
+                }
+                next
+            }
+        };
+        list.push(scenario.id());
+        let done = next.len() <= 1;
+        candidates = Some(next);
+        if done {
+            break;
+        }
+    }
+    list
+}
+
+/// Matches a set of EIDs with sequential EDP: per-EID E-filtering followed
+/// by per-EID V-identification. Scenario reuse across EIDs is incidental;
+/// the [`VideoStore`] still extracts any shared scenario only once.
+#[must_use]
+pub fn match_edp(
+    store: &EScenarioStore,
+    video: &VideoStore,
+    targets: &BTreeSet<Eid>,
+    config: &EdpConfig,
+) -> MatchReport {
+    let e_start = Instant::now();
+    let lists: BTreeMap<Eid, ScenarioList> = targets
+        .iter()
+        .map(|&eid| (eid, efilter_one(store, eid, config)))
+        .collect();
+    let e_stage = e_start.elapsed();
+
+    let v_start = Instant::now();
+    let empty = BTreeSet::new();
+    let mut outcomes: Vec<MatchOutcome> = lists
+        .iter()
+        .map(|(&eid, list)| filter_one(eid, list, video, &config.vfilter, &empty))
+        .collect();
+    outcomes.sort_by_key(|o| o.eid);
+    let v_stage = v_start.elapsed();
+
+    let selected: BTreeSet<ScenarioId> =
+        lists.values().flat_map(|l| l.iter().copied()).collect();
+    MatchReport {
+        outcomes,
+        lists,
+        selected_scenarios: selected,
+        timings: StageTimings { e_stage, v_stage },
+        rounds: 1,
+    }
+}
+
+/// E-stage mapper of the MapReduce adaptation: one EID's E-filtering per
+/// map task.
+struct EFilterMapper<'a> {
+    store: &'a EScenarioStore,
+    config: EdpConfig,
+}
+
+impl Mapper<Eid> for EFilterMapper<'_> {
+    type Key = Eid;
+    type Value = ScenarioList;
+
+    fn map(&self, eid: &Eid, out: &mut Emitter<Self::Key, Self::Value>) {
+        out.emit(*eid, efilter_one(self.store, *eid, &self.config));
+    }
+}
+
+struct ListReducer;
+impl Reducer<Eid, ScenarioList> for ListReducer {
+    type Output = (Eid, ScenarioList);
+    fn reduce(&self, key: &Eid, values: &[ScenarioList]) -> Vec<(Eid, ScenarioList)> {
+        values.first().map(|l| (*key, l.clone())).into_iter().collect()
+    }
+}
+
+/// V-stage mapper: one EID's V-identification per map task.
+struct VIdentifyMapper<'a> {
+    video: &'a VideoStore,
+    config: EdpConfig,
+}
+
+impl Mapper<(Eid, ScenarioList)> for VIdentifyMapper<'_> {
+    type Key = Eid;
+    type Value = MatchOutcome;
+
+    fn map(&self, record: &(Eid, ScenarioList), out: &mut Emitter<Self::Key, Self::Value>) {
+        let outcome = filter_one(
+            record.0,
+            &record.1,
+            self.video,
+            &self.config.vfilter,
+            &BTreeSet::new(),
+        );
+        out.emit(record.0, outcome);
+    }
+}
+
+struct OutcomeReducer;
+impl Reducer<Eid, MatchOutcome> for OutcomeReducer {
+    type Output = MatchOutcome;
+    fn reduce(&self, _key: &Eid, values: &[MatchOutcome]) -> Vec<MatchOutcome> {
+        values.first().cloned().into_iter().collect()
+    }
+}
+
+/// The paper's MapReduce adaptation of EDP: "assigning each mapper one
+/// EID matching task" (§VI-B), as two jobs so the E- and V-stage times
+/// stay separable the way Figs. 8–9 report them.
+///
+/// # Errors
+///
+/// Propagates [`ev_mapreduce::JobError`] from the engine (configuration or
+/// injected-fault exhaustion).
+pub fn match_edp_parallel(
+    engine: &MapReduce,
+    store: &EScenarioStore,
+    video: &VideoStore,
+    targets: &BTreeSet<Eid>,
+    config: &EdpConfig,
+) -> Result<MatchReport, ev_mapreduce::JobError> {
+    // E stage: per-EID E-filtering, one EID per mapper.
+    let e_start = Instant::now();
+    let inputs: Vec<Eid> = targets.iter().copied().collect();
+    let e_result = engine.run(
+        inputs,
+        &EFilterMapper {
+            store,
+            config: *config,
+        },
+        &ListReducer,
+    )?;
+    let lists: BTreeMap<Eid, ScenarioList> = e_result.output.into_iter().collect();
+    let e_stage = e_start.elapsed();
+
+    // V stage: per-EID V-identification, one EID per mapper. The video
+    // store deduplicates extraction of incidentally shared scenarios.
+    let v_start = Instant::now();
+    let v_inputs: Vec<(Eid, ScenarioList)> =
+        lists.iter().map(|(&e, l)| (e, l.clone())).collect();
+    let v_result = engine.run(
+        v_inputs,
+        &VIdentifyMapper {
+            video,
+            config: *config,
+        },
+        &OutcomeReducer,
+    )?;
+    let mut outcomes = v_result.output;
+    outcomes.sort_by_key(|o| o.eid);
+    let v_stage = v_start.elapsed();
+
+    let selected = lists.values().flat_map(|l| l.iter().copied()).collect();
+    Ok(MatchReport {
+        outcomes,
+        lists,
+        selected_scenarios: selected,
+        timings: StageTimings { e_stage, v_stage },
+        rounds: 1,
+    })
+}
+
+/// Builds a default engine for [`match_edp_parallel`] whose split size is
+/// one — each mapper gets exactly one EID, as the paper specifies.
+#[must_use]
+pub fn edp_engine(mut cluster: ClusterConfig) -> MapReduce {
+    cluster.split_size = 1;
+    MapReduce::new(cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::feature::FeatureVector;
+    use ev_core::region::CellId;
+    use ev_core::scenario::{Detection, EScenario, VScenario, ZoneAttr};
+    use ev_core::time::Timestamp;
+    use ev_core::Vid;
+    use ev_vision::cost::CostModel;
+
+    /// A tiny world: persons 0..4, person i's feature = one-hot-ish.
+    /// Scenario layout (time, cell, inhabitants):
+    ///   t0 c0: {0, 1}   t0 c1: {2, 3}
+    ///   t1 c0: {0, 2}   t1 c1: {1, 3}
+    ///   t2 c0: {0, 3}   t2 c1: {1, 2}
+    fn world() -> (EScenarioStore, VideoStore) {
+        let layout: Vec<(u64, usize, Vec<u64>)> = vec![
+            (0, 0, vec![0, 1]),
+            (0, 1, vec![2, 3]),
+            (1, 0, vec![0, 2]),
+            (1, 1, vec![1, 3]),
+            (2, 0, vec![0, 3]),
+            (2, 1, vec![1, 2]),
+        ];
+        let mut escenarios = Vec::new();
+        let mut vscenarios = Vec::new();
+        for (t, c, people) in &layout {
+            let mut e = EScenario::new(CellId::new(*c), Timestamp::new(*t));
+            let mut v = VScenario::new(CellId::new(*c), Timestamp::new(*t));
+            for &p in people {
+                e.insert(Eid::from_u64(p), ZoneAttr::Inclusive);
+                let mut f = vec![0.1; 4];
+                f[p as usize] = 0.9;
+                v.push(Detection {
+                    vid: Vid::new(p),
+                    feature: FeatureVector::new(f).unwrap(),
+                });
+            }
+            escenarios.push(e);
+            vscenarios.push(v);
+        }
+        (
+            EScenarioStore::from_scenarios(escenarios),
+            VideoStore::new(vscenarios, CostModel::free()),
+        )
+    }
+
+    #[test]
+    fn efilter_isolates_the_target() {
+        let (store, _) = world();
+        let list = efilter_one(&store, Eid::from_u64(0), &EdpConfig::default());
+        // t0c0 {0,1} ∩ t1c0 {0,2} = {0}: two scenarios suffice.
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn efilter_cap_is_respected() {
+        let (store, _) = world();
+        let cfg = EdpConfig {
+            max_scenarios_per_eid: Some(1),
+            ..EdpConfig::default()
+        };
+        let list = efilter_one(&store, Eid::from_u64(0), &cfg);
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn efilter_of_unknown_eid_is_empty() {
+        let (store, _) = world();
+        let list = efilter_one(&store, Eid::from_u64(99), &EdpConfig::default());
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn edp_matches_everyone_in_the_clean_world() {
+        let (store, video) = world();
+        let targets: BTreeSet<Eid> = (0..4).map(Eid::from_u64).collect();
+        let report = match_edp(&store, &video, &targets, &EdpConfig::default());
+        assert_eq!(report.outcomes.len(), 4);
+        for o in &report.outcomes {
+            assert_eq!(
+                o.vid.map(Vid::as_u64),
+                Some(o.eid.as_u64()),
+                "person i's EID must match VID i"
+            );
+            assert!(o.is_majority());
+        }
+        assert!(report.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn edp_does_not_share_scenarios_deliberately() {
+        let (store, _) = world();
+        let cfg = EdpConfig::default();
+        // Each of the 4 EIDs picks ~2 scenarios starting from its own
+        // chronological scan; unioned they cover most of the pool.
+        let total: BTreeSet<ScenarioId> = (0..4)
+            .flat_map(|e| efilter_one(&store, Eid::from_u64(e), &cfg))
+            .collect();
+        assert!(total.len() >= 4, "little overlap: {}", total.len());
+    }
+
+    #[test]
+    fn parallel_edp_agrees_with_sequential() {
+        let (store, video) = world();
+        let targets: BTreeSet<Eid> = (0..4).map(Eid::from_u64).collect();
+        let sequential = match_edp(&store, &video, &targets, &EdpConfig::default());
+        let engine = edp_engine(ClusterConfig::default());
+        let parallel =
+            match_edp_parallel(&engine, &store, &video, &targets, &EdpConfig::default())
+                .unwrap();
+        assert_eq!(sequential.outcomes, parallel.outcomes);
+        assert_eq!(sequential.lists, parallel.lists);
+        assert_eq!(
+            sequential.selected_scenarios,
+            parallel.selected_scenarios
+        );
+    }
+
+    #[test]
+    fn edp_engine_uses_one_eid_per_mapper() {
+        let engine = edp_engine(ClusterConfig::paper_cluster());
+        assert_eq!(engine.config().split_size, 1);
+        assert_eq!(engine.config().workers, 14);
+    }
+}

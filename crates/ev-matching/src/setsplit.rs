@@ -1,0 +1,600 @@
+//! EID set splitting for the ideal setting (paper Algorithm 1).
+//!
+//! Starting from the trivial partition `{Ueid}`, E-Scenarios are selected
+//! one batch at a time and applied as splitters
+//! ([`EidPartition::split_by`]); *effective* scenarios (those that change
+//! the partition) are recorded. The loop ends when every requested EID is
+//! alone in its block or the scenario pool is exhausted.
+//!
+//! The scenario list attached to each EID — the input to VID filtering —
+//! is the set of recorded scenarios that *contain* the EID. An EID whose
+//! blocks were always carved off by absence can end with an empty list;
+//! such EIDs get an *anchor* scenario (any scenario containing them) so
+//! the V stage has footage to look at.
+
+use crate::types::ScenarioList;
+use ev_core::ids::Eid;
+use ev_core::partition::EidPartition;
+use ev_core::scenario::{EScenario, ScenarioId};
+use ev_store::EScenarioStore;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How the splitting loop picks the next scenarios to try.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// Pick a random timestamp and process every scenario snapshotted
+    /// there, repeating with the remaining timestamps — the strategy of
+    /// the parallel Algorithm 3's preprocess step.
+    RandomTime {
+        /// RNG seed for the timestamp draws.
+        seed: u64,
+    },
+    /// Process scenarios in (time, cell) order.
+    Chronological,
+    /// At every step scan the unused scenarios and apply the one with the
+    /// highest split gain (sum over blocks of `min(|A∩C|, |A\C|)`).
+    /// Quadratic — intended for the selection-order ablation only.
+    GreedyBalanced,
+}
+
+/// Configuration of a set-splitting run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetSplitConfig {
+    /// Scenario selection order.
+    pub strategy: SelectionStrategy,
+    /// Hard cap on examined scenarios (`None` = no cap).
+    pub max_scenarios: Option<usize>,
+    /// Pad every EID's scenario list up to this length with additional
+    /// scenarios containing it. Splitting alone can leave very short
+    /// lists — fine for *distinguishing within the matched cohort* but
+    /// fragile for the V-stage majority vote, where an unmatched
+    /// bystander sharing both of a two-scenario list ties it. This is why
+    /// the paper's SS uses "about one more scenario for each EID than
+    /// EDP" (Fig. 7).
+    pub min_list_len: usize,
+}
+
+impl Default for SetSplitConfig {
+    fn default() -> Self {
+        SetSplitConfig {
+            strategy: SelectionStrategy::RandomTime { seed: 0 },
+            max_scenarios: None,
+            min_list_len: 3,
+        }
+    }
+}
+
+/// The result of EID set splitting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitOutput {
+    /// Effective scenarios, in the order they were recorded.
+    pub recorded: Vec<ScenarioId>,
+    /// Per-EID scenario lists (recorded scenarios containing the EID,
+    /// plus an anchor when that set came out empty).
+    pub lists: BTreeMap<Eid, ScenarioList>,
+    /// The final partition (fully split unless the pool ran dry).
+    pub partition: EidPartition,
+    /// Scenarios examined, effective or not.
+    pub scenarios_examined: usize,
+}
+
+impl SplitOutput {
+    /// Whether every requested EID was distinguished.
+    #[must_use]
+    pub fn fully_split(&self) -> bool {
+        self.partition.is_fully_split()
+    }
+
+    /// Every distinct scenario the V stage will have to process (recorded
+    /// splitters plus anchors) — the paper's "number of selected
+    /// scenarios".
+    #[must_use]
+    pub fn selected(&self) -> BTreeSet<ScenarioId> {
+        let mut set: BTreeSet<ScenarioId> = self.recorded.iter().copied().collect();
+        for list in self.lists.values() {
+            set.extend(list.iter().copied());
+        }
+        set
+    }
+}
+
+/// Runs ideal-setting EID set splitting over `store` for the requested
+/// `targets`.
+///
+/// EIDs in `targets` that never appear in any scenario simply remain
+/// grouped (they cannot be distinguished or matched); their lists come out
+/// empty.
+#[must_use]
+pub fn split_ideal(
+    store: &EScenarioStore,
+    targets: &BTreeSet<Eid>,
+    config: &SetSplitConfig,
+) -> SplitOutput {
+    let mut partition = EidPartition::new(targets.iter().copied());
+    let mut recorded: Vec<ScenarioId> = Vec::new();
+    let mut lists: BTreeMap<Eid, ScenarioList> =
+        targets.iter().map(|&e| (e, Vec::new())).collect();
+    let mut examined = 0usize;
+    let cap = config.max_scenarios.unwrap_or(usize::MAX);
+
+    let apply = |scenario: &EScenario,
+                     partition: &mut EidPartition,
+                     recorded: &mut Vec<ScenarioId>,
+                     lists: &mut BTreeMap<Eid, ScenarioList>| {
+        let c: BTreeSet<Eid> = scenario.eids().filter(|e| targets.contains(e)).collect();
+        if c.is_empty() {
+            return;
+        }
+        if partition.split_by(&c).effective {
+            recorded.push(scenario.id());
+            for eid in c {
+                if let Some(list) = lists.get_mut(&eid) {
+                    list.push(scenario.id());
+                }
+            }
+        }
+    };
+
+    match config.strategy {
+        SelectionStrategy::Chronological => {
+            for scenario in store.iter() {
+                if partition.is_fully_split() || examined >= cap {
+                    break;
+                }
+                examined += 1;
+                apply(scenario, &mut partition, &mut recorded, &mut lists);
+            }
+        }
+        SelectionStrategy::RandomTime { seed } => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut times: Vec<_> = store.times().collect();
+            times.shuffle(&mut rng);
+            'outer: for t in times {
+                for scenario in store.at_time(t) {
+                    if partition.is_fully_split() || examined >= cap {
+                        break 'outer;
+                    }
+                    examined += 1;
+                    apply(scenario, &mut partition, &mut recorded, &mut lists);
+                }
+            }
+        }
+        SelectionStrategy::GreedyBalanced => {
+            let mut used: BTreeSet<ScenarioId> = BTreeSet::new();
+            while !partition.is_fully_split() && examined < cap {
+                // Find the unused scenario with the best split gain.
+                let mut best: Option<(u64, ScenarioId)> = None;
+                for scenario in store.iter() {
+                    if used.contains(&scenario.id()) {
+                        continue;
+                    }
+                    let c: BTreeSet<Eid> =
+                        scenario.eids().filter(|e| targets.contains(e)).collect();
+                    if c.is_empty() {
+                        continue;
+                    }
+                    let gain = split_gain(&partition, &c);
+                    if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
+                        best = Some((gain, scenario.id()));
+                    }
+                }
+                let Some((_, id)) = best else {
+                    break; // no scenario can improve the partition
+                };
+                used.insert(id);
+                examined += 1;
+                if let Some(scenario) = store.get(id) {
+                    apply(scenario, &mut partition, &mut recorded, &mut lists);
+                }
+            }
+        }
+    }
+
+    attach_anchors(store, &mut lists);
+    let seed = match config.strategy {
+        SelectionStrategy::RandomTime { seed } => seed,
+        _ => 0,
+    };
+    extend_lists(store, &mut lists, config.min_list_len, seed, false);
+    ensure_unique_against_universe(store, &mut lists, seed, false);
+    SplitOutput {
+        recorded,
+        lists,
+        partition,
+        scenarios_examined: examined,
+    }
+}
+
+/// Ensures each EID's list is *discriminating against the full EID
+/// universe*: no other device-carrying person may co-occur in every
+/// scenario of the list, otherwise that person's VID is a perfect
+/// "shadow" that VID filtering cannot tell from the right one. Set
+/// splitting alone only separates the *requested* EIDs from each other;
+/// this pass extends lists (preferring scenarios already selected for
+/// someone else) until the co-presence intersection over **all** EIDs is
+/// the singleton `{eid}` — the same guarantee EDP's E-filtering gives —
+/// or the pool runs dry. Pure E-stage work: no footage is touched.
+pub(crate) fn ensure_unique_against_universe(
+    store: &EScenarioStore,
+    lists: &mut BTreeMap<Eid, ScenarioList>,
+    seed: u64,
+    inclusive_only: bool,
+) {
+    let mut selected: BTreeSet<ScenarioId> =
+        lists.values().flat_map(|l| l.iter().copied()).collect();
+    let eids: Vec<Eid> = lists.keys().copied().collect();
+    for eid in eids {
+        let list = lists.get_mut(&eid).expect("key from iteration");
+        // Current co-presence intersection over the full universe.
+        let mut common: Option<BTreeSet<Eid>> = None;
+        for id in list.iter() {
+            if let Some(s) = store.get(*id) {
+                let eids: BTreeSet<Eid> = s.eids().collect();
+                common = Some(match common {
+                    None => eids,
+                    Some(c) => c.intersection(&eids).copied().collect(),
+                });
+            }
+        }
+        let mut common = match common {
+            Some(c) if c.len() > 1 => c,
+            _ => continue, // already unique (or no usable footage at all)
+        };
+        let (mut reusable, mut fresh): (Vec<&EScenario>, Vec<&EScenario>) = store
+            .containing(eid)
+            .filter(|s| !inclusive_only || s.contains_inclusive(eid))
+            .filter(|s| !list.contains(&s.id()))
+            .partition(|s| selected.contains(&s.id()));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ eid.as_u64().wrapping_mul(0x2545f4914f6cdd1d));
+        reusable.shuffle(&mut rng);
+        fresh.shuffle(&mut rng);
+        for scenario in reusable.into_iter().chain(fresh) {
+            if common.len() <= 1 {
+                break;
+            }
+            let eids: BTreeSet<Eid> = scenario.eids().collect();
+            let next: BTreeSet<Eid> = common.intersection(&eids).copied().collect();
+            if next.len() < common.len() {
+                list.push(scenario.id());
+                selected.insert(scenario.id());
+                common = next;
+            }
+        }
+    }
+}
+
+/// Pads short scenario lists up to `min_len` with extra scenarios
+/// containing each EID (inclusively, when `inclusive_only`), drawn in a
+/// seeded random order so consecutive windows of the same dwell do not
+/// dominate.
+pub(crate) fn extend_lists(
+    store: &EScenarioStore,
+    lists: &mut BTreeMap<Eid, ScenarioList>,
+    min_len: usize,
+    seed: u64,
+    inclusive_only: bool,
+) {
+    // Scenarios already selected for anyone: padding prefers these, so
+    // one padded scenario serves several EIDs — the same reuse that makes
+    // set splitting beat per-EID selection in the first place.
+    let mut selected: BTreeSet<ScenarioId> =
+        lists.values().flat_map(|l| l.iter().copied()).collect();
+    for (&eid, list) in lists.iter_mut() {
+        if list.len() >= min_len {
+            continue;
+        }
+        let (mut reusable, mut fresh): (Vec<ScenarioId>, Vec<ScenarioId>) = store
+            .containing(eid)
+            .filter(|s| !inclusive_only || s.contains_inclusive(eid))
+            .map(EScenario::id)
+            .filter(|id| !list.contains(id))
+            .partition(|id| selected.contains(id));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ eid.as_u64().wrapping_mul(0x9e3779b97f4a7c15));
+        reusable.shuffle(&mut rng);
+        fresh.shuffle(&mut rng);
+        let added: Vec<ScenarioId> = reusable
+            .into_iter()
+            .chain(fresh)
+            .take(min_len - list.len())
+            .collect();
+        selected.extend(added.iter().copied());
+        list.extend(added);
+    }
+}
+
+/// Sum over blocks of `min(|A ∩ C|, |A \ C|)` — how much discriminating
+/// work the scenario would do.
+fn split_gain(partition: &EidPartition, c: &BTreeSet<Eid>) -> u64 {
+    let mut gain = 0u64;
+    for block in partition.blocks() {
+        if block.len() < 2 {
+            continue;
+        }
+        let inside = block.intersection(c).count();
+        gain += inside.min(block.len() - inside) as u64;
+    }
+    gain
+}
+
+/// Gives every empty-listed EID one anchor scenario (the first scenario in
+/// store order containing it) so VID filtering has footage to inspect.
+pub(crate) fn attach_anchors(store: &EScenarioStore, lists: &mut BTreeMap<Eid, ScenarioList>) {
+    let empties: Vec<Eid> = lists
+        .iter()
+        .filter(|(_, l)| l.is_empty())
+        .map(|(&e, _)| e)
+        .collect();
+    if empties.is_empty() {
+        return;
+    }
+    let mut pending: BTreeSet<Eid> = empties.into_iter().collect();
+    for scenario in store.iter() {
+        if pending.is_empty() {
+            break;
+        }
+        let found: Vec<Eid> = scenario
+            .eids()
+            .filter(|e| pending.contains(e))
+            .collect();
+        for eid in found {
+            pending.remove(&eid);
+            if let Some(list) = lists.get_mut(&eid) {
+                list.push(scenario.id());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::region::CellId;
+    use ev_core::scenario::ZoneAttr;
+    use ev_core::time::Timestamp;
+
+    fn scenario(cell: usize, time: u64, eids: &[u64]) -> EScenario {
+        let mut s = EScenario::new(CellId::new(cell), Timestamp::new(time));
+        for &e in eids {
+            s.insert(Eid::from_u64(e), ZoneAttr::Inclusive);
+        }
+        s
+    }
+
+    fn targets(raw: impl IntoIterator<Item = u64>) -> BTreeSet<Eid> {
+        raw.into_iter().map(Eid::from_u64).collect()
+    }
+
+    /// Four EIDs, binary-code scenarios: bit scenarios distinguish all.
+    fn binary_store() -> EScenarioStore {
+        EScenarioStore::from_scenarios(vec![
+            scenario(0, 0, &[2, 3]), // high bit
+            scenario(1, 1, &[1, 3]), // low bit
+            scenario(2, 2, &[0, 1, 2, 3]),
+        ])
+    }
+
+    #[test]
+    fn chronological_split_distinguishes_all() {
+        let store = binary_store();
+        let out = split_ideal(
+            &store,
+            &targets(0..4),
+            &SetSplitConfig {
+                strategy: SelectionStrategy::Chronological,
+                max_scenarios: None,
+                min_list_len: 0,
+            },
+        );
+        assert!(out.fully_split());
+        assert_eq!(out.recorded.len(), 2, "the all-EIDs scenario is skipped");
+        assert_eq!(
+            out.scenarios_examined, 2,
+            "fully split after two scenarios; the third is never touched"
+        );
+        // EID 3 appears in both recorded scenarios.
+        assert_eq!(out.lists[&Eid::from_u64(3)].len(), 2);
+        // EID 0 appears in neither -> it gets an anchor.
+        assert_eq!(out.lists[&Eid::from_u64(0)].len(), 1);
+        let anchor = out.lists[&Eid::from_u64(0)][0];
+        assert_eq!(anchor.cell, CellId::new(2), "only scenario containing 0");
+    }
+
+    #[test]
+    fn selected_includes_anchors() {
+        let store = binary_store();
+        let out = split_ideal(&store, &targets(0..4), &SetSplitConfig::default());
+        let selected = out.selected();
+        for list in out.lists.values() {
+            for id in list {
+                assert!(selected.contains(id));
+            }
+        }
+        assert!(selected.len() >= out.recorded.len());
+    }
+
+    #[test]
+    fn random_time_strategy_is_deterministic_per_seed() {
+        let store = binary_store();
+        let cfg = |seed| SetSplitConfig {
+            strategy: SelectionStrategy::RandomTime { seed },
+            max_scenarios: None,
+            min_list_len: 0,
+        };
+        let a = split_ideal(&store, &targets(0..4), &cfg(1));
+        let b = split_ideal(&store, &targets(0..4), &cfg(1));
+        assert_eq!(a.recorded, b.recorded);
+        assert!(a.fully_split());
+    }
+
+    #[test]
+    fn greedy_prefers_balanced_splits() {
+        // A lopsided scenario {0} vs a balanced one {0,1}: greedy must
+        // take the balanced one first for 4 EIDs.
+        let store = EScenarioStore::from_scenarios(vec![
+            scenario(0, 0, &[0]),
+            scenario(1, 1, &[0, 1]),
+            scenario(2, 2, &[1, 2]),
+        ]);
+        let out = split_ideal(
+            &store,
+            &targets(0..4),
+            &SetSplitConfig {
+                strategy: SelectionStrategy::GreedyBalanced,
+                max_scenarios: None,
+                min_list_len: 0,
+            },
+        );
+        assert_eq!(
+            out.recorded[0],
+            ScenarioId::new(Timestamp::new(1), CellId::new(1)),
+            "balanced splitter goes first"
+        );
+    }
+
+    #[test]
+    fn unsplittable_universe_stops_gracefully() {
+        // EIDs 5 and 6 always co-occur: no scenario can separate them.
+        let store = EScenarioStore::from_scenarios(vec![
+            scenario(0, 0, &[5, 6]),
+            scenario(1, 1, &[5, 6, 7]),
+        ]);
+        let out = split_ideal(&store, &targets([5, 6, 7]), &SetSplitConfig::default());
+        assert!(!out.fully_split());
+        assert!(out.partition.is_distinguished(Eid::from_u64(7)));
+        assert!(!out.partition.is_distinguished(Eid::from_u64(5)));
+    }
+
+    #[test]
+    fn eid_absent_from_all_scenarios_keeps_empty_list() {
+        let store = binary_store();
+        let out = split_ideal(&store, &targets([0, 1, 99]), &SetSplitConfig::default());
+        assert!(out.lists[&Eid::from_u64(99)].is_empty(), "no anchor exists");
+    }
+
+    #[test]
+    fn max_scenarios_caps_work() {
+        let store = binary_store();
+        let out = split_ideal(
+            &store,
+            &targets(0..4),
+            &SetSplitConfig {
+                strategy: SelectionStrategy::Chronological,
+                max_scenarios: Some(1),
+                min_list_len: 0,
+            },
+        );
+        assert_eq!(out.scenarios_examined, 1);
+        assert!(!out.fully_split());
+    }
+
+    #[test]
+    fn effectiveness_bound_of_theorem_4_2_holds() {
+        // Against any store, the number of recorded scenarios is at most
+        // n - 1 for n targets (each effective scenario adds >= 1 block).
+        let scenarios: Vec<EScenario> = (0..40)
+            .map(|i| {
+                scenario(
+                    i % 5,
+                    i as u64,
+                    &[(i as u64) % 7, (i as u64) % 11, (i as u64) % 13],
+                )
+            })
+            .collect();
+        let store = EScenarioStore::from_scenarios(scenarios);
+        let n = 13;
+        let out = split_ideal(&store, &targets(0..n), &SetSplitConfig::default());
+        assert!(
+            out.recorded.len() < (n as usize),
+            "{} recorded for n={n}",
+            out.recorded.len()
+        );
+    }
+
+    #[test]
+    fn scenario_reuse_one_scenario_serves_many_eids() {
+        // One big scenario containing half the universe serves as one
+        // splitter for all 4 of its EIDs at once.
+        let store = EScenarioStore::from_scenarios(vec![
+            scenario(0, 0, &[0, 1, 2, 3]),
+            scenario(1, 1, &[0, 1]),
+            scenario(2, 2, &[0, 2]),
+            scenario(3, 3, &[4, 5]),
+            scenario(4, 4, &[4, 6]),
+        ]);
+        let out = split_ideal(
+            &store,
+            &targets(0..8),
+            &SetSplitConfig {
+                strategy: SelectionStrategy::Chronological,
+                max_scenarios: None,
+                min_list_len: 0,
+            },
+        );
+        assert!(out.fully_split());
+        // 5 recorded scenarios distinguish 8 EIDs: 0..3 from 4..7, then
+        // pairwise.
+        assert_eq!(out.recorded.len(), 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use ev_core::region::CellId;
+    use ev_core::scenario::ZoneAttr;
+    use ev_core::time::Timestamp;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For arbitrary scenario pools, the recorded count respects the
+        /// Theorem 4.2 upper bound and the partition matches signature
+        /// classes over the *recorded* scenarios only.
+        #[test]
+        fn recorded_scenarios_respect_upper_bound(
+            pool in prop::collection::vec(
+                prop::collection::btree_set(0u64..12, 0..8),
+                1..25,
+            ),
+        ) {
+            let scenarios: Vec<EScenario> = pool
+                .iter()
+                .enumerate()
+                .map(|(i, eids)| {
+                    let mut s = EScenario::new(
+                        CellId::new(i % 4),
+                        Timestamp::new(i as u64),
+                    );
+                    for &e in eids {
+                        s.insert(Eid::from_u64(e), ZoneAttr::Inclusive);
+                    }
+                    s
+                })
+                .collect();
+            let store = EScenarioStore::from_scenarios(scenarios);
+            let targets: BTreeSet<Eid> = (0..12).map(Eid::from_u64).collect();
+            let out = split_ideal(&store, &targets, &SetSplitConfig::default());
+            prop_assert!(out.recorded.len() < targets.len());
+            prop_assert!(out.partition.check_invariants());
+            // Recorded scenarios reproduce the partition from scratch.
+            let mut replay = ev_core::partition::EidPartition::new(
+                targets.iter().copied(),
+            );
+            for id in &out.recorded {
+                let c: BTreeSet<Eid> = store
+                    .get(*id)
+                    .unwrap()
+                    .eids()
+                    .filter(|e| targets.contains(e))
+                    .collect();
+                replay.split_by(&c);
+            }
+            prop_assert_eq!(replay.block_count(), out.partition.block_count());
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! VID filtering: the V stage (paper §IV-B2).
+//!
+//! For each EID, the V-Scenarios corresponding to its selected E-Scenario
+//! list are extracted (through the [`VideoStore`], which charges the
+//! vision cost model and caches reused scenarios). Every VID observed in
+//! those scenarios is a candidate; a candidate's score is the joint
+//! membership probability `Π_S P(VID ∈ S)` with
+//! `P(VID ∈ S) = max_i sim(VID, VID_i)` (paper Eq. 1 and §IV-B2). In
+//! every scenario the highest-scoring present candidate is *chosen*; the
+//! matched VID is the majority of those per-scenario choices — exactly
+//! the accuracy criterion of paper §VI-B.
+//!
+//! Already-matched VIDs can be *excluded* from later candidacies ("VIDs
+//! that have been already matched may help distinguishing those remain
+//! unmatched", §IV-A); EIDs are processed longest-list-first so the most
+//! constrained matches land before they are needed for exclusion.
+
+use crate::types::{MatchOutcome, ScenarioList};
+use ev_core::feature::{FeatureVector, Metric};
+use ev_core::ids::{Eid, Vid};
+use ev_core::scenario::VScenario;
+use ev_store::VideoStore;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Configuration of the VID filtering stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VFilterConfig {
+    /// Feature distance metric behind `sim`.
+    pub metric: Metric,
+    /// Rule already-matched VIDs out of later candidacies.
+    pub exclusion: bool,
+    /// Minimum winner margin for a match to count as confident (see
+    /// [`MatchOutcome::is_confident`]).
+    pub min_margin: f64,
+}
+
+impl Default for VFilterConfig {
+    fn default() -> Self {
+        VFilterConfig {
+            metric: Metric::NormalizedL2,
+            exclusion: true,
+            min_margin: 0.01,
+        }
+    }
+}
+
+/// Filters the VID for a single EID against its scenario list, treating
+/// `excluded` VIDs as already matched to someone else.
+#[must_use]
+pub fn filter_one(
+    eid: Eid,
+    list: &ScenarioList,
+    video: &VideoStore,
+    config: &VFilterConfig,
+    excluded: &BTreeSet<Vid>,
+) -> MatchOutcome {
+    let scenarios: Vec<Arc<VScenario>> =
+        list.iter().filter_map(|&id| video.extract(id)).collect();
+    if scenarios.is_empty() {
+        return MatchOutcome::unmatched(eid);
+    }
+
+    // Build each candidate's appearance model: the mean of its observed
+    // features across the list (re-identification links the detections).
+    let mut observations: BTreeMap<Vid, Vec<&FeatureVector>> = BTreeMap::new();
+    let mut presence: BTreeMap<Vid, usize> = BTreeMap::new();
+    for s in &scenarios {
+        let mut seen: BTreeSet<Vid> = BTreeSet::new();
+        for d in s.detections() {
+            if !excluded.contains(&d.vid) {
+                observations.entry(d.vid).or_default().push(&d.feature);
+                if seen.insert(d.vid) {
+                    *presence.entry(d.vid).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    // Candidate pruning (lossless for the final match): the matched VID
+    // must win a strict majority of per-scenario votes, and a VID can
+    // only be voted where it is present — so anyone present in fewer
+    // than half the scenarios can never be the match. At high densities
+    // this cuts the candidate set from "everyone in the neighbourhood"
+    // to the handful sharing most of the EID's trajectory.
+    let quorum = scenarios.len().div_ceil(2);
+    observations.retain(|vid, _| presence.get(vid).copied().unwrap_or(0) >= quorum);
+    if observations.is_empty() {
+        return MatchOutcome::unmatched(eid);
+    }
+    let representatives: BTreeMap<Vid, FeatureVector> = observations
+        .into_iter()
+        .map(|(vid, obs)| (vid, mean_feature(&obs)))
+        .collect();
+
+    // Joint membership probability per candidate (paper §IV-B2).
+    let mut joint: BTreeMap<Vid, f64> = BTreeMap::new();
+    for (&vid, rep) in &representatives {
+        let mut p = 1.0;
+        for s in &scenarios {
+            // One charged comparison per (candidate, scenario): matching
+            // a candidate's appearance model against a scenario's gallery
+            // is one nearest-neighbour query in a real pipeline.
+            video.charge_comparison();
+            p *= ev_vision::reid::membership_probability(rep, s, config.metric)
+                .unwrap_or(0.0);
+        }
+        joint.insert(vid, p);
+    }
+
+    // Per-scenario choice: the present candidate with the largest joint
+    // probability.
+    let mut votes: Vec<Vid> = Vec::new();
+    for s in &scenarios {
+        let choice = s
+            .vids()
+            .filter(|v| representatives.contains_key(v))
+            .max_by(|a, b| {
+                joint[a]
+                    .partial_cmp(&joint[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(a)) // deterministic tie-break: lower VID
+            });
+        if let Some(v) = choice {
+            votes.push(v);
+        }
+    }
+    if votes.is_empty() {
+        return MatchOutcome::unmatched(eid);
+    }
+
+    // Majority of the per-scenario choices.
+    let mut counts: BTreeMap<Vid, usize> = BTreeMap::new();
+    for &v in &votes {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let (&winner, &count) = counts
+        .iter()
+        .max_by_key(|(vid, &c)| (c, std::cmp::Reverse(**vid)))
+        .expect("votes is non-empty");
+    let runner_up = joint
+        .iter()
+        .filter(|(&v, _)| v != winner)
+        .map(|(_, &p)| p)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let margin = if runner_up.is_finite() {
+        joint[&winner] - runner_up
+    } else {
+        1.0
+    };
+    MatchOutcome {
+        eid,
+        vid: Some(winner),
+        vote_share: count as f64 / votes.len() as f64,
+        confidence: joint[&winner],
+        margin,
+        votes,
+    }
+}
+
+/// Filters VIDs for every EID in `lists`, longest list first, excluding
+/// majority-matched VIDs from subsequent candidacies when
+/// [`VFilterConfig::exclusion`] is on. Outcomes are returned in EID
+/// order.
+#[must_use]
+pub fn filter_vids(
+    lists: &BTreeMap<Eid, ScenarioList>,
+    video: &VideoStore,
+    config: &VFilterConfig,
+) -> Vec<MatchOutcome> {
+    let mut order: Vec<(&Eid, &ScenarioList)> = lists.iter().collect();
+    order.sort_by_key(|(eid, list)| (std::cmp::Reverse(list.len()), **eid));
+
+    let mut excluded: BTreeSet<Vid> = BTreeSet::new();
+    let mut outcomes: Vec<MatchOutcome> = Vec::with_capacity(lists.len());
+    for (&eid, list) in order {
+        let outcome = filter_one(eid, list, video, config, &excluded);
+        if config.exclusion && outcome.is_majority() {
+            if let Some(vid) = outcome.vid {
+                excluded.insert(vid);
+            }
+        }
+        outcomes.push(outcome);
+    }
+    outcomes.sort_by_key(|o| o.eid);
+    outcomes
+}
+
+/// Component-wise mean of a non-empty set of observations.
+fn mean_feature(observations: &[&FeatureVector]) -> FeatureVector {
+    let dim = observations[0].dim();
+    let mut sums = vec![0.0; dim];
+    let mut n: f64 = 0.0;
+    for obs in observations {
+        if obs.dim() != dim {
+            continue; // ignore malformed observations
+        }
+        for (s, &c) in sums.iter_mut().zip(obs.components()) {
+            *s += c;
+        }
+        n += 1.0;
+    }
+    FeatureVector::from_clamped(sums.into_iter().map(|s| s / n.max(1.0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::region::CellId;
+    use ev_core::scenario::{Detection, ScenarioId};
+    use ev_core::time::Timestamp;
+    use ev_vision::cost::CostModel;
+
+    fn fv(v: &[f64]) -> FeatureVector {
+        FeatureVector::new(v.to_vec()).unwrap()
+    }
+
+    fn vscenario(cell: usize, time: u64, people: &[(u64, &[f64])]) -> VScenario {
+        let mut s = VScenario::new(CellId::new(cell), Timestamp::new(time));
+        for &(vid, f) in people {
+            s.push(Detection {
+                vid: Vid::new(vid),
+                feature: fv(f),
+            });
+        }
+        s
+    }
+
+    fn sid(cell: usize, time: u64) -> ScenarioId {
+        ScenarioId::new(Timestamp::new(time), CellId::new(cell))
+    }
+
+    /// Person 1 has feature ~(0.9, 0.9); person 2 ~(0.1, 0.1);
+    /// person 3 ~(0.9, 0.1).
+    fn video() -> VideoStore {
+        VideoStore::new(
+            vec![
+                vscenario(0, 0, &[(1, &[0.9, 0.9]), (2, &[0.1, 0.1])]),
+                vscenario(1, 1, &[(1, &[0.88, 0.92]), (3, &[0.9, 0.1])]),
+                vscenario(2, 2, &[(1, &[0.91, 0.89])]),
+                vscenario(3, 3, &[(2, &[0.12, 0.1]), (3, &[0.88, 0.12])]),
+            ],
+            CostModel::free(),
+        )
+    }
+
+    #[test]
+    fn the_common_vid_wins() {
+        let video = video();
+        // EID X's list: scenarios 0, 1, 2 — only VID 1 appears in all.
+        let list = vec![sid(0, 0), sid(1, 1), sid(2, 2)];
+        let out = filter_one(
+            Eid::from_u64(7),
+            &list,
+            &video,
+            &VFilterConfig::default(),
+            &BTreeSet::new(),
+        );
+        assert_eq!(out.vid, Some(Vid::new(1)));
+        assert!(out.is_majority());
+        assert_eq!(out.votes.len(), 3);
+        assert!(out.vote_share >= 0.99);
+        assert!(out.confidence > 0.8);
+    }
+
+    #[test]
+    fn empty_list_is_unmatched() {
+        let video = video();
+        let out = filter_one(
+            Eid::from_u64(7),
+            &vec![],
+            &video,
+            &VFilterConfig::default(),
+            &BTreeSet::new(),
+        );
+        assert!(out.vid.is_none());
+    }
+
+    #[test]
+    fn unknown_scenarios_are_skipped() {
+        let video = video();
+        let out = filter_one(
+            Eid::from_u64(7),
+            &vec![sid(9, 9), sid(0, 0)],
+            &video,
+            &VFilterConfig::default(),
+            &BTreeSet::new(),
+        );
+        // Only scenario (0,0) exists; its best candidate still wins.
+        assert!(out.vid.is_some());
+        assert_eq!(out.votes.len(), 1);
+    }
+
+    #[test]
+    fn exclusion_rules_out_matched_vids() {
+        let video = video();
+        let list = vec![sid(0, 0)];
+        let mut excluded = BTreeSet::new();
+        excluded.insert(Vid::new(1));
+        let out = filter_one(
+            Eid::from_u64(7),
+            &list,
+            &video,
+            &VFilterConfig::default(),
+            &excluded,
+        );
+        assert_eq!(out.vid, Some(Vid::new(2)), "VID 1 is spoken for");
+        // Excluding everyone leaves no candidates.
+        excluded.insert(Vid::new(2));
+        let out = filter_one(
+            Eid::from_u64(7),
+            &list,
+            &video,
+            &VFilterConfig::default(),
+            &excluded,
+        );
+        assert!(out.vid.is_none());
+    }
+
+    #[test]
+    fn filter_vids_processes_longest_lists_first() {
+        let video = video();
+        // EID 10's long list pins VID 1; EID 20's short list would also
+        // prefer VID 1 but exclusion forces VID 2.
+        let mut lists = BTreeMap::new();
+        lists.insert(Eid::from_u64(10), vec![sid(0, 0), sid(1, 1), sid(2, 2)]);
+        lists.insert(Eid::from_u64(20), vec![sid(0, 0)]);
+        let outcomes = filter_vids(&lists, &video, &VFilterConfig::default());
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].eid, Eid::from_u64(10), "sorted by EID");
+        assert_eq!(outcomes[0].vid, Some(Vid::new(1)));
+        assert_eq!(outcomes[1].vid, Some(Vid::new(2)));
+    }
+
+    #[test]
+    fn without_exclusion_both_take_the_best_vid() {
+        let video = video();
+        let mut lists = BTreeMap::new();
+        lists.insert(Eid::from_u64(10), vec![sid(0, 0), sid(1, 1), sid(2, 2)]);
+        lists.insert(Eid::from_u64(20), vec![sid(0, 0)]);
+        let cfg = VFilterConfig {
+            exclusion: false,
+            ..VFilterConfig::default()
+        };
+        let outcomes = filter_vids(&lists, &video, &cfg);
+        assert_eq!(outcomes[0].vid, Some(Vid::new(1)));
+        assert_eq!(outcomes[1].vid, Some(Vid::new(1)), "conflict allowed");
+    }
+
+    #[test]
+    fn majority_vote_tolerates_one_bad_scenario() {
+        // VID 1 appears in scenarios 0-2; scenario 3 lacks it entirely
+        // (missing VID). The majority still picks VID 1.
+        let video = video();
+        let list = vec![sid(0, 0), sid(1, 1), sid(2, 2), sid(3, 3)];
+        let out = filter_one(
+            Eid::from_u64(7),
+            &list,
+            &video,
+            &VFilterConfig::default(),
+            &BTreeSet::new(),
+        );
+        assert_eq!(out.vid, Some(Vid::new(1)));
+        assert!(out.vote_share >= 0.75, "3 of 4 scenarios vote for VID 1");
+    }
+
+    #[test]
+    fn comparisons_are_charged_to_the_ledger() {
+        let video = VideoStore::new(
+            vec![vscenario(0, 0, &[(1, &[0.9, 0.9]), (2, &[0.1, 0.1])])],
+            CostModel {
+                e_record: 0,
+                v_extraction: 3,
+                v_comparison: 5,
+            },
+        );
+        let _ = filter_one(
+            Eid::from_u64(1),
+            &vec![sid(0, 0)],
+            &video,
+            &VFilterConfig::default(),
+            &BTreeSet::new(),
+        );
+        // Extraction: 2 detections x 3 units; comparisons: 2 candidates x
+        // 1 scenario x 5 units.
+        assert_eq!(video.ledger().v_units(), 6 + 10);
+    }
+
+    #[test]
+    fn mean_feature_averages_components() {
+        let a = fv(&[0.2, 0.4]);
+        let b = fv(&[0.4, 0.8]);
+        let m = mean_feature(&[&a, &b]);
+        assert!((m.components()[0] - 0.3).abs() < 1e-12);
+        assert!((m.components()[1] - 0.6).abs() < 1e-12);
+    }
+}

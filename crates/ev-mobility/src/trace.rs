@@ -1,0 +1,163 @@
+//! Ground-truth trajectory recording.
+
+use ev_core::geometry::Point;
+use ev_core::ids::PersonId;
+use ev_core::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The ground-truth trajectory of one person: their position at every tick
+/// from `start` for `positions.len()` consecutive ticks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// First recorded tick.
+    pub start: Timestamp,
+    /// One position per tick, consecutive from `start`.
+    pub positions: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory starting at `start`.
+    #[must_use]
+    pub fn new(start: Timestamp) -> Self {
+        Trajectory {
+            start,
+            positions: Vec::new(),
+        }
+    }
+
+    /// Number of recorded ticks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position at tick `t`, if recorded.
+    #[must_use]
+    pub fn at(&self, t: Timestamp) -> Option<Point> {
+        let offset = t - self.start; // saturating: earlier t gives 0
+        if t < self.start {
+            return None;
+        }
+        self.positions.get(offset as usize).copied()
+    }
+
+    /// Appends the next tick's position.
+    pub fn push(&mut self, p: Point) {
+        self.positions.push(p);
+    }
+
+    /// Total path length in metres.
+    #[must_use]
+    pub fn path_length(&self) -> f64 {
+        self.positions
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+}
+
+/// The trajectories of a whole population over a common time span.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    traces: BTreeMap<PersonId, Trajectory>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceSet::default()
+    }
+
+    /// Inserts or replaces a person's trajectory.
+    pub fn insert(&mut self, person: PersonId, trajectory: Trajectory) {
+        self.traces.insert(person, trajectory);
+    }
+
+    /// The trajectory of `person`, if present.
+    #[must_use]
+    pub fn get(&self, person: PersonId) -> Option<&Trajectory> {
+        self.traces.get(&person)
+    }
+
+    /// Number of persons with a trajectory.
+    #[must_use]
+    pub fn person_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Duration in ticks (the longest trajectory's length).
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.traces.values().map(|t| t.len() as u64).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(person, trajectory)` pairs in person order.
+    pub fn iter(&self) -> impl Iterator<Item = (PersonId, &Trajectory)> {
+        self.traces.iter().map(|(&p, t)| (p, t))
+    }
+
+    /// The position of every person at tick `t` (persons without a sample
+    /// at `t` are skipped).
+    pub fn positions_at(&self, t: Timestamp) -> impl Iterator<Item = (PersonId, Point)> + '_ {
+        self.traces
+            .iter()
+            .filter_map(move |(&p, tr)| tr.at(t).map(|pos| (p, pos)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_records_and_indexes() {
+        let mut t = Trajectory::new(Timestamp::new(10));
+        assert!(t.is_empty());
+        t.push(Point::new(0.0, 0.0));
+        t.push(Point::new(3.0, 4.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.at(Timestamp::new(10)), Some(Point::new(0.0, 0.0)));
+        assert_eq!(t.at(Timestamp::new(11)), Some(Point::new(3.0, 4.0)));
+        assert_eq!(t.at(Timestamp::new(12)), None);
+        assert_eq!(t.at(Timestamp::new(9)), None, "before start");
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        let mut t = Trajectory::new(Timestamp::ZERO);
+        t.push(Point::new(0.0, 0.0));
+        t.push(Point::new(3.0, 4.0));
+        t.push(Point::new(3.0, 10.0));
+        assert!((t.path_length() - 11.0).abs() < 1e-12);
+        assert_eq!(Trajectory::new(Timestamp::ZERO).path_length(), 0.0);
+    }
+
+    #[test]
+    fn trace_set_accessors() {
+        let mut s = TraceSet::new();
+        let mut t = Trajectory::new(Timestamp::ZERO);
+        t.push(Point::new(1.0, 1.0));
+        s.insert(PersonId::new(3), t.clone());
+        assert_eq!(s.person_count(), 1);
+        assert_eq!(s.duration(), 1);
+        assert_eq!(s.get(PersonId::new(3)), Some(&t));
+        assert!(s.get(PersonId::new(4)).is_none());
+        let at: Vec<_> = s.positions_at(Timestamp::ZERO).collect();
+        assert_eq!(at, vec![(PersonId::new(3), Point::new(1.0, 1.0))]);
+        assert_eq!(s.positions_at(Timestamp::new(5)).count(), 0);
+    }
+
+    #[test]
+    fn empty_trace_set_duration_is_zero() {
+        assert_eq!(TraceSet::new().duration(), 0);
+        assert_eq!(TraceSet::new().person_count(), 0);
+    }
+}

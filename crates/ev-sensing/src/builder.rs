@@ -1,0 +1,444 @@
+//! E-Scenario construction from ground-truth trajectories.
+//!
+//! * **Ideal** construction snapshots exact positions at every tick: each
+//!   EID lands in exactly the cell its person occupies, always inclusive
+//!   (paper §IV-B assumptions).
+//! * **Practical** construction aggregates noisy captures over a time
+//!   window and classifies each EID per cell by its occurrence fraction:
+//!   "the EIDs which appear mostly are considered in the inclusive zone,
+//!   the ones who appear adequately are considered in the vague zone, and
+//!   the ones who appear occasionally are considered in the exclusive
+//!   zone" (paper §IV-C2).
+
+use crate::capture::{CaptureEvent, SensingNoise};
+use crate::roster::EidRoster;
+use ev_core::ids::Eid;
+use ev_core::region::{CellId, GridRegion};
+use ev_core::scenario::{EScenario, ZoneAttr};
+use ev_core::time::Timestamp;
+use ev_mobility::TraceSet;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Occurrence-fraction thresholds for window classification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowThresholds {
+    /// Fraction of window ticks at or above which an EID is *inclusive*.
+    pub inclusive: f64,
+    /// Fraction at or above which an EID is *vague* (below `inclusive`).
+    pub vague: f64,
+}
+
+impl Default for WindowThresholds {
+    /// Appear in ≥ 60 % of the window → inclusive; ≥ 20 % → vague.
+    fn default() -> Self {
+        WindowThresholds {
+            inclusive: 0.6,
+            vague: 0.2,
+        }
+    }
+}
+
+impl WindowThresholds {
+    /// Validates `0 < vague <= inclusive <= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ev_core::Error::InvalidParameter`] on a violated bound.
+    pub fn validate(&self) -> ev_core::Result<()> {
+        let ok = self.vague > 0.0
+            && self.vague <= self.inclusive
+            && self.inclusive <= 1.0
+            && self.vague.is_finite()
+            && self.inclusive.is_finite();
+        if !ok {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "thresholds",
+                reason: format!(
+                    "require 0 < vague <= inclusive <= 1, got vague={} inclusive={}",
+                    self.vague, self.inclusive
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builds E-Scenarios (and raw capture logs) over a [`GridRegion`].
+#[derive(Debug, Clone)]
+pub struct EScenarioBuilder {
+    region: GridRegion,
+}
+
+impl EScenarioBuilder {
+    /// Creates a builder for `region`.
+    #[must_use]
+    pub fn new(region: GridRegion) -> Self {
+        EScenarioBuilder { region }
+    }
+
+    /// The region scenarios are built over.
+    #[must_use]
+    pub fn region(&self) -> &GridRegion {
+        &self.region
+    }
+
+    /// Ideal-setting E-Scenarios: one per (tick, cell) with at least one
+    /// carrier present; every EID inclusive. Sorted by scenario id.
+    #[must_use]
+    pub fn build_ideal(&self, traces: &TraceSet, roster: &EidRoster) -> Vec<EScenario> {
+        let mut scenarios: BTreeMap<(Timestamp, CellId), EScenario> = BTreeMap::new();
+        for (person, trajectory) in traces.iter() {
+            let Some(eid) = roster.eid_of(person) else {
+                continue;
+            };
+            for (offset, &pos) in trajectory.positions.iter().enumerate() {
+                let t = trajectory.start + offset as u64;
+                // Trajectories stay in the region by construction.
+                let Ok(cell) = self.region.cell_at(pos) else {
+                    continue;
+                };
+                scenarios
+                    .entry((t, cell))
+                    .or_insert_with(|| EScenario::new(cell, t))
+                    .insert(eid, ZoneAttr::Inclusive);
+            }
+        }
+        scenarios.into_values().collect()
+    }
+
+    /// Raw capture log: one [`CaptureEvent`] per (tick, carrier) that the
+    /// noisy sensor actually heard. Deterministic for a given `seed`.
+    #[must_use]
+    pub fn capture_log(
+        &self,
+        traces: &TraceSet,
+        roster: &EidRoster,
+        noise: SensingNoise,
+        seed: u64,
+    ) -> Vec<CaptureEvent> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut log = Vec::new();
+        for (person, trajectory) in traces.iter() {
+            let Some(eid) = roster.eid_of(person) else {
+                continue;
+            };
+            for (offset, &pos) in trajectory.positions.iter().enumerate() {
+                let t = trajectory.start + offset as u64;
+                if let Some(estimated) = noise.observe(pos, &mut rng) {
+                    log.push(CaptureEvent {
+                        eid,
+                        time: t,
+                        estimated,
+                    });
+                }
+            }
+        }
+        log.sort_by_key(|e| (e.time, e.eid));
+        log
+    }
+
+    /// Practical-setting E-Scenarios: aggregates a noisy capture log over
+    /// consecutive windows of `window` ticks and classifies each (EID,
+    /// cell) pair by occurrence fraction against `thresholds`. The
+    /// scenario timestamp is the window start.
+    ///
+    /// Estimated positions that fall outside the region (noise can push
+    /// them out) are clamped back in, as a real deployment would attribute
+    /// them to the nearest covered cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ev_core::Error::InvalidParameter`] if `window` is zero or
+    /// the thresholds are invalid.
+    pub fn build_practical(
+        &self,
+        traces: &TraceSet,
+        roster: &EidRoster,
+        noise: SensingNoise,
+        window: u64,
+        thresholds: WindowThresholds,
+        seed: u64,
+    ) -> ev_core::Result<Vec<EScenario>> {
+        if window == 0 {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "window",
+                reason: "window length must be at least one tick".into(),
+            });
+        }
+        thresholds.validate()?;
+        noise.validate()?;
+
+        let log = self.capture_log(traces, roster, noise, seed);
+        let bounds = self.region.bounds();
+
+        // (window start, cell, eid) -> (occurrences, inclusive-zone hits).
+        // Each capture is additionally classified against the cell's
+        // vague-zone geometry (paper Fig. 2): estimates landing within
+        // `vague_width` of the border are *vague hits* — they could
+        // belong to the neighbouring cell.
+        let mut counts: BTreeMap<(Timestamp, CellId), BTreeMap<Eid, (u64, u64)>> =
+            BTreeMap::new();
+        for event in &log {
+            let win_start = Timestamp::new((event.time.tick() / window) * window);
+            let clamped = event.estimated.clamped(bounds);
+            let Ok(cell) = self.region.cell_at(clamped) else {
+                continue;
+            };
+            let deep = self.region.zone_of(cell, clamped) == crate::Zone::Inclusive;
+            let entry = counts
+                .entry((win_start, cell))
+                .or_default()
+                .entry(event.eid)
+                .or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += u64::from(deep);
+        }
+
+        let mut scenarios = Vec::new();
+        for ((start, cell), eids) in counts {
+            let mut scenario = EScenario::new(cell, start);
+            for (eid, (count, deep_hits)) in eids {
+                let fraction = count as f64 / window as f64;
+                if fraction < thresholds.vague {
+                    continue; // exclusive, i.e. absent
+                }
+                // Inclusive needs both a dominant occurrence fraction and
+                // a majority of hits safely away from the border.
+                if fraction >= thresholds.inclusive && deep_hits * 2 > count {
+                    scenario.insert(eid, ZoneAttr::Inclusive);
+                } else {
+                    scenario.insert(eid, ZoneAttr::Vague);
+                }
+            }
+            if !scenario.is_empty() {
+                scenarios.push(scenario);
+            }
+        }
+        Ok(scenarios)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::geometry::Point;
+    use ev_core::ids::PersonId;
+    use ev_mobility::{TraceSet, Trajectory};
+
+    fn region() -> GridRegion {
+        GridRegion::new(100.0, 100.0, 10.0, 1.0).unwrap()
+    }
+
+    /// A trace set with one person standing still at `p` for `ticks`.
+    fn stationary(person: u64, p: Point, ticks: usize) -> TraceSet {
+        let mut t = Trajectory::new(Timestamp::ZERO);
+        for _ in 0..ticks {
+            t.push(p);
+        }
+        let mut s = TraceSet::new();
+        s.insert(PersonId::new(person), t);
+        s
+    }
+
+    fn merge(a: TraceSet, b: &TraceSet) -> TraceSet {
+        let mut out = a;
+        for (p, t) in b.iter() {
+            out.insert(p, t.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn ideal_builder_places_eids_in_true_cells() {
+        let traces = stationary(0, Point::new(15.0, 15.0), 3);
+        let roster = EidRoster::full(1);
+        let scenarios = EScenarioBuilder::new(region()).build_ideal(&traces, &roster);
+        assert_eq!(scenarios.len(), 3, "one scenario per tick");
+        let eid = PersonId::new(0).canonical_eid();
+        for s in &scenarios {
+            assert_eq!(s.cell(), CellId::new(11));
+            assert!(s.contains_inclusive(eid));
+            assert_eq!(s.len(), 1);
+        }
+    }
+
+    #[test]
+    fn ideal_builder_skips_device_less_persons() {
+        let traces = stationary(0, Point::new(15.0, 15.0), 2);
+        let roster = EidRoster::with_missing(1, 1.0, 0);
+        let scenarios = EScenarioBuilder::new(region()).build_ideal(&traces, &roster);
+        assert!(scenarios.is_empty());
+    }
+
+    #[test]
+    fn ideal_builder_groups_cohabitants() {
+        let a = stationary(0, Point::new(15.0, 15.0), 2);
+        let b = stationary(1, Point::new(16.0, 14.0), 2);
+        let traces = merge(a, &b);
+        let roster = EidRoster::full(2);
+        let scenarios = EScenarioBuilder::new(region()).build_ideal(&traces, &roster);
+        assert_eq!(scenarios.len(), 2);
+        for s in &scenarios {
+            assert_eq!(s.len(), 2, "both EIDs share the cell");
+        }
+    }
+
+    #[test]
+    fn capture_log_is_sorted_and_deterministic() {
+        let traces = merge(
+            stationary(0, Point::new(15.0, 15.0), 5),
+            &stationary(1, Point::new(55.0, 55.0), 5),
+        );
+        let roster = EidRoster::full(2);
+        let b = EScenarioBuilder::new(region());
+        let log1 = b.capture_log(&traces, &roster, SensingNoise::default(), 42);
+        let log2 = b.capture_log(&traces, &roster, SensingNoise::default(), 42);
+        assert_eq!(log1, log2);
+        assert!(log1.windows(2).all(|w| (w[0].time, w[0].eid) <= (w[1].time, w[1].eid)));
+        // Noiseless log has one event per (person, tick).
+        let full = b.capture_log(&traces, &roster, SensingNoise::none(), 0);
+        assert_eq!(full.len(), 10);
+    }
+
+    #[test]
+    fn practical_builder_marks_center_dwellers_inclusive() {
+        // Person parked at a cell centre, mild noise: every window
+        // observation stays in the cell -> inclusive.
+        let traces = stationary(0, Point::new(15.0, 15.0), 10);
+        let roster = EidRoster::full(1);
+        let noise = SensingNoise {
+            sigma: 1.0,
+            dropout: 0.0,
+        };
+        let scenarios = EScenarioBuilder::new(region())
+            .build_practical(
+                &traces,
+                &roster,
+                noise,
+                10,
+                WindowThresholds::default(),
+                7,
+            )
+            .unwrap();
+        assert_eq!(scenarios.len(), 1);
+        let eid = PersonId::new(0).canonical_eid();
+        assert_eq!(scenarios[0].attr(eid), Some(ZoneAttr::Inclusive));
+        assert_eq!(scenarios[0].time(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn practical_builder_marks_border_dwellers_vague() {
+        // Person parked exactly on a cell border with noticeable noise:
+        // observations split between the two cells -> vague in both (or,
+        // rarely, inclusive in one), never inclusive in both.
+        let traces = stationary(0, Point::new(20.0, 15.0), 20);
+        let roster = EidRoster::full(1);
+        let noise = SensingNoise {
+            sigma: 3.0,
+            dropout: 0.0,
+        };
+        let scenarios = EScenarioBuilder::new(region())
+            .build_practical(&traces, &roster, noise, 20, WindowThresholds::default(), 11)
+            .unwrap();
+        let eid = PersonId::new(0).canonical_eid();
+        let inclusive = scenarios
+            .iter()
+            .filter(|s| s.attr(eid) == Some(ZoneAttr::Inclusive))
+            .count();
+        let vague = scenarios
+            .iter()
+            .filter(|s| s.attr(eid) == Some(ZoneAttr::Vague))
+            .count();
+        assert!(inclusive <= 1, "cannot be firmly in two cells at once");
+        assert!(
+            vague >= 1 || inclusive == 1,
+            "border dweller must surface somewhere"
+        );
+    }
+
+    #[test]
+    fn practical_builder_validates_inputs() {
+        let traces = stationary(0, Point::new(15.0, 15.0), 4);
+        let roster = EidRoster::full(1);
+        let b = EScenarioBuilder::new(region());
+        assert!(b
+            .build_practical(
+                &traces,
+                &roster,
+                SensingNoise::none(),
+                0,
+                WindowThresholds::default(),
+                0
+            )
+            .is_err());
+        let bad = WindowThresholds {
+            inclusive: 0.1,
+            vague: 0.5,
+        };
+        assert!(b
+            .build_practical(&traces, &roster, SensingNoise::none(), 4, bad, 0)
+            .is_err());
+        let bad_noise = SensingNoise {
+            sigma: -1.0,
+            dropout: 0.0,
+        };
+        assert!(b
+            .build_practical(
+                &traces,
+                &roster,
+                bad_noise,
+                4,
+                WindowThresholds::default(),
+                0
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn practical_with_no_noise_equals_ideal_occupancy() {
+        let traces = stationary(0, Point::new(35.0, 75.0), 10);
+        let roster = EidRoster::full(1);
+        let b = EScenarioBuilder::new(region());
+        let practical = b
+            .build_practical(
+                &traces,
+                &roster,
+                SensingNoise::none(),
+                10,
+                WindowThresholds::default(),
+                0,
+            )
+            .unwrap();
+        assert_eq!(practical.len(), 1);
+        let eid = PersonId::new(0).canonical_eid();
+        assert_eq!(practical[0].attr(eid), Some(ZoneAttr::Inclusive));
+        assert_eq!(
+            practical[0].cell(),
+            region().cell_at(Point::new(35.0, 75.0)).unwrap()
+        );
+    }
+
+    #[test]
+    fn dropout_below_vague_threshold_excludes_eid() {
+        let traces = stationary(0, Point::new(15.0, 15.0), 10);
+        let roster = EidRoster::full(1);
+        // 95 % dropout: expected occurrence fraction ~0.05 < vague 0.2.
+        let noise = SensingNoise {
+            sigma: 0.0,
+            dropout: 0.95,
+        };
+        let scenarios = EScenarioBuilder::new(region())
+            .build_practical(&traces, &roster, noise, 10, WindowThresholds::default(), 3)
+            .unwrap();
+        // Either no scenario at all, or one without an inclusive EID.
+        for s in &scenarios {
+            assert_ne!(
+                s.attr(PersonId::new(0).canonical_eid()),
+                Some(ZoneAttr::Inclusive)
+            );
+        }
+    }
+}

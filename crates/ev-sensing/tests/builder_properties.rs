@@ -1,0 +1,151 @@
+//! Property tests for E-Scenario construction invariants.
+
+use ev_core::geometry::Point;
+use ev_core::ids::PersonId;
+use ev_core::region::GridRegion;
+use ev_core::scenario::ZoneAttr;
+use ev_core::time::Timestamp;
+use ev_mobility::{TraceSet, Trajectory};
+use ev_sensing::{EScenarioBuilder, EidRoster, SensingNoise, WindowThresholds};
+use proptest::prelude::*;
+
+fn region() -> GridRegion {
+    GridRegion::new(100.0, 100.0, 20.0, 2.0).expect("valid region")
+}
+
+/// Builds a trace set from per-person position lists.
+fn traces(paths: &[Vec<(f64, f64)>]) -> TraceSet {
+    let mut set = TraceSet::new();
+    for (i, path) in paths.iter().enumerate() {
+        let mut t = Trajectory::new(Timestamp::ZERO);
+        for &(x, y) in path {
+            t.push(Point::new(x, y));
+        }
+        set.insert(PersonId::new(i as u64), t);
+    }
+    set
+}
+
+fn arb_paths() -> impl Strategy<Value = Vec<Vec<(f64, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 10..30),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No EID may be *inclusive* in two different cells of the same
+    /// window — a device is in one place at a time, and the inclusive
+    /// threshold (> 50% occupancy) makes double-inclusion arithmetically
+    /// impossible.
+    #[test]
+    fn no_eid_is_inclusive_in_two_cells_at_once(paths in arb_paths()) {
+        let ts = traces(&paths);
+        let roster = EidRoster::full(paths.len() as u64);
+        let scenarios = EScenarioBuilder::new(region())
+            .build_practical(
+                &ts,
+                &roster,
+                SensingNoise::none(),
+                10,
+                WindowThresholds { inclusive: 0.6, vague: 0.2 },
+                1,
+            )
+            .expect("valid inputs");
+        use std::collections::BTreeMap;
+        let mut inclusive_at: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for s in &scenarios {
+            for (eid, attr) in s.iter() {
+                if attr == ZoneAttr::Inclusive {
+                    let key = (s.time().tick(), eid.as_u64());
+                    let prev = inclusive_at.insert(key, s.cell().index() as u64);
+                    prop_assert!(
+                        prev.is_none(),
+                        "EID {eid} inclusive in two cells at t={}",
+                        s.time()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Without noise, every person with a device appears somewhere in
+    /// every full window they were alive for (occupancy across all cells
+    /// sums to the window) — at least vaguely.
+    #[test]
+    fn noiseless_carriers_are_always_sensed_somewhere(paths in arb_paths()) {
+        let window = 10u64;
+        let ts = traces(&paths);
+        let population = paths.len() as u64;
+        let roster = EidRoster::full(population);
+        let scenarios = EScenarioBuilder::new(region())
+            .build_practical(
+                &ts,
+                &roster,
+                SensingNoise::none(),
+                window,
+                // vague threshold low enough that a 50/50 split between
+                // two cells still registers in both.
+                WindowThresholds { inclusive: 0.6, vague: 0.1 },
+                1,
+            )
+            .expect("valid inputs");
+        // Only check complete windows.
+        let shortest = paths.iter().map(Vec::len).min().unwrap_or(0) as u64;
+        for w in 0..(shortest / window) {
+            let t = Timestamp::new(w * window);
+            for p in 0..population {
+                let eid = PersonId::new(p).canonical_eid();
+                let heard = scenarios
+                    .iter()
+                    .any(|s| s.time() == t && s.contains(eid));
+                prop_assert!(heard, "EID {eid} silent in window {t}");
+            }
+        }
+    }
+
+    /// The capture log and scenario construction are deterministic in the
+    /// seed, and different seeds only matter when noise is active.
+    #[test]
+    fn determinism_in_seed(paths in arb_paths(), seed in any::<u64>()) {
+        let ts = traces(&paths);
+        let roster = EidRoster::full(paths.len() as u64);
+        let builder = EScenarioBuilder::new(region());
+        let noise = SensingNoise { sigma: 3.0, dropout: 0.1 };
+        let a = builder.capture_log(&ts, &roster, noise, seed);
+        let b = builder.capture_log(&ts, &roster, noise, seed);
+        prop_assert_eq!(a, b);
+        // Noiseless logs ignore the seed entirely.
+        let c = builder.capture_log(&ts, &roster, SensingNoise::none(), seed);
+        let d = builder.capture_log(&ts, &roster, SensingNoise::none(), seed ^ 1);
+        prop_assert_eq!(c, d);
+    }
+
+    /// Device-less persons never appear in any E-Scenario.
+    #[test]
+    fn device_less_persons_never_captured(paths in arb_paths(), missing_seed in any::<u64>()) {
+        let ts = traces(&paths);
+        let population = paths.len() as u64;
+        let roster = EidRoster::with_missing(population, 0.5, missing_seed);
+        let scenarios = EScenarioBuilder::new(region())
+            .build_practical(
+                &ts,
+                &roster,
+                SensingNoise::default(),
+                10,
+                WindowThresholds::default(),
+                2,
+            )
+            .expect("valid inputs");
+        for s in &scenarios {
+            for eid in s.eids() {
+                prop_assert!(
+                    roster.owner_of(eid).is_some(),
+                    "captured EID {eid} belongs to nobody"
+                );
+            }
+        }
+    }
+}

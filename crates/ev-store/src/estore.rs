@@ -1,0 +1,255 @@
+//! The E-Scenario store: an indexed, queryable collection of E-Scenarios.
+
+use ev_core::ids::Eid;
+use ev_core::region::CellId;
+use ev_core::scenario::{EScenario, ScenarioId};
+use ev_core::time::{TimeRange, Timestamp};
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An immutable, indexed collection of E-Scenarios.
+///
+/// Indexes are built once at construction: scenario-id lookup, a
+/// time-major index (for Algorithm 3's pick-a-random-timestamp step) and a
+/// cell-major index (for spatial queries).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EScenarioStore {
+    scenarios: Vec<EScenario>,
+    by_id: BTreeMap<ScenarioId, usize>,
+    by_time: BTreeMap<Timestamp, Vec<usize>>,
+    by_cell: BTreeMap<CellId, Vec<usize>>,
+}
+
+impl EScenarioStore {
+    /// Builds a store from scenarios. Later duplicates of the same
+    /// scenario id replace earlier ones.
+    #[must_use]
+    pub fn from_scenarios(scenarios: Vec<EScenario>) -> Self {
+        let mut dedup: BTreeMap<ScenarioId, EScenario> = BTreeMap::new();
+        for s in scenarios {
+            dedup.insert(s.id(), s);
+        }
+        let scenarios: Vec<EScenario> = dedup.into_values().collect();
+        let mut by_id = BTreeMap::new();
+        let mut by_time: BTreeMap<Timestamp, Vec<usize>> = BTreeMap::new();
+        let mut by_cell: BTreeMap<CellId, Vec<usize>> = BTreeMap::new();
+        for (i, s) in scenarios.iter().enumerate() {
+            by_id.insert(s.id(), i);
+            by_time.entry(s.time()).or_default().push(i);
+            by_cell.entry(s.cell()).or_default().push(i);
+        }
+        EScenarioStore {
+            scenarios,
+            by_id,
+            by_time,
+            by_cell,
+        }
+    }
+
+    /// Number of scenarios stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Looks a scenario up by id.
+    #[must_use]
+    pub fn get(&self, id: ScenarioId) -> Option<&EScenario> {
+        self.by_id.get(&id).map(|&i| &self.scenarios[i])
+    }
+
+    /// Iterates over all scenarios in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &EScenario> {
+        self.scenarios.iter()
+    }
+
+    /// All distinct timestamps with at least one scenario, ascending.
+    pub fn times(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.by_time.keys().copied()
+    }
+
+    /// Scenarios snapshotted at exactly `t`.
+    pub fn at_time(&self, t: Timestamp) -> impl Iterator<Item = &EScenario> {
+        self.by_time
+            .get(&t)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.scenarios[i])
+    }
+
+    /// Scenarios covering `cell`, in time order.
+    pub fn at_cell(&self, cell: CellId) -> impl Iterator<Item = &EScenario> {
+        self.by_cell
+            .get(&cell)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.scenarios[i])
+    }
+
+    /// Spatiotemporal range query: scenarios within `range` and, if given,
+    /// restricted to `cells`.
+    pub fn query<'a>(
+        &'a self,
+        range: TimeRange,
+        cells: Option<&'a [CellId]>,
+    ) -> impl Iterator<Item = &'a EScenario> + 'a {
+        self.by_time
+            .range(range.start..range.end)
+            .flat_map(|(_, idxs)| idxs.iter())
+            .map(move |&i| &self.scenarios[i])
+            .filter(move |s| cells.is_none_or(|cs| cs.contains(&s.cell())))
+    }
+
+    /// All scenarios containing `eid` (linear scan; used by the EDP
+    /// baseline's E-filtering stage).
+    pub fn containing(&self, eid: Eid) -> impl Iterator<Item = &EScenario> {
+        self.scenarios.iter().filter(move |s| s.contains(eid))
+    }
+
+    /// Picks a uniformly random timestamp among those present
+    /// (Algorithm 3's preprocess step), or `None` on an empty store.
+    #[must_use]
+    pub fn random_time(&self, rng: &mut ChaCha8Rng) -> Option<Timestamp> {
+        let times: Vec<Timestamp> = self.by_time.keys().copied().collect();
+        times.choose(rng).copied()
+    }
+
+    /// Combines this store with `newer` scenarios (e.g. the next day's
+    /// ingest); on a scenario-id collision the newer scenario wins.
+    /// Indexes are rebuilt.
+    #[must_use]
+    pub fn merged(&self, newer: &EScenarioStore) -> EScenarioStore {
+        let mut all: Vec<EScenario> = self.scenarios.clone();
+        all.extend(newer.scenarios.iter().cloned());
+        EScenarioStore::from_scenarios(all)
+    }
+
+    /// Total number of (scenario, EID) membership records — the raw E-data
+    /// volume, used by the cost accounting.
+    #[must_use]
+    pub fn record_count(&self) -> u64 {
+        self.scenarios.iter().map(|s| s.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::scenario::ZoneAttr;
+    use rand::SeedableRng;
+
+    fn scenario(cell: usize, time: u64, eids: &[u64]) -> EScenario {
+        let mut s = EScenario::new(CellId::new(cell), Timestamp::new(time));
+        for &e in eids {
+            s.insert(Eid::from_u64(e), ZoneAttr::Inclusive);
+        }
+        s
+    }
+
+    fn store() -> EScenarioStore {
+        EScenarioStore::from_scenarios(vec![
+            scenario(0, 0, &[1, 2]),
+            scenario(1, 0, &[3]),
+            scenario(0, 1, &[1]),
+            scenario(2, 2, &[2, 3]),
+        ])
+    }
+
+    #[test]
+    fn basic_lookup() {
+        let s = store();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        let id = ScenarioId::new(Timestamp::new(0), CellId::new(1));
+        assert_eq!(s.get(id).unwrap().len(), 1);
+        let missing = ScenarioId::new(Timestamp::new(9), CellId::new(9));
+        assert!(s.get(missing).is_none());
+    }
+
+    #[test]
+    fn duplicate_ids_are_replaced() {
+        let s = EScenarioStore::from_scenarios(vec![
+            scenario(0, 0, &[1]),
+            scenario(0, 0, &[1, 2, 3]),
+        ]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().next().unwrap().len(), 3, "later wins");
+    }
+
+    #[test]
+    fn time_index() {
+        let s = store();
+        assert_eq!(s.at_time(Timestamp::new(0)).count(), 2);
+        assert_eq!(s.at_time(Timestamp::new(1)).count(), 1);
+        assert_eq!(s.at_time(Timestamp::new(9)).count(), 0);
+        let times: Vec<u64> = s.times().map(Timestamp::tick).collect();
+        assert_eq!(times, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cell_index() {
+        let s = store();
+        assert_eq!(s.at_cell(CellId::new(0)).count(), 2);
+        assert_eq!(s.at_cell(CellId::new(2)).count(), 1);
+        assert_eq!(s.at_cell(CellId::new(9)).count(), 0);
+    }
+
+    #[test]
+    fn range_query_with_and_without_cells() {
+        let s = store();
+        let range = TimeRange::new(Timestamp::new(0), Timestamp::new(2));
+        assert_eq!(s.query(range, None).count(), 3, "t in {{0, 1}}");
+        let cells = [CellId::new(0)];
+        assert_eq!(s.query(range, Some(&cells)).count(), 2);
+        let empty = TimeRange::new(Timestamp::new(5), Timestamp::new(9));
+        assert_eq!(s.query(empty, None).count(), 0);
+    }
+
+    #[test]
+    fn containing_scans_memberships() {
+        let s = store();
+        assert_eq!(s.containing(Eid::from_u64(1)).count(), 2);
+        assert_eq!(s.containing(Eid::from_u64(3)).count(), 2);
+        assert_eq!(s.containing(Eid::from_u64(9)).count(), 0);
+    }
+
+    #[test]
+    fn random_time_draws_from_present_times() {
+        let s = store();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..20 {
+            let t = s.random_time(&mut rng).unwrap();
+            assert!(t.tick() <= 2);
+        }
+        let empty = EScenarioStore::from_scenarios(vec![]);
+        assert!(empty.random_time(&mut rng).is_none());
+    }
+
+    #[test]
+    fn record_count_sums_memberships() {
+        assert_eq!(store().record_count(), 6);
+    }
+
+    #[test]
+    fn merged_unions_and_prefers_newer() {
+        let old = store();
+        let newer = EScenarioStore::from_scenarios(vec![
+            scenario(0, 0, &[9]),     // collides with (t0, c0): newer wins
+            scenario(5, 7, &[4, 5]),  // brand new
+        ]);
+        let merged = old.merged(&newer);
+        assert_eq!(merged.len(), old.len() + 1);
+        let id = ScenarioId::new(Timestamp::new(0), CellId::new(0));
+        assert!(merged.get(id).unwrap().contains(Eid::from_u64(9)));
+        assert!(!merged.get(id).unwrap().contains(Eid::from_u64(1)));
+        assert_eq!(merged.at_time(Timestamp::new(7)).count(), 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! The video store: raw footage handles with lazily cached, cost-charged
+//! V-Scenario extraction.
+
+use ev_core::scenario::{ScenarioId, VScenario};
+use ev_vision::cost::{CostLedger, CostModel};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Usage statistics of a [`VideoStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VideoStoreStats {
+    /// Distinct V-Scenarios extracted so far.
+    pub extracted_scenarios: usize,
+    /// Extraction requests answered from the cache.
+    pub cache_hits: u64,
+    /// Total detections processed by extraction.
+    pub extracted_detections: u64,
+}
+
+/// The raw video corpus, keyed by scenario id.
+///
+/// Conceptually the store holds unprocessed footage; calling
+/// [`extract`](VideoStore::extract) runs (simulated) human detection and
+/// feature extraction, charging [`CostModel::v_extraction`] work units per
+/// detection to the store's [`CostLedger`] and burning the equivalent
+/// busy-work. Repeat extractions of the same scenario are free cache hits
+/// — this is what makes scenario *reuse* across EIDs profitable for the
+/// set-splitting algorithm.
+///
+/// The store is `Sync`: parallel mappers may extract concurrently.
+#[derive(Debug)]
+pub struct VideoStore {
+    footage: BTreeMap<ScenarioId, Arc<VScenario>>,
+    cost: CostModel,
+    ledger: CostLedger,
+    state: Mutex<ExtractState>,
+}
+
+#[derive(Debug, Default)]
+struct ExtractState {
+    processed: BTreeSet<ScenarioId>,
+    cache_hits: u64,
+    extracted_detections: u64,
+}
+
+impl VideoStore {
+    /// Builds a store over pre-generated footage with the given cost
+    /// model.
+    #[must_use]
+    pub fn new(scenarios: Vec<VScenario>, cost: CostModel) -> Self {
+        let footage = scenarios
+            .into_iter()
+            .map(|s| (s.id(), Arc::new(s)))
+            .collect();
+        VideoStore {
+            footage,
+            cost,
+            ledger: CostLedger::new(),
+            state: Mutex::new(ExtractState::default()),
+        }
+    }
+
+    /// Number of scenario footage entries (processed or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.footage.len()
+    }
+
+    /// Whether the store holds no footage.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.footage.is_empty()
+    }
+
+    /// Whether footage exists for `id`.
+    #[must_use]
+    pub fn contains(&self, id: ScenarioId) -> bool {
+        self.footage.contains_key(&id)
+    }
+
+    /// Extracts the V-Scenario for `id`, charging extraction cost on the
+    /// first call and serving from cache afterwards. Returns `None` when
+    /// no footage covers `id` (e.g. nobody was detected there).
+    #[must_use]
+    pub fn extract(&self, id: ScenarioId) -> Option<Arc<VScenario>> {
+        let scenario = self.footage.get(&id)?;
+        let first_time = {
+            let mut state = self.state.lock();
+            if state.processed.contains(&id) {
+                state.cache_hits += 1;
+                false
+            } else {
+                state.processed.insert(id);
+                state.extracted_detections += scenario.len() as u64;
+                true
+            }
+        };
+        if first_time {
+            let units = self.cost.v_extraction * scenario.len() as u64;
+            self.ledger.add_v(units);
+            // Burn the work outside the lock so concurrent extractions of
+            // different scenarios overlap.
+            let _ = CostModel::charge(units);
+        }
+        Some(Arc::clone(scenario))
+    }
+
+    /// Compares two features' worth of work: charges one
+    /// [`CostModel::v_comparison`] to the ledger and burns it. The caller
+    /// performs the actual similarity computation.
+    pub fn charge_comparison(&self) {
+        self.ledger.add_v(self.cost.v_comparison);
+        let _ = CostModel::charge(self.cost.v_comparison);
+    }
+
+    /// The cost ledger accumulating this store's simulated work.
+    #[must_use]
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// The cost model in force.
+    #[must_use]
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Current usage statistics.
+    #[must_use]
+    pub fn stats(&self) -> VideoStoreStats {
+        let state = self.state.lock();
+        VideoStoreStats {
+            extracted_scenarios: state.processed.len(),
+            cache_hits: state.cache_hits,
+            extracted_detections: state.extracted_detections,
+        }
+    }
+
+    /// Combines this corpus with `newer` footage (e.g. the next day's
+    /// ingest); on a scenario-id collision the newer footage wins. The
+    /// merged store starts with fresh usage state and this store's cost
+    /// model.
+    #[must_use]
+    pub fn merged(&self, newer: &VideoStore) -> VideoStore {
+        let mut footage = self.footage.clone();
+        for (id, scenario) in &newer.footage {
+            footage.insert(*id, Arc::clone(scenario));
+        }
+        VideoStore {
+            footage,
+            cost: self.cost,
+            ledger: CostLedger::new(),
+            state: Mutex::new(ExtractState::default()),
+        }
+    }
+
+    /// Forgets all cached extractions and zeroes the ledger (for running
+    /// several experiments against the same corpus).
+    pub fn reset_usage(&self) {
+        let mut state = self.state.lock();
+        state.processed.clear();
+        state.cache_hits = 0;
+        state.extracted_detections = 0;
+        self.ledger.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::feature::FeatureVector;
+    use ev_core::region::CellId;
+    use ev_core::scenario::Detection;
+    use ev_core::time::Timestamp;
+    use ev_core::Vid;
+
+    fn vscenario(cell: usize, time: u64, vids: &[u64]) -> VScenario {
+        let mut s = VScenario::new(CellId::new(cell), Timestamp::new(time));
+        for &v in vids {
+            s.push(Detection {
+                vid: Vid::new(v),
+                feature: FeatureVector::new(vec![0.5, 0.5]).unwrap(),
+            });
+        }
+        s
+    }
+
+    fn store() -> VideoStore {
+        VideoStore::new(
+            vec![vscenario(0, 0, &[1, 2]), vscenario(1, 0, &[3])],
+            CostModel {
+                e_record: 1,
+                v_extraction: 10,
+                v_comparison: 5,
+            },
+        )
+    }
+
+    fn id(cell: usize, time: u64) -> ScenarioId {
+        ScenarioId::new(Timestamp::new(time), CellId::new(cell))
+    }
+
+    #[test]
+    fn extraction_returns_footage() {
+        let s = store();
+        assert_eq!(s.len(), 2);
+        let v = s.extract(id(0, 0)).unwrap();
+        assert_eq!(v.len(), 2);
+        assert!(s.extract(id(9, 9)).is_none());
+    }
+
+    #[test]
+    fn extraction_charges_once_and_caches() {
+        let s = store();
+        let _ = s.extract(id(0, 0));
+        assert_eq!(s.ledger().v_units(), 20, "2 detections x 10 units");
+        let _ = s.extract(id(0, 0));
+        assert_eq!(s.ledger().v_units(), 20, "second extract is a cache hit");
+        let stats = s.stats();
+        assert_eq!(stats.extracted_scenarios, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.extracted_detections, 2);
+    }
+
+    #[test]
+    fn comparison_charges_each_time() {
+        let s = store();
+        s.charge_comparison();
+        s.charge_comparison();
+        assert_eq!(s.ledger().v_units(), 10);
+    }
+
+    #[test]
+    fn reset_usage_clears_everything() {
+        let s = store();
+        let _ = s.extract(id(0, 0));
+        s.reset_usage();
+        assert_eq!(s.ledger().total_units(), 0);
+        assert_eq!(s.stats(), VideoStoreStats::default());
+        // Extraction charges again after a reset.
+        let _ = s.extract(id(0, 0));
+        assert_eq!(s.ledger().v_units(), 20);
+    }
+
+    #[test]
+    fn merged_unions_footage_with_fresh_usage() {
+        let a = store();
+        let _ = a.extract(id(0, 0));
+        let newer = VideoStore::new(vec![vscenario(9, 9, &[7])], a.cost_model());
+        let merged = a.merged(&newer);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.stats(), VideoStoreStats::default(), "fresh usage");
+        assert!(merged.extract(id(9, 9)).is_some());
+        assert!(merged.extract(id(0, 0)).is_some());
+    }
+
+    #[test]
+    fn concurrent_extraction_charges_each_scenario_once() {
+        let scenarios: Vec<VScenario> =
+            (0..16).map(|i| vscenario(i, 0, &[i as u64])).collect();
+        let s = Arc::new(VideoStore::new(
+            scenarios,
+            CostModel {
+                e_record: 0,
+                v_extraction: 7,
+                v_comparison: 0,
+            },
+        ));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..16 {
+                        let _ = s.extract(id(i, 0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.ledger().v_units(), 16 * 7, "each scenario charged once");
+        assert_eq!(s.stats().extracted_scenarios, 16);
+    }
+}

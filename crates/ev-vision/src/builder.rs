@@ -1,0 +1,319 @@
+//! V-Scenario construction: human detection and feature extraction over
+//! the synthetic video corpus.
+
+use crate::gallery::AppearanceGallery;
+use ev_core::region::{CellId, GridRegion};
+use ev_core::scenario::{Detection, VScenario};
+use ev_core::time::Timestamp;
+use ev_mobility::TraceSet;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The human-detection model: with probability `miss_rate` a person
+/// present in a scenario produces **no** detection (occlusion or detector
+/// failure — the paper's *missing VID* issue, §IV-C1). Detected persons
+/// yield a feature observation with per-component noise `feature_sigma`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionModel {
+    /// Probability that a present person is not detected in a scenario.
+    pub miss_rate: f64,
+    /// Standard deviation of per-component appearance observation noise.
+    pub feature_sigma: f64,
+}
+
+impl DetectionModel {
+    /// Perfect detector: never misses, observes exact features.
+    #[must_use]
+    pub const fn perfect() -> Self {
+        DetectionModel {
+            miss_rate: 0.0,
+            feature_sigma: 0.0,
+        }
+    }
+
+    /// A realistic default: 2 % misses (paper Fig. 11 starts at 2 %),
+    /// moderate appearance noise.
+    #[must_use]
+    pub const fn realistic() -> Self {
+        DetectionModel {
+            miss_rate: 0.02,
+            feature_sigma: 0.05,
+        }
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ev_core::Error::InvalidParameter`] if `miss_rate` is
+    /// outside `[0, 1]` or `feature_sigma` is negative or non-finite.
+    pub fn validate(&self) -> ev_core::Result<()> {
+        if !self.miss_rate.is_finite() || !(0.0..=1.0).contains(&self.miss_rate) {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "miss_rate",
+                reason: format!("must be in [0, 1], got {}", self.miss_rate),
+            });
+        }
+        if !self.feature_sigma.is_finite() || self.feature_sigma < 0.0 {
+            return Err(ev_core::Error::InvalidParameter {
+                name: "feature_sigma",
+                reason: format!("must be non-negative, got {}", self.feature_sigma),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builds V-Scenarios from ground-truth trajectories and a gallery.
+///
+/// Every person physically present in a cell appears in that cell's
+/// V-Scenario (subject to the detection model) — including people who
+/// carry no electronic device. The VID attached to a detection is the
+/// person's canonical VID, reflecting the paper's *VID consistency*
+/// assumption (appearance-based re-identification links detections of the
+/// same person across scenarios).
+#[derive(Debug, Clone)]
+pub struct VScenarioBuilder {
+    region: GridRegion,
+    gallery: AppearanceGallery,
+}
+
+impl VScenarioBuilder {
+    /// Creates a builder over `region` using `gallery` as ground truth.
+    #[must_use]
+    pub fn new(region: GridRegion, gallery: AppearanceGallery) -> Self {
+        VScenarioBuilder { region, gallery }
+    }
+
+    /// The gallery backing this builder.
+    #[must_use]
+    pub fn gallery(&self) -> &AppearanceGallery {
+        &self.gallery
+    }
+
+    /// The region scenarios are built over.
+    #[must_use]
+    pub fn region(&self) -> &GridRegion {
+        &self.region
+    }
+
+    /// Builds one V-Scenario per (tick, cell) with at least one detection.
+    /// Deterministic for a given `seed`. Sorted by scenario id.
+    #[must_use]
+    pub fn build(&self, traces: &TraceSet, model: DetectionModel, seed: u64) -> Vec<VScenario> {
+        self.build_windowed(traces, model, 1, seed)
+    }
+
+    /// Builds V-Scenarios aggregated over consecutive windows of `window`
+    /// ticks (to pair with practical E-Scenarios built over the same
+    /// window). A person is present in a (window, cell) if they occupied
+    /// the cell at any tick of the window; each present person is detected
+    /// at most once per scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn build_windowed(
+        &self,
+        traces: &TraceSet,
+        model: DetectionModel,
+        window: u64,
+        seed: u64,
+    ) -> Vec<VScenario> {
+        assert!(window > 0, "window length must be at least one tick");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // (window start, cell) -> persons present.
+        let mut presence: BTreeMap<(Timestamp, CellId), Vec<ev_core::PersonId>> = BTreeMap::new();
+        for (person, trajectory) in traces.iter() {
+            let mut last: Option<(Timestamp, CellId)> = None;
+            for (offset, &pos) in trajectory.positions.iter().enumerate() {
+                let t = trajectory.start + offset as u64;
+                let win = Timestamp::new((t.tick() / window) * window);
+                let Ok(cell) = self.region.cell_at(pos) else {
+                    continue;
+                };
+                if last == Some((win, cell)) {
+                    continue; // already recorded for this window
+                }
+                last = Some((win, cell));
+                let entry = presence.entry((win, cell)).or_default();
+                if entry.last() != Some(&person) {
+                    entry.push(person);
+                }
+            }
+        }
+        let mut scenarios = Vec::with_capacity(presence.len());
+        for ((start, cell), persons) in presence {
+            let mut scenario = VScenario::new(cell, start);
+            for person in persons {
+                if model.miss_rate > 0.0 && rng.gen::<f64>() < model.miss_rate {
+                    continue; // missed detection
+                }
+                if let Some(feature) = self.gallery.observe(person, model.feature_sigma, &mut rng)
+                {
+                    scenario.push(Detection {
+                        vid: person.canonical_vid(),
+                        feature,
+                    });
+                }
+            }
+            if !scenario.is_empty() {
+                scenarios.push(scenario);
+            }
+        }
+        scenarios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::geometry::Point;
+    use ev_core::ids::PersonId;
+    use ev_mobility::Trajectory;
+
+    fn region() -> GridRegion {
+        GridRegion::new(100.0, 100.0, 10.0, 1.0).unwrap()
+    }
+
+    fn stationary(person: u64, p: Point, ticks: usize) -> (PersonId, Trajectory) {
+        let mut t = Trajectory::new(Timestamp::ZERO);
+        for _ in 0..ticks {
+            t.push(p);
+        }
+        (PersonId::new(person), t)
+    }
+
+    fn traces(people: Vec<(PersonId, Trajectory)>) -> TraceSet {
+        let mut s = TraceSet::new();
+        for (p, t) in people {
+            s.insert(p, t);
+        }
+        s
+    }
+
+    #[test]
+    fn perfect_detector_sees_everyone_every_tick() {
+        let ts = traces(vec![
+            stationary(0, Point::new(15.0, 15.0), 3),
+            stationary(1, Point::new(16.0, 14.0), 3),
+        ]);
+        let b = VScenarioBuilder::new(region(), AppearanceGallery::generate(2, 16, 0));
+        let scenarios = b.build(&ts, DetectionModel::perfect(), 0);
+        assert_eq!(scenarios.len(), 3);
+        for s in &scenarios {
+            assert_eq!(s.len(), 2);
+            assert!(s.contains(PersonId::new(0).canonical_vid()));
+            assert!(s.contains(PersonId::new(1).canonical_vid()));
+        }
+    }
+
+    #[test]
+    fn device_less_people_still_appear_in_v_data() {
+        // V-data knows nothing about EIDs: every body is detectable.
+        let ts = traces(vec![stationary(0, Point::new(55.0, 55.0), 1)]);
+        let b = VScenarioBuilder::new(region(), AppearanceGallery::generate(1, 16, 0));
+        let scenarios = b.build(&ts, DetectionModel::perfect(), 0);
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].len(), 1);
+    }
+
+    #[test]
+    fn miss_rate_drops_roughly_that_fraction() {
+        let ts = traces(vec![stationary(0, Point::new(15.0, 15.0), 1000)]);
+        let model = DetectionModel {
+            miss_rate: 0.3,
+            feature_sigma: 0.0,
+        };
+        let b = VScenarioBuilder::new(region(), AppearanceGallery::generate(1, 16, 0));
+        let scenarios = b.build(&ts, model, 1);
+        // 1000 ticks, each a scenario with one person at 70 % detection.
+        let detected = scenarios.len() as f64;
+        assert!(
+            (detected - 700.0).abs() < 60.0,
+            "detected {detected} of 1000 at 30% miss rate"
+        );
+    }
+
+    #[test]
+    fn full_miss_rate_produces_no_scenarios() {
+        let ts = traces(vec![stationary(0, Point::new(15.0, 15.0), 10)]);
+        let model = DetectionModel {
+            miss_rate: 1.0,
+            feature_sigma: 0.0,
+        };
+        let b = VScenarioBuilder::new(region(), AppearanceGallery::generate(1, 16, 0));
+        assert!(b.build(&ts, model, 1).is_empty());
+    }
+
+    #[test]
+    fn windowed_build_detects_each_person_once_per_window() {
+        let ts = traces(vec![stationary(0, Point::new(15.0, 15.0), 10)]);
+        let b = VScenarioBuilder::new(region(), AppearanceGallery::generate(1, 16, 0));
+        let scenarios = b.build_windowed(&ts, DetectionModel::perfect(), 5, 0);
+        assert_eq!(scenarios.len(), 2, "10 ticks / window of 5");
+        for s in &scenarios {
+            assert_eq!(s.len(), 1);
+        }
+    }
+
+    #[test]
+    fn windowed_build_includes_cells_visited_mid_window() {
+        // A person teleporting between two cells within one window shows
+        // up in both cells' scenarios.
+        let mut t = Trajectory::new(Timestamp::ZERO);
+        for i in 0..4 {
+            t.push(if i % 2 == 0 {
+                Point::new(15.0, 15.0)
+            } else {
+                Point::new(55.0, 55.0)
+            });
+        }
+        let ts = traces(vec![(PersonId::new(0), t)]);
+        let b = VScenarioBuilder::new(region(), AppearanceGallery::generate(1, 16, 0));
+        let scenarios = b.build_windowed(&ts, DetectionModel::perfect(), 4, 0);
+        assert_eq!(scenarios.len(), 2, "present in both cells this window");
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let ts = traces(vec![stationary(0, Point::new(15.0, 15.0), 20)]);
+        let model = DetectionModel {
+            miss_rate: 0.5,
+            feature_sigma: 0.1,
+        };
+        let b = VScenarioBuilder::new(region(), AppearanceGallery::generate(1, 16, 0));
+        assert_eq!(b.build(&ts, model, 3), b.build(&ts, model, 3));
+        assert_ne!(b.build(&ts, model, 3), b.build(&ts, model, 4));
+    }
+
+    #[test]
+    fn detection_model_validation() {
+        assert!(DetectionModel::perfect().validate().is_ok());
+        assert!(DetectionModel::realistic().validate().is_ok());
+        assert!(DetectionModel {
+            miss_rate: 1.5,
+            feature_sigma: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(DetectionModel {
+            miss_rate: 0.0,
+            feature_sigma: -0.1
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn zero_window_panics() {
+        let ts = traces(vec![]);
+        let b = VScenarioBuilder::new(region(), AppearanceGallery::generate(1, 4, 0));
+        let _ = b.build_windowed(&ts, DetectionModel::perfect(), 0, 0);
+    }
+}

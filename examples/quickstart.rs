@@ -1,0 +1,68 @@
+//! Quick start: generate a synthetic EV world, match a handful of EIDs,
+//! and inspect the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use evmatch::prelude::*;
+
+fn main() {
+    // 1. A synthetic world: 200 people, ~7 minutes of footage over a
+    //    10 x 10 grid of 100 m cells (paper §VI-A at reduced scale).
+    let config = DatasetConfig {
+        population: 200,
+        duration: 400,
+        ..DatasetConfig::default()
+    };
+    let dataset = EvDataset::generate(&config).expect("valid config");
+    println!(
+        "world: {} people, {} E-scenarios, {} V-scenarios over a {}-cell grid",
+        config.population,
+        dataset.estore.len(),
+        dataset.video.len(),
+        dataset.region.cell_count(),
+    );
+
+    // 2. Pick 30 electronic identities of interest.
+    let targets = sample_targets(&dataset, 30, 7);
+    println!("matching {} EIDs...", targets.len());
+
+    // 3. Match them all at once with EID set splitting + VID filtering.
+    let matcher = EvMatcher::new(&dataset.estore, &dataset.video, MatcherConfig::default());
+    let report = matcher.match_many(&targets).expect("sequential mode cannot fail");
+
+    // 4. Inspect: how much video did we touch, and were we right?
+    let stats = score_report(&dataset, &report);
+    println!(
+        "selected {} distinct scenarios ({:.2} per EID), {} refinement round(s)",
+        report.selected_count(),
+        report.scenarios_per_eid(),
+        report.rounds,
+    );
+    println!(
+        "accuracy {:.1}% ({} correct, {} wrong, {} unmatched)",
+        stats.percent(),
+        stats.correct,
+        stats.wrong,
+        stats.unmatched,
+    );
+    println!(
+        "stage times: E = {:?}, V = {:?}",
+        report.timings.e_stage, report.timings.v_stage,
+    );
+
+    // 5. Look at a few individual matches.
+    for outcome in report.outcomes.iter().take(5) {
+        let truth = dataset.true_vid(outcome.eid);
+        println!(
+            "  {} -> {}  (vote share {:.0}%, truth {})",
+            outcome.eid,
+            outcome
+                .vid
+                .map_or_else(|| "unmatched".to_string(), |v| v.to_string()),
+            outcome.vote_share * 100.0,
+            truth.map_or_else(|| "?".to_string(), |v| v.to_string()),
+        );
+    }
+}

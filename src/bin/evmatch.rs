@@ -1,0 +1,286 @@
+//! `evmatch` — command-line front end for the EV-Matching reproduction.
+//!
+//! ```text
+//! evmatch generate  [--population N] [--duration T] [--seed S]
+//! evmatch match     [--population N] [--duration T] [--seed S]
+//!                   [--targets K] [--mode ideal|practical] [--workers W]
+//!                   [--json]
+//! evmatch query     [--population N] [--duration T] [--seed S]
+//!                   [--targets K] --eid HEX|--cell C --from T0 --to T1
+//! ```
+//!
+//! Datasets are regenerated deterministically from their parameters, so
+//! the CLI needs no dataset files: the same flags always rebuild the
+//! same world.
+
+use evmatch::fusion::FusedIndex;
+use evmatch::matching::refine::SplitMode;
+use evmatch::prelude::*;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct CommonArgs {
+    population: u64,
+    duration: u64,
+    seed: u64,
+    targets: usize,
+    mode: SplitMode,
+    workers: Option<usize>,
+    json: bool,
+    rest: BTreeMap<String, String>,
+}
+
+fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
+    let mut out = CommonArgs {
+        population: 300,
+        duration: 400,
+        seed: 42,
+        targets: 50,
+        mode: SplitMode::Practical,
+        workers: None,
+        json: false,
+        rest: BTreeMap::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--population" => out.population = take()?.parse().map_err(|e| format!("{e}"))?,
+            "--duration" => out.duration = take()?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => out.seed = take()?.parse().map_err(|e| format!("{e}"))?,
+            "--targets" => out.targets = take()?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => out.workers = Some(take()?.parse().map_err(|e| format!("{e}"))?),
+            "--mode" => {
+                out.mode = match take()?.as_str() {
+                    "ideal" => SplitMode::Ideal,
+                    "practical" => SplitMode::Practical,
+                    other => return Err(format!("unknown mode {other}")),
+                }
+            }
+            "--json" => out.json = true,
+            other if other.starts_with("--") => {
+                let key = other.trim_start_matches("--").to_string();
+                out.rest.insert(key, take()?);
+            }
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn build_dataset(args: &CommonArgs) -> Result<EvDataset, String> {
+    let config = DatasetConfig {
+        population: args.population,
+        duration: args.duration,
+        seed: args.seed,
+        ..DatasetConfig::default()
+    };
+    EvDataset::generate(&config).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(args: &CommonArgs) -> Result<(), String> {
+    let dataset = build_dataset(args)?;
+    if args.json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "population": dataset.config.population,
+                "duration": dataset.config.duration,
+                "seed": dataset.config.seed,
+                "cells": dataset.region.cell_count(),
+                "density": dataset.config.density(),
+                "e_scenarios": dataset.estore.len(),
+                "e_records": dataset.estore.record_count(),
+                "v_scenarios": dataset.video.len(),
+                "carriers": dataset.roster.carrier_count(),
+            })
+        );
+    } else {
+        println!(
+            "generated: {} people ({} carriers) over {} cells, {} ticks",
+            dataset.config.population,
+            dataset.roster.carrier_count(),
+            dataset.region.cell_count(),
+            dataset.config.duration,
+        );
+        println!(
+            "E-data: {} scenarios, {} membership records",
+            dataset.estore.len(),
+            dataset.estore.record_count(),
+        );
+        println!("V-data: {} scenario footages", dataset.video.len());
+    }
+    Ok(())
+}
+
+fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
+    let dataset = build_dataset(args)?;
+    let targets = sample_targets(&dataset, args.targets, args.seed);
+    let execution = match args.workers {
+        None => ExecutionMode::Sequential,
+        Some(w) => ExecutionMode::Parallel(ClusterConfig {
+            workers: w.max(1),
+            reduce_partitions: w.max(1),
+            ..ClusterConfig::default()
+        }),
+    };
+    let config = MatcherConfig {
+        mode: args.mode,
+        execution,
+        ..MatcherConfig::default()
+    };
+    let matcher = EvMatcher::new(&dataset.estore, &dataset.video, config);
+    let report = matcher.match_many(&targets).map_err(|e| e.to_string())?;
+    Ok((dataset, report))
+}
+
+fn cmd_match(args: &CommonArgs) -> Result<(), String> {
+    let (dataset, report) = run_match(args)?;
+    let stats = score_report(&dataset, &report);
+    if args.json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "matched": report.outcomes.len(),
+                "selected_scenarios": report.selected_count(),
+                "scenarios_per_eid": report.scenarios_per_eid(),
+                "accuracy_pct": stats.percent(),
+                "rounds": report.rounds,
+                "e_secs": report.timings.e_stage.as_secs_f64(),
+                "v_secs": report.timings.v_stage.as_secs_f64(),
+                "outcomes": report
+                    .outcomes
+                    .iter()
+                    .map(|o| serde_json::json!({
+                        "eid": o.eid.to_string(),
+                        "vid": o.vid.map(|v| v.as_u64()),
+                        "vote_share": o.vote_share,
+                    }))
+                    .collect::<Vec<_>>(),
+            })
+        );
+    } else {
+        println!(
+            "matched {} EIDs via {} scenarios ({:.2}/EID) in {} round(s)",
+            report.outcomes.len(),
+            report.selected_count(),
+            report.scenarios_per_eid(),
+            report.rounds,
+        );
+        println!(
+            "accuracy {:.1}% | E {:.3}s V {:.3}s",
+            stats.percent(),
+            report.timings.e_stage.as_secs_f64(),
+            report.timings.v_stage.as_secs_f64(),
+        );
+        for o in report.outcomes.iter().take(10) {
+            println!(
+                "  {} -> {}",
+                o.eid,
+                o.vid.map_or_else(|| "?".into(), |v| v.to_string())
+            );
+        }
+        if report.outcomes.len() > 10 {
+            println!("  ... ({} more)", report.outcomes.len() - 10);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &CommonArgs) -> Result<(), String> {
+    let (dataset, report) = run_match(args)?;
+    let index = FusedIndex::build(&dataset.estore, &dataset.video, &report);
+
+    if let Some(eid_text) = args.rest.get("eid") {
+        let eid: Eid = eid_text
+            .parse()
+            .map_err(|e: evmatch::core::Error| e.to_string())?;
+        match index.profile_by_eid(eid) {
+            None => println!("{eid}: not matched (or not in the requested target set)"),
+            Some(profile) => {
+                println!(
+                    "{eid} == {} (vote share {:.0}%)",
+                    profile.identity.vid,
+                    profile.identity.vote_share * 100.0,
+                );
+                println!(
+                    "electronic trail: {} observations over {} cells",
+                    profile.e_trail.len(),
+                    profile.e_trail.cells_visited().len(),
+                );
+                println!(
+                    "visual sightings in processed footage: {}",
+                    profile.v_sightings.len()
+                );
+                for e in index.encounters(eid, 2).iter().take(5) {
+                    println!(
+                        "  frequent contact: {} ({} shared scenarios)",
+                        e.eid, e.shared_scenarios
+                    );
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    if let Some(cell_text) = args.rest.get("cell") {
+        let cell: usize = cell_text.parse().map_err(|e| format!("{e}"))?;
+        let from: u64 = args
+            .rest
+            .get("from")
+            .map_or(Ok(0), |v| v.parse().map_err(|e| format!("{e}")))?;
+        let to: u64 = args
+            .rest
+            .get("to")
+            .map_or(Ok(args.duration), |v| v.parse().map_err(|e| format!("{e}")))?;
+        let cells = [evmatch::core::region::CellId::new(cell)];
+        let range = evmatch::core::time::TimeRange::new(
+            evmatch::core::time::Timestamp::new(from),
+            evmatch::core::time::Timestamp::new(to),
+        );
+        let present = index.present_at(&cells, range);
+        println!(
+            "{} matched identit(ies) present in cell#{cell} during [{from}, {to}):",
+            present.len()
+        );
+        for identity in present {
+            println!("  {} == {}", identity.eid, identity.vid);
+        }
+        return Ok(());
+    }
+
+    Err("query needs --eid HEX or --cell N [--from T0 --to T1]".into())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("usage: evmatch <generate|match|query> [flags]");
+        return ExitCode::from(2);
+    };
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("argument error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "match" => cmd_match(&args),
+        "query" => cmd_query(&args),
+        other => Err(format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The MapReduce pipelines must compute the same thing as their
+//! sequential references, deterministically, at any cluster width.
+
+use evmatch::mapreduce::{ClusterConfig, MapReduce};
+use evmatch::matching::edp::{edp_engine, match_edp, match_edp_parallel, EdpConfig};
+use evmatch::matching::parallel::{parallel_match, parallel_split, ParallelSplitConfig};
+use evmatch::matching::setsplit::{split_ideal, SetSplitConfig};
+use evmatch::matching::vfilter::VFilterConfig;
+use evmatch::prelude::*;
+
+fn dataset() -> EvDataset {
+    EvDataset::generate(&DatasetConfig {
+        population: 120,
+        duration: 250,
+        ..DatasetConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn cluster(workers: usize) -> ClusterConfig {
+    ClusterConfig {
+        workers,
+        reduce_partitions: workers.max(2),
+        split_size: 8,
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn parallel_edp_equals_sequential_edp() {
+    let d = dataset();
+    let targets = sample_targets(&d, 30, 1);
+    let config = EdpConfig::default();
+
+    d.video.reset_usage();
+    let sequential = match_edp(&d.estore, &d.video, &targets, &config);
+    d.video.reset_usage();
+    let engine = edp_engine(cluster(4));
+    let parallel = match_edp_parallel(&engine, &d.estore, &d.video, &targets, &config).unwrap();
+
+    assert_eq!(sequential.outcomes, parallel.outcomes);
+    assert_eq!(sequential.lists, parallel.lists);
+    assert_eq!(sequential.selected_scenarios, parallel.selected_scenarios);
+}
+
+#[test]
+fn parallel_split_is_deterministic_across_worker_counts() {
+    let d = dataset();
+    let targets = sample_targets(&d, 40, 2);
+    let config = ParallelSplitConfig {
+        seed: 5,
+        max_iterations: None,
+    };
+    let reference = parallel_split(
+        &MapReduce::new(cluster(1)),
+        &d.estore,
+        &targets,
+        &config,
+    )
+    .unwrap();
+    for workers in [2, 4, 8] {
+        let run = parallel_split(
+            &MapReduce::new(cluster(workers)),
+            &d.estore,
+            &targets,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(run.recorded, reference.recorded, "workers={workers}");
+        assert_eq!(run.lists, reference.lists, "workers={workers}");
+        assert_eq!(
+            run.partition.block_count(),
+            reference.partition.block_count()
+        );
+    }
+}
+
+#[test]
+fn parallel_split_reaches_sequential_granularity() {
+    let d = dataset();
+    let targets = sample_targets(&d, 40, 3);
+    let sequential = split_ideal(&d.estore, &targets, &SetSplitConfig::default());
+    let parallel = parallel_split(
+        &MapReduce::new(cluster(4)),
+        &d.estore,
+        &targets,
+        &ParallelSplitConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(parallel.fully_split(), sequential.fully_split());
+    assert_eq!(
+        parallel.partition.block_count(),
+        sequential.partition.block_count()
+    );
+}
+
+#[test]
+fn parallel_match_accuracy_is_comparable_to_sequential() {
+    let d = dataset();
+    let targets = sample_targets(&d, 40, 4);
+
+    d.video.reset_usage();
+    let matcher = EvMatcher::new(&d.estore, &d.video, MatcherConfig::default());
+    let seq_stats = score_report(&d, &matcher.match_many(&targets).unwrap());
+
+    d.video.reset_usage();
+    let par = parallel_match(
+        &MapReduce::new(cluster(4)),
+        &d.estore,
+        &d.video,
+        &targets,
+        &ParallelSplitConfig::default(),
+        &VFilterConfig::default(),
+    )
+    .unwrap();
+    let par_stats = score_report(&d, &par);
+
+    assert!(
+        par_stats.accuracy >= seq_stats.accuracy - 0.15,
+        "parallel {:.1}% vs sequential {:.1}%",
+        par_stats.percent(),
+        seq_stats.percent()
+    );
+    // No VID is awarded twice after conflict resolution.
+    let mut seen = std::collections::BTreeSet::new();
+    for o in par.outcomes.iter().filter(|o| o.is_majority()) {
+        assert!(seen.insert(o.vid.unwrap()), "duplicate award of {:?}", o.vid);
+    }
+}
+
+#[test]
+fn matcher_facade_runs_parallel_mode() {
+    let d = dataset();
+    let targets = sample_targets(&d, 25, 5);
+    let config = MatcherConfig {
+        execution: ExecutionMode::Parallel(cluster(3)),
+        ..MatcherConfig::default()
+    };
+    let matcher = EvMatcher::new(&d.estore, &d.video, config);
+    let report = matcher.match_many(&targets).unwrap();
+    assert_eq!(report.outcomes.len(), 25);
+    let stats = score_report(&d, &report);
+    assert!(stats.accuracy > 0.7, "{:.1}%", stats.percent());
+}

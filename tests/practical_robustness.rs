@@ -1,0 +1,100 @@
+//! Robustness integration for the practical setting: drifting EIDs,
+//! device-less people (missing EIDs) and missed detections (missing
+//! VIDs) — the regimes of paper §IV-C and Figs. 10–11.
+
+use evmatch::prelude::*;
+use evmatch::sensing::SensingNoise;
+
+fn base() -> DatasetConfig {
+    DatasetConfig {
+        population: 120,
+        duration: 250,
+        ..DatasetConfig::default()
+    }
+}
+
+fn accuracy(config: &DatasetConfig, matched: usize) -> f64 {
+    let d = EvDataset::generate(config).expect("valid config");
+    let targets = sample_targets(&d, matched, 1);
+    let matcher = EvMatcher::new(&d.estore, &d.video, MatcherConfig::default());
+    let report = matcher.match_many(&targets).unwrap();
+    score_report(&d, &report).accuracy
+}
+
+#[test]
+fn strong_drift_noise_is_absorbed_by_vague_zones() {
+    let mut config = base();
+    config.noise = SensingNoise {
+        sigma: 12.0,
+        dropout: 0.05,
+    };
+    let acc = accuracy(&config, 40);
+    assert!(acc > 0.75, "drift accuracy {:.1}%", acc * 100.0);
+}
+
+#[test]
+fn half_the_population_without_devices_still_matches() {
+    let mut config = base();
+    config.eid_missing_rate = 0.5;
+    let acc = accuracy(&config, 40);
+    assert!(acc > 0.75, "missing-EID accuracy {:.1}%", acc * 100.0);
+}
+
+#[test]
+fn missed_detections_degrade_gracefully() {
+    let mut low = base();
+    low.detection.miss_rate = 0.02;
+    let mut high = base();
+    high.detection.miss_rate = 0.10;
+    let acc_low = accuracy(&low, 40);
+    let acc_high = accuracy(&high, 40);
+    assert!(acc_low > 0.8, "2% miss: {:.1}%", acc_low * 100.0);
+    assert!(acc_high > 0.6, "10% miss: {:.1}%", acc_high * 100.0);
+    assert!(
+        acc_high <= acc_low + 0.1,
+        "more misses cannot systematically help ({acc_low} -> {acc_high})"
+    );
+}
+
+#[test]
+fn refinement_helps_under_missing_vids() {
+    let mut config = base();
+    config.detection.miss_rate = 0.08;
+    let d = EvDataset::generate(&config).unwrap();
+    let targets = sample_targets(&d, 40, 2);
+
+    let run = |rounds: u32| {
+        d.video.reset_usage();
+        let matcher = EvMatcher::new(
+            &d.estore,
+            &d.video,
+            MatcherConfig {
+                max_rounds: rounds,
+                ..MatcherConfig::default()
+            },
+        );
+        score_report(&d, &matcher.match_many(&targets).unwrap()).accuracy
+    };
+    let one = run(1);
+    let four = run(4);
+    assert!(
+        four >= one - 0.05,
+        "refining must not hurt: 1 round {:.1}% vs 4 rounds {:.1}%",
+        one * 100.0,
+        four * 100.0
+    );
+}
+
+#[test]
+fn combined_worst_case_remains_usable() {
+    // Drift + 30% device-less + 5% missed detections together.
+    let mut config = base();
+    config.noise = SensingNoise {
+        sigma: 10.0,
+        dropout: 0.03,
+    };
+    config.eid_missing_rate = 0.3;
+    config.detection.miss_rate = 0.05;
+    let acc = accuracy(&config, 30);
+    assert!(acc > 0.6, "combined-stress accuracy {:.1}%", acc * 100.0);
+}
