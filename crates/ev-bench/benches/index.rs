@@ -1,0 +1,137 @@
+//! Benchmarks the inverted-index rewrite against the frozen scan-based
+//! reference paths (`setsplit::reference`, `filter_vids_uncached`) and
+//! writes the measurements — including the headline GreedyBalanced
+//! speedup — to `results/BENCH_index.json`.
+//!
+//! Custom main (no criterion harness): the results must land in a JSON
+//! record, so we drain [`Criterion::take_results`] ourselves.
+
+use criterion::{BenchResult, Criterion};
+use ev_datagen::{sample_targets, DatasetConfig, EvDataset};
+use ev_matching::setsplit::{reference, split_ideal, SelectionStrategy, SetSplitConfig};
+use ev_matching::vfilter::{filter_vids, filter_vids_uncached, VFilterConfig};
+use serde::Serialize;
+use std::path::Path;
+
+/// One exported measurement.
+#[derive(Debug, Serialize)]
+struct Entry {
+    id: String,
+    per_iter_ns: u64,
+    iterations: u64,
+}
+
+impl From<BenchResult> for Entry {
+    fn from(r: BenchResult) -> Self {
+        Entry {
+            id: r.id,
+            per_iter_ns: u64::try_from(r.per_iter.as_nanos()).unwrap_or(u64::MAX),
+            iterations: r.iterations,
+        }
+    }
+}
+
+/// The full `BENCH_index.json` record.
+#[derive(Debug, Serialize)]
+struct Record {
+    population: u64,
+    duration: u64,
+    targets: usize,
+    /// scan time / indexed time for the GreedyBalanced splitter
+    /// (the issue's acceptance bar is ≥ 2).
+    greedy_speedup: f64,
+    /// uncached time / cached time for the V-stage filter.
+    vfilter_speedup: f64,
+    results: Vec<Entry>,
+}
+
+fn per_iter_ns(results: &[Entry], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|e| e.id == id)
+        .map(|e| e.per_iter_ns as f64)
+        .expect("benchmark id present")
+}
+
+fn main() {
+    let population = 400;
+    let duration = 300;
+    let n_targets = 100;
+    let data = EvDataset::generate(&DatasetConfig {
+        population,
+        duration,
+        ..DatasetConfig::default()
+    })
+    .expect("valid config");
+    let targets = sample_targets(&data, n_targets, 1);
+
+    let mut c = Criterion::default();
+
+    // -- setsplit: indexed vs scan, per strategy ------------------------
+    let mut group = c.benchmark_group("setsplit_index");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("chrono", SelectionStrategy::Chronological),
+        ("random", SelectionStrategy::RandomTime { seed: 1 }),
+        ("greedy", SelectionStrategy::GreedyBalanced),
+    ] {
+        let config = SetSplitConfig {
+            strategy,
+            ..SetSplitConfig::default()
+        };
+        group.bench_function(format!("{name}/indexed"), |b| {
+            b.iter(|| split_ideal(&data.estore, &targets, &config).recorded.len());
+        });
+        group.bench_function(format!("{name}/scan"), |b| {
+            b.iter(|| {
+                reference::split_ideal_scan(&data.estore, &targets, &config)
+                    .recorded
+                    .len()
+            });
+        });
+    }
+    group.finish();
+
+    // -- vfilter: shared gallery cache vs per-EID re-extraction ---------
+    let split = split_ideal(&data.estore, &targets, &SetSplitConfig::default());
+    let vconfig = VFilterConfig::default();
+    let mut group = c.benchmark_group("vfilter_index");
+    group.sample_size(10);
+    group.bench_function("cached", |b| {
+        b.iter(|| filter_vids(&split.lists, &data.video, &vconfig).len());
+    });
+    group.bench_function("uncached", |b| {
+        b.iter(|| filter_vids_uncached(&split.lists, &data.video, &vconfig).len());
+    });
+    group.finish();
+
+    let results: Vec<Entry> = c.take_results().into_iter().map(Entry::from).collect();
+    let record = Record {
+        population,
+        duration,
+        targets: n_targets,
+        greedy_speedup: per_iter_ns(&results, "setsplit_index/greedy/scan")
+            / per_iter_ns(&results, "setsplit_index/greedy/indexed"),
+        vfilter_speedup: per_iter_ns(&results, "vfilter_index/uncached")
+            / per_iter_ns(&results, "vfilter_index/cached"),
+        results,
+    };
+
+    for e in &record.results {
+        println!(
+            "{:<40} {:>12} ns/iter  ({} iters)",
+            e.id, e.per_iter_ns, e.iterations
+        );
+    }
+    println!(
+        "greedy speedup: {:.1}x   vfilter speedup: {:.1}x",
+        record.greedy_speedup, record.vfilter_speedup
+    );
+
+    // Anchor to the workspace-root results directory regardless of the
+    // CWD cargo picked for the bench binary.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let json = serde_json::to_string_pretty(&record).expect("serialize record");
+    std::fs::write(dir.join("BENCH_index.json"), json).expect("write BENCH_index.json");
+}

@@ -34,14 +34,23 @@ impl Combiner<String, u64> for SumCombiner {
 
 fn corpus(lines: usize) -> Vec<String> {
     (0..lines)
-        .map(|i| format!("alpha{} beta{} gamma{} shared common", i % 97, i % 31, i % 13))
+        .map(|i| {
+            format!(
+                "alpha{} beta{} gamma{} shared common",
+                i % 97,
+                i % 31,
+                i % 13
+            )
+        })
         .collect()
 }
 
 fn bench_worker_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("mapreduce_workers");
     group.sample_size(10);
-    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     for workers in [1usize, 2, 4, 8] {
         if workers > max * 2 {
             continue;
@@ -133,5 +142,10 @@ fn bench_speculation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_worker_scaling, bench_combiner, bench_speculation);
+criterion_group!(
+    benches,
+    bench_worker_scaling,
+    bench_combiner,
+    bench_speculation
+);
 criterion_main!(benches);

@@ -4,10 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ev_datagen::{sample_targets, DatasetConfig, EvDataset};
+use ev_mapreduce::ClusterConfig;
 use ev_matching::edp::{match_edp, EdpConfig};
 use ev_matching::refine::{match_with_refinement, RefineConfig, SplitMode};
 use ev_matching::vfilter::{filter_one, VFilterConfig};
-use ev_mapreduce::ClusterConfig;
 use std::collections::BTreeSet;
 
 fn dataset() -> EvDataset {

@@ -94,7 +94,11 @@ fn bench_split_strategies(c: &mut Criterion) {
     }
     group.bench_function("practical-random", |b| {
         let config = SetSplitConfig::default();
-        b.iter(|| split_practical(&data.estore, &targets, &config).recorded.len());
+        b.iter(|| {
+            split_practical(&data.estore, &targets, &config)
+                .recorded
+                .len()
+        });
     });
     group.finish();
 }

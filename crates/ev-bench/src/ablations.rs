@@ -6,9 +6,9 @@ use crate::experiments::Scale;
 use crate::report::{num, Table};
 use crate::runner::{run_ss, run_ss_parallel};
 use ev_datagen::{sample_targets, score_report, DatasetConfig, EvDataset};
+use ev_mapreduce::ClusterConfig;
 use ev_matching::refine::{match_with_refinement, RefineConfig, SplitMode};
 use ev_matching::setsplit::{SelectionStrategy, SetSplitConfig};
-use ev_mapreduce::ClusterConfig;
 use ev_vision::cost::CostModel;
 use std::time::Instant;
 
@@ -57,8 +57,7 @@ pub fn ablate_selection(scale: Scale) -> Table {
             ..RefineConfig::default()
         };
         let start = Instant::now();
-        let report =
-            match_with_refinement(&dataset.estore, &dataset.video, &targets, &config);
+        let report = match_with_refinement(&dataset.estore, &dataset.video, &targets, &config);
         let elapsed = start.elapsed();
         let stats = score_report(&dataset, &report);
         table.push_row(vec![
@@ -174,10 +173,7 @@ pub fn ablate_mobility(scale: Scale) -> Table {
             Mobility::RandomWaypoint(WaypointParams::default()),
         ),
         ("random-walk", Mobility::RandomWalk(WalkParams::default())),
-        (
-            "manhattan",
-            Mobility::Manhattan(ManhattanParams::default()),
-        ),
+        ("manhattan", Mobility::Manhattan(ManhattanParams::default())),
     ];
     for (name, mobility) in models {
         let dataset = EvDataset::generate(&DatasetConfig {

@@ -38,7 +38,10 @@ fn main() {
         std::process::exit(2);
     }
     if ids.iter().any(|i| i == "all") {
-        ids = all_experiment_ids().iter().map(ToString::to_string).collect();
+        ids = all_experiment_ids()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
     }
 
     let overall = Instant::now();

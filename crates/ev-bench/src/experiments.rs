@@ -309,13 +309,7 @@ pub fn table1(scale: Scale) -> Table {
     let mut table = Table::new(
         "table1",
         "Accuracy (%) with respect to the number of matched EIDs",
-        vec![
-            "matched EIDs",
-            "SS",
-            "EDP",
-            "SS (paper)",
-            "EDP (paper)",
-        ],
+        vec!["matched EIDs", "SS", "EDP", "SS (paper)", "EDP (paper)"],
     );
     let paper_ss = [92.42, 90.60, 91.50, 89.12];
     let paper_edp = [93.0, 92.0, 88.21, 87.70];
@@ -526,10 +520,7 @@ mod tests {
             let ss_v: f64 = row[2].parse().unwrap();
             let ss_total: f64 = row[3].parse().unwrap();
             assert!(ss_total > 0.0);
-            assert!(
-                ss_v >= ss_e,
-                "V stage should dominate (E={ss_e}, V={ss_v})"
-            );
+            assert!(ss_v >= ss_e, "V stage should dominate (E={ss_e}, V={ss_v})");
         }
     }
 

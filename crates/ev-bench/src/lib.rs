@@ -85,10 +85,7 @@ mod tests {
         // Only check the ids dispatch (running them all is the
         // integration suite's job); use a known-cheap one end to end.
         for id in all_experiment_ids() {
-            assert!(
-                matches!(id, _s),
-                "id list should be non-empty and static"
-            );
+            assert!(matches!(id, _s), "id list should be non-empty and static");
         }
         let tables = run_experiment("ablate-vague", Scale::Quick).unwrap();
         assert_eq!(tables.len(), 1);

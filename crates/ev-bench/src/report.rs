@@ -108,7 +108,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.header))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }
@@ -167,10 +171,8 @@ mod tests {
         let dir = std::env::temp_dir().join("ev-bench-test-report");
         let t = table();
         t.save_json(&dir).unwrap();
-        let loaded: Table = serde_json::from_str(
-            &std::fs::read_to_string(dir.join("figX.json")).unwrap(),
-        )
-        .unwrap();
+        let loaded: Table =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("figX.json")).unwrap()).unwrap();
         assert_eq!(loaded, t);
         let _ = std::fs::remove_dir_all(&dir);
     }

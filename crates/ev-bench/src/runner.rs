@@ -3,11 +3,11 @@
 
 use ev_core::ids::Eid;
 use ev_datagen::{score_report, EvDataset};
-use ev_matching::edp::{match_edp, match_edp_parallel, edp_engine, EdpConfig};
+use ev_mapreduce::{ClusterConfig, MapReduce};
+use ev_matching::edp::{edp_engine, match_edp, match_edp_parallel, EdpConfig};
 use ev_matching::parallel::{parallel_match, ParallelSplitConfig};
 use ev_matching::refine::{match_with_refinement, RefineConfig, SplitMode};
 use ev_matching::vfilter::VFilterConfig;
-use ev_mapreduce::{ClusterConfig, MapReduce};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -178,8 +178,7 @@ pub fn average(summaries: &[RunSummary]) -> RunSummary {
     RunSummary {
         algo,
         matched: summaries[0].matched,
-        selected: (summaries.iter().map(|s| s.selected).sum::<usize>() as f64 / n).round()
-            as usize,
+        selected: (summaries.iter().map(|s| s.selected).sum::<usize>() as f64 / n).round() as usize,
         per_eid: summaries.iter().map(|s| s.per_eid).sum::<f64>() / n,
         accuracy_pct: summaries.iter().map(|s| s.accuracy_pct).sum::<f64>() / n,
         e_secs: summaries.iter().map(|s| s.e_secs).sum::<f64>() / n,

@@ -73,7 +73,13 @@ impl FeatureVector {
         FeatureVector {
             components: components
                 .into_iter()
-                .map(|c| if c.is_finite() { c.clamp(0.0, 1.0) } else { 0.0 })
+                .map(|c| {
+                    if c.is_finite() {
+                        c.clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    }
+                })
                 .collect(),
         }
     }
@@ -179,10 +185,7 @@ mod tests {
     fn identical_vectors_have_similarity_one() {
         let a = fv(&[0.2, 0.8, 0.5]);
         for m in [Metric::NormalizedL2, Metric::NormalizedL1, Metric::Cosine] {
-            assert!(
-                (a.similarity(&a, m).unwrap() - 1.0).abs() < 1e-12,
-                "{m:?}"
-            );
+            assert!((a.similarity(&a, m).unwrap() - 1.0).abs() < 1e-12, "{m:?}");
         }
     }
 

@@ -85,9 +85,7 @@ impl EidPartition {
     ///
     /// Returns [`crate::Error::InvalidParameter`] if any block is empty or
     /// an EID appears in two blocks.
-    pub fn from_blocks(
-        blocks: impl IntoIterator<Item = BTreeSet<Eid>>,
-    ) -> crate::Result<Self> {
+    pub fn from_blocks(blocks: impl IntoIterator<Item = BTreeSet<Eid>>) -> crate::Result<Self> {
         let blocks: Vec<BTreeSet<Eid>> = blocks.into_iter().collect();
         let mut membership = BTreeMap::new();
         for (i, block) in blocks.iter().enumerate() {
@@ -417,9 +415,8 @@ impl VagueCover {
         let keep_firm = self.is_firmly_distinguished(eid);
         let mut kept_singleton = false;
         self.blocks.retain_mut(|b| {
-            let is_keeper = b.len() == 1
-                && b.contains_key(&eid)
-                && (!keep_firm || b.get(&eid) == Some(&true));
+            let is_keeper =
+                b.len() == 1 && b.contains_key(&eid) && (!keep_firm || b.get(&eid) == Some(&true));
             if is_keeper {
                 if kept_singleton {
                     return false; // duplicate singleton

@@ -287,11 +287,20 @@ mod tests {
         assert!(GridRegion::new(0.0, 10.0, 1.0, 0.0).is_err());
         assert!(GridRegion::new(10.0, -1.0, 1.0, 0.0).is_err());
         assert!(GridRegion::new(10.0, 10.0, 0.0, 0.0).is_err());
-        assert!(GridRegion::new(10.0, 10.0, 20.0, 0.0).is_err(), "cell > region");
-        assert!(GridRegion::new(10.0, 10.0, 2.0, 1.0).is_err(), "vague >= half cell");
+        assert!(
+            GridRegion::new(10.0, 10.0, 20.0, 0.0).is_err(),
+            "cell > region"
+        );
+        assert!(
+            GridRegion::new(10.0, 10.0, 2.0, 1.0).is_err(),
+            "vague >= half cell"
+        );
         assert!(GridRegion::new(10.0, 10.0, 2.0, -0.1).is_err());
         assert!(GridRegion::new(f64::NAN, 10.0, 1.0, 0.0).is_err());
-        assert!(GridRegion::new(10.0, 10.0, 2.0, 0.0).is_ok(), "zero vague band ok");
+        assert!(
+            GridRegion::new(10.0, 10.0, 2.0, 0.0).is_ok(),
+            "zero vague band ok"
+        );
     }
 
     #[test]
@@ -354,7 +363,10 @@ mod tests {
         // Exactly at the inclusive threshold counts as inclusive.
         assert_eq!(r.zone_of(cell, Point::new(110.0, 150.0)), Zone::Inclusive);
         // Unknown cell treats everything as exclusive.
-        assert_eq!(r.zone_of(CellId(999), Point::new(1.0, 1.0)), Zone::Exclusive);
+        assert_eq!(
+            r.zone_of(CellId(999), Point::new(1.0, 1.0)),
+            Zone::Exclusive
+        );
     }
 
     #[test]

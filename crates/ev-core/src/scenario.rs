@@ -24,9 +24,7 @@ use std::fmt;
 /// Scenario ids order by time first, then by cell, which matches how the
 /// parallel splitting algorithm selects scenario batches (one random
 /// timestamp per iteration, paper Algorithm 3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ScenarioId {
     /// The snapshot instant (or window start in the practical setting).
     pub time: Timestamp,

@@ -193,6 +193,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Timestamp::new(7).to_string(), "t=7");
-        assert_eq!(TimeRange::window(Timestamp::new(1), 2).to_string(), "[1, 3)");
+        assert_eq!(
+            TimeRange::window(Timestamp::new(1), 2).to_string(),
+            "[1, 3)"
+        );
     }
 }

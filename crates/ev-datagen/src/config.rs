@@ -134,7 +134,9 @@ impl DatasetConfig {
             .min_by(|&a, &b| {
                 let da = (target / f64::from(a * a)).ln().abs();
                 let db = (target / f64::from(b * b)).ln().abs();
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                // total_cmp: NaN (degenerate population) must not make
+                // the comparator claim every pair is equal.
+                da.total_cmp(&db)
             })
             .unwrap_or(1);
         Self::with_grid_side(side)

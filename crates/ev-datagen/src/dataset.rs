@@ -48,24 +48,15 @@ impl EvDataset {
 
         // 1. Mobility.
         let mut world = match config.mobility {
-            crate::config::Mobility::RandomWaypoint(p) => World::random_waypoint(
-                region.clone(),
-                config.population as usize,
-                p,
-                config.seed,
-            ),
-            crate::config::Mobility::RandomWalk(p) => World::random_walk(
-                region.clone(),
-                config.population as usize,
-                p,
-                config.seed,
-            ),
-            crate::config::Mobility::Manhattan(p) => World::manhattan(
-                region.clone(),
-                config.population as usize,
-                p,
-                config.seed,
-            ),
+            crate::config::Mobility::RandomWaypoint(p) => {
+                World::random_waypoint(region.clone(), config.population as usize, p, config.seed)
+            }
+            crate::config::Mobility::RandomWalk(p) => {
+                World::random_walk(region.clone(), config.population as usize, p, config.seed)
+            }
+            crate::config::Mobility::Manhattan(p) => {
+                World::manhattan(region.clone(), config.population as usize, p, config.seed)
+            }
         };
         let traces = world.run(config.duration);
 
@@ -196,10 +187,8 @@ mod tests {
         let mut vids = std::collections::BTreeSet::new();
         for id in (0..d.config.duration).step_by(d.config.window as usize) {
             for cell in d.region.cells() {
-                let sid = ev_core::scenario::ScenarioId::new(
-                    ev_core::time::Timestamp::new(id),
-                    cell,
-                );
+                let sid =
+                    ev_core::scenario::ScenarioId::new(ev_core::time::Timestamp::new(id), cell);
                 if let Some(v) = d.video.extract(sid) {
                     vids.extend(v.vids());
                 }

@@ -97,10 +97,10 @@ mod tests {
         let d = dataset();
         let report = MatchReport {
             outcomes: vec![
-                outcome(0, Some(0), 1.0),  // correct
-                outcome(1, Some(2), 1.0),  // wrong vid
-                outcome(2, Some(2), 0.4),  // no majority
-                outcome(3, None, 0.0),     // unmatched
+                outcome(0, Some(0), 1.0), // correct
+                outcome(1, Some(2), 1.0), // wrong vid
+                outcome(2, Some(2), 0.4), // no majority
+                outcome(3, None, 0.0),    // unmatched
             ],
             ..MatchReport::default()
         };

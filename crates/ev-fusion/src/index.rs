@@ -63,11 +63,7 @@ pub struct FusedIndex<'a> {
 impl<'a> FusedIndex<'a> {
     /// Builds the index from a finished matching run.
     #[must_use]
-    pub fn build(
-        estore: &'a EScenarioStore,
-        video: &'a VideoStore,
-        report: &MatchReport,
-    ) -> Self {
+    pub fn build(estore: &'a EScenarioStore, video: &'a VideoStore, report: &MatchReport) -> Self {
         let mut by_eid = BTreeMap::new();
         let mut by_vid = BTreeMap::new();
         for outcome in &report.outcomes {
@@ -309,7 +305,10 @@ mod tests {
         assert!(eids.contains(&2));
         assert!(!eids.contains(&3));
         // An empty window finds nobody.
-        let nobody = index.present_at(&cells, TimeRange::new(Timestamp::new(40), Timestamp::new(50)));
+        let nobody = index.present_at(
+            &cells,
+            TimeRange::new(Timestamp::new(40), Timestamp::new(50)),
+        );
         assert!(nobody.is_empty());
     }
 

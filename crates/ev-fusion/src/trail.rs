@@ -65,9 +65,7 @@ impl ETrail {
 
     /// The confident (inclusive-zone) observations only.
     pub fn confident(&self) -> impl Iterator<Item = &TrailPoint> {
-        self.points
-            .iter()
-            .filter(|p| p.attr == ZoneAttr::Inclusive)
+        self.points.iter().filter(|p| p.attr == ZoneAttr::Inclusive)
     }
 
     /// Distinct cells the device was heard in.
@@ -151,6 +149,8 @@ mod tests {
         let range = TimeRange::new(Timestamp::new(5), Timestamp::new(25));
         let hits: Vec<_> = trail.within(range).collect();
         assert_eq!(hits.len(), 2);
-        assert!(hits.iter().all(|p| p.time.tick() >= 5 && p.time.tick() < 25));
+        assert!(hits
+            .iter()
+            .all(|p| p.time.tick() >= 5 && p.time.tick() < 25));
     }
 }

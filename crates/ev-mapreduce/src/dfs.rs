@@ -55,7 +55,10 @@ impl fmt::Display for DfsError {
         match self {
             DfsError::FileNotFound { path } => write!(f, "file not found: {path}"),
             DfsError::BlockUnavailable { path, block } => {
-                write!(f, "all replicas of {path} block {block} are on failed nodes")
+                write!(
+                    f,
+                    "all replicas of {path} block {block} are on failed nodes"
+                )
             }
             DfsError::BadReplication { replication, nodes } => write!(
                 f,
@@ -167,9 +170,12 @@ impl Dfs {
     /// Returns [`DfsError::FileNotFound`] or [`DfsError::BlockUnavailable`].
     pub fn get(&self, path: &str) -> Result<Bytes, DfsError> {
         let state = self.state.read();
-        let blocks = state.files.get(path).ok_or_else(|| DfsError::FileNotFound {
-            path: path.to_owned(),
-        })?;
+        let blocks = state
+            .files
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound {
+                path: path.to_owned(),
+            })?;
         let mut out = Vec::new();
         for (i, block) in blocks.iter().enumerate() {
             if block.replicas.iter().all(|n| state.failed.contains(n)) {
@@ -191,9 +197,12 @@ impl Dfs {
     /// Returns [`DfsError::FileNotFound`] for unknown paths.
     pub fn locate(&self, path: &str) -> Result<Vec<Vec<NodeId>>, DfsError> {
         let state = self.state.read();
-        let blocks = state.files.get(path).ok_or_else(|| DfsError::FileNotFound {
-            path: path.to_owned(),
-        })?;
+        let blocks = state
+            .files
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound {
+                path: path.to_owned(),
+            })?;
         Ok(blocks
             .iter()
             .map(|b| {
@@ -279,7 +288,10 @@ mod tests {
     fn put_get_roundtrip() {
         let dfs = Dfs::new(4, 8, 2).unwrap();
         dfs.put("/a", &b"hello distributed world"[..]).unwrap();
-        assert_eq!(dfs.get("/a").unwrap(), Bytes::from_static(b"hello distributed world"));
+        assert_eq!(
+            dfs.get("/a").unwrap(),
+            Bytes::from_static(b"hello distributed world")
+        );
         assert_eq!(dfs.list(), vec!["/a".to_string()]);
     }
 

@@ -35,10 +35,7 @@ impl fmt::Display for JobError {
                 stage,
                 task,
                 attempts,
-            } => write!(
-                f,
-                "{stage} task {task} failed after {attempts} attempts"
-            ),
+            } => write!(f, "{stage} task {task} failed after {attempts} attempts"),
         }
     }
 }
@@ -359,12 +356,8 @@ impl MapReduce {
                     while let Ok((task, attempt)) = task_rx.recv() {
                         // Injected failure?
                         if faults.task_failure_rate > 0.0
-                            && fault_draw(
-                                faults.seed,
-                                stage_id,
-                                task as u64,
-                                attempt.into(),
-                            ) < faults.task_failure_rate
+                            && fault_draw(faults.seed, stage_id, task as u64, attempt.into())
+                                < faults.task_failure_rate
                         {
                             let _ = done_tx.send(TaskOutcome::Failed { task });
                             continue;
@@ -519,7 +512,9 @@ mod tests {
                 split_size: 17,
                 ..ClusterConfig::default()
             };
-            let r = MapReduce::new(cfg).run(corpus(200), &Tokenize, &Sum).unwrap();
+            let r = MapReduce::new(cfg)
+                .run(corpus(200), &Tokenize, &Sum)
+                .unwrap();
             assert_eq!(r.output, base.output, "workers={workers}");
         }
     }
@@ -661,7 +656,9 @@ mod tests {
             task_overhead_units: 1_000,
             ..ClusterConfig::default()
         };
-        let result = MapReduce::new(cfg).run(corpus(100), &Tokenize, &Sum).unwrap();
+        let result = MapReduce::new(cfg)
+            .run(corpus(100), &Tokenize, &Sum)
+            .unwrap();
         assert_wordcount_correct(&result.output, 100);
         assert_eq!(result.metrics.speculative_attempts, 0);
     }
@@ -681,7 +678,9 @@ mod tests {
             task_overhead_units: 500,
             ..ClusterConfig::default()
         };
-        let result = MapReduce::new(cfg).run(corpus(100), &Tokenize, &Sum).unwrap();
+        let result = MapReduce::new(cfg)
+            .run(corpus(100), &Tokenize, &Sum)
+            .unwrap();
         assert_wordcount_correct(&result.output, 100);
     }
 
@@ -691,7 +690,9 @@ mod tests {
             split_size: 1,
             ..ClusterConfig::default()
         };
-        let result = MapReduce::new(cfg).run(corpus(10), &Tokenize, &Sum).unwrap();
+        let result = MapReduce::new(cfg)
+            .run(corpus(10), &Tokenize, &Sum)
+            .unwrap();
         assert_eq!(result.metrics.map_tasks, 10);
         assert_wordcount_correct(&result.output, 10);
     }
@@ -721,8 +722,7 @@ mod tests {
         let a = fault_draw(1, 0, 2, 3);
         assert_eq!(a, fault_draw(1, 0, 2, 3));
         assert_ne!(a, fault_draw(1, 0, 2, 4));
-        let mean: f64 =
-            (0..10_000).map(|i| fault_draw(42, 0, i, 0)).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000).map(|i| fault_draw(42, 0, i, 0)).sum::<f64>() / 10_000.0;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 }

@@ -31,6 +31,13 @@ pub struct JobMetrics {
     pub reduce_time: Duration,
     /// End-to-end wall time.
     pub total_time: Duration,
+    /// Posting lists fetched from a driver-side inverted index while
+    /// preparing or post-processing job inputs.
+    pub index_postings_probed: u64,
+    /// Driver-side gallery/extraction cache hits.
+    pub index_cache_hits: u64,
+    /// Full-store scans avoided by answering from an index instead.
+    pub index_scans_avoided: u64,
 }
 
 impl JobMetrics {
@@ -59,6 +66,22 @@ impl JobMetrics {
         self.shuffle_time += other.shuffle_time;
         self.reduce_time += other.reduce_time;
         self.total_time += other.total_time;
+        self.index_postings_probed += other.index_postings_probed;
+        self.index_cache_hits += other.index_cache_hits;
+        self.index_scans_avoided += other.index_scans_avoided;
+    }
+
+    /// Adds one batch of index-layer counters (the engine itself never
+    /// touches an index; drivers report through this).
+    pub fn record_index_stats(
+        &mut self,
+        postings_probed: u64,
+        cache_hits: u64,
+        scans_avoided: u64,
+    ) {
+        self.index_postings_probed += postings_probed;
+        self.index_cache_hits += cache_hits;
+        self.index_scans_avoided += scans_avoided;
     }
 }
 
@@ -102,5 +125,18 @@ mod tests {
         assert_eq!(a.map_tasks, 5);
         assert_eq!(a.shuffled_pairs, 17);
         assert_eq!(a.map_time, Duration::from_millis(8));
+    }
+
+    #[test]
+    fn index_stats_record_and_absorb() {
+        let mut a = JobMetrics::default();
+        a.record_index_stats(5, 2, 9);
+        a.record_index_stats(1, 1, 1);
+        let mut b = JobMetrics::default();
+        b.record_index_stats(10, 20, 30);
+        a.absorb(&b);
+        assert_eq!(a.index_postings_probed, 16);
+        assert_eq!(a.index_cache_hits, 23);
+        assert_eq!(a.index_scans_avoided, 40);
     }
 }

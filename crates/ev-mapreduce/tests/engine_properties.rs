@@ -95,7 +95,6 @@ proptest! {
                 seed,
             },
             task_overhead_units: 100,
-            ..ClusterConfig::default()
         });
         let result = engine
             .run(inputs.clone(), &ModMapper { k }, &StatsReducer)

@@ -52,7 +52,11 @@ pub struct SplitAudit {
 
 /// Audits a [`SplitOutput`] against Theorems 4.1 and 4.2.
 #[must_use]
-pub fn audit_split(store: &EScenarioStore, targets: &BTreeSet<Eid>, out: &SplitOutput) -> SplitAudit {
+pub fn audit_split(
+    store: &EScenarioStore,
+    targets: &BTreeSet<Eid>,
+    out: &SplitOutput,
+) -> SplitAudit {
     let n = targets.len();
     let (lower, upper) = theorem_4_2_bounds(n);
     let fully = out.fully_split();
@@ -144,10 +148,8 @@ mod tests {
 
     #[test]
     fn audit_of_a_clean_run_passes() {
-        let store = EScenarioStore::from_scenarios(vec![
-            scenario(0, 0, &[2, 3]),
-            scenario(1, 1, &[1, 3]),
-        ]);
+        let store =
+            EScenarioStore::from_scenarios(vec![scenario(0, 0, &[2, 3]), scenario(1, 1, &[1, 3])]);
         let targets: BTreeSet<Eid> = (0..4).map(Eid::from_u64).collect();
         let out = split_ideal(&store, &targets, &SetSplitConfig::default());
         let audit = audit_split(&store, &targets, &out);
@@ -172,10 +174,8 @@ mod tests {
 
     #[test]
     fn list_stats() {
-        let store = EScenarioStore::from_scenarios(vec![
-            scenario(0, 0, &[2, 3]),
-            scenario(1, 1, &[1, 3]),
-        ]);
+        let store =
+            EScenarioStore::from_scenarios(vec![scenario(0, 0, &[2, 3]), scenario(1, 1, &[1, 3])]);
         let targets: BTreeSet<Eid> = (0..4).map(Eid::from_u64).collect();
         let out = split_ideal(&store, &targets, &SetSplitConfig::default());
         let stats = list_length_stats(&out);

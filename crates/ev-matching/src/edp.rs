@@ -15,8 +15,8 @@
 //! not happen, although a scenario picked independently for two EIDs is
 //! only extracted (and counted) once.
 
-use crate::types::{MatchOutcome, MatchReport, ScenarioList, StageTimings};
-use crate::vfilter::{filter_one, VFilterConfig};
+use crate::types::{IndexCounters, MatchOutcome, MatchReport, ScenarioList, StageTimings};
+use crate::vfilter::{filter_one, filter_one_cached, GalleryCache, VFilterConfig};
 use ev_core::ids::Eid;
 use ev_core::scenario::ScenarioId;
 use ev_mapreduce::{ClusterConfig, Emitter, MapReduce, Mapper, Reducer};
@@ -111,6 +111,7 @@ pub fn match_edp(
     targets: &BTreeSet<Eid>,
     config: &EdpConfig,
 ) -> MatchReport {
+    let index_before = store.index().stats();
     let e_start = Instant::now();
     let lists: BTreeMap<Eid, ScenarioList> = targets
         .iter()
@@ -120,20 +121,31 @@ pub fn match_edp(
 
     let v_start = Instant::now();
     let empty = BTreeSet::new();
+    let mut cache = GalleryCache::new();
     let mut outcomes: Vec<MatchOutcome> = lists
         .iter()
-        .map(|(&eid, list)| filter_one(eid, list, video, &config.vfilter, &empty))
+        .map(|(&eid, list)| {
+            filter_one_cached(eid, list, video, &config.vfilter, &empty, &mut cache)
+        })
         .collect();
     outcomes.sort_by_key(|o| o.eid);
     let v_stage = v_start.elapsed();
 
-    let selected: BTreeSet<ScenarioId> =
-        lists.values().flat_map(|l| l.iter().copied()).collect();
+    let index_delta = store.index().stats().since(&index_before);
+    let selected: BTreeSet<ScenarioId> = lists.values().flat_map(|l| l.iter().copied()).collect();
     MatchReport {
         outcomes,
         lists,
         selected_scenarios: selected,
-        timings: StageTimings { e_stage, v_stage },
+        timings: StageTimings {
+            e_stage,
+            v_stage,
+            index: IndexCounters {
+                postings_probed: index_delta.postings_probed,
+                cache_hits: cache.hits(),
+                scans_avoided: index_delta.scans_avoided,
+            },
+        },
         rounds: 1,
     }
 }
@@ -158,7 +170,11 @@ struct ListReducer;
 impl Reducer<Eid, ScenarioList> for ListReducer {
     type Output = (Eid, ScenarioList);
     fn reduce(&self, key: &Eid, values: &[ScenarioList]) -> Vec<(Eid, ScenarioList)> {
-        values.first().map(|l| (*key, l.clone())).into_iter().collect()
+        values
+            .first()
+            .map(|l| (*key, l.clone()))
+            .into_iter()
+            .collect()
     }
 }
 
@@ -208,6 +224,7 @@ pub fn match_edp_parallel(
     config: &EdpConfig,
 ) -> Result<MatchReport, ev_mapreduce::JobError> {
     // E stage: per-EID E-filtering, one EID per mapper.
+    let index_before = store.index().stats();
     let e_start = Instant::now();
     let inputs: Vec<Eid> = targets.iter().copied().collect();
     let e_result = engine.run(
@@ -224,8 +241,7 @@ pub fn match_edp_parallel(
     // V stage: per-EID V-identification, one EID per mapper. The video
     // store deduplicates extraction of incidentally shared scenarios.
     let v_start = Instant::now();
-    let v_inputs: Vec<(Eid, ScenarioList)> =
-        lists.iter().map(|(&e, l)| (e, l.clone())).collect();
+    let v_inputs: Vec<(Eid, ScenarioList)> = lists.iter().map(|(&e, l)| (e, l.clone())).collect();
     let v_result = engine.run(
         v_inputs,
         &VIdentifyMapper {
@@ -238,12 +254,21 @@ pub fn match_edp_parallel(
     outcomes.sort_by_key(|o| o.eid);
     let v_stage = v_start.elapsed();
 
+    let index_delta = store.index().stats().since(&index_before);
     let selected = lists.values().flat_map(|l| l.iter().copied()).collect();
     Ok(MatchReport {
         outcomes,
         lists,
         selected_scenarios: selected,
-        timings: StageTimings { e_stage, v_stage },
+        timings: StageTimings {
+            e_stage,
+            v_stage,
+            index: IndexCounters {
+                postings_probed: index_delta.postings_probed,
+                cache_hits: 0,
+                scans_avoided: index_delta.scans_avoided,
+            },
+        },
         rounds: 1,
     })
 }
@@ -365,14 +390,10 @@ mod tests {
         let sequential = match_edp(&store, &video, &targets, &EdpConfig::default());
         let engine = edp_engine(ClusterConfig::default());
         let parallel =
-            match_edp_parallel(&engine, &store, &video, &targets, &EdpConfig::default())
-                .unwrap();
+            match_edp_parallel(&engine, &store, &video, &targets, &EdpConfig::default()).unwrap();
         assert_eq!(sequential.outcomes, parallel.outcomes);
         assert_eq!(sequential.lists, parallel.lists);
-        assert_eq!(
-            sequential.selected_scenarios,
-            parallel.selected_scenarios
-        );
+        assert_eq!(sequential.selected_scenarios, parallel.selected_scenarios);
     }
 
     #[test]

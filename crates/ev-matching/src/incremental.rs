@@ -86,7 +86,9 @@ pub fn update_matches(
             report.selected_scenarios.extend(list.iter().copied());
         }
     }
-    report.selected_scenarios.extend(fresh.selected_scenarios.iter().copied());
+    report
+        .selected_scenarios
+        .extend(fresh.selected_scenarios.iter().copied());
     for (eid, list) in &fresh.lists {
         report.lists.insert(*eid, list.clone());
     }
@@ -157,11 +159,7 @@ mod tests {
         assert!(report1.outcomes.iter().all(|o| o.is_majority()));
 
         // Day 2 brings EID 3 into view.
-        let day2: &[(u64, usize, &[u64])] = &[
-            (20, 0, &[3, 0]),
-            (30, 1, &[3]),
-            (30, 0, &[0]),
-        ];
+        let day2: &[(u64, usize, &[u64])] = &[(20, 0, &[3, 0]), (30, 1, &[3]), (30, 0, &[0])];
         let (estore2, video2) = day(day2);
         let estore = estore1.merged(&estore2);
         let video = video1.merged(&video2);

@@ -51,4 +51,4 @@ mod types;
 pub mod vfilter;
 
 pub use matcher::{EvMatcher, MatcherConfig};
-pub use types::{MatchOutcome, MatchReport, ScenarioList, StageTimings};
+pub use types::{IndexCounters, MatchOutcome, MatchReport, ScenarioList, StageTimings};

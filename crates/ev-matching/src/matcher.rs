@@ -19,7 +19,7 @@ use crate::edp::{efilter_one, EdpConfig};
 use crate::parallel::{parallel_match, ParallelSplitConfig};
 use crate::refine::{match_with_refinement, RefineConfig, SplitMode};
 use crate::setsplit::SetSplitConfig;
-use crate::types::{MatchReport, StageTimings};
+use crate::types::{IndexCounters, MatchReport, StageTimings};
 use crate::vfilter::{filter_one, VFilterConfig};
 use ev_core::ids::Eid;
 use ev_mapreduce::{ClusterConfig, MapReduce};
@@ -98,6 +98,7 @@ impl<'a> EvMatcher<'a> {
     /// matching other EIDs and VIDs", §I).
     #[must_use]
     pub fn match_one(&self, eid: Eid) -> MatchReport {
+        let index_before = self.estore.index().stats();
         let e_start = Instant::now();
         let edp_cfg = EdpConfig {
             vfilter: self.config.vfilter,
@@ -119,11 +120,20 @@ impl<'a> EvMatcher<'a> {
 
         let mut lists = BTreeMap::new();
         lists.insert(eid, list.clone());
+        let index_delta = self.estore.index().stats().since(&index_before);
         MatchReport {
             outcomes: vec![outcome],
             lists,
             selected_scenarios: list.into_iter().collect(),
-            timings: StageTimings { e_stage, v_stage },
+            timings: StageTimings {
+                e_stage,
+                v_stage,
+                index: IndexCounters {
+                    postings_probed: index_delta.postings_probed,
+                    cache_hits: 0,
+                    scans_avoided: index_delta.scans_avoided,
+                },
+            },
             rounds: 1,
         }
     }

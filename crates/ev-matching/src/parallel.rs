@@ -23,12 +23,12 @@
 //! parallel mappers cannot see each other's matches.
 
 use crate::setsplit::{attach_anchors, SplitOutput};
-use crate::types::{MatchOutcome, MatchReport, ScenarioList, StageTimings};
+use crate::types::{IndexCounters, MatchOutcome, MatchReport, ScenarioList, StageTimings};
 use crate::vfilter::{filter_one, VFilterConfig};
 use ev_core::ids::{Eid, Vid};
 use ev_core::partition::EidPartition;
 use ev_core::scenario::ScenarioId;
-use ev_mapreduce::{Emitter, JobError, MapReduce, Mapper, Reducer};
+use ev_mapreduce::{Emitter, JobError, JobMetrics, MapReduce, Mapper, Reducer};
 use ev_store::{EScenarioStore, VideoStore};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -39,9 +39,7 @@ use std::time::Instant;
 
 /// Identifier of an EID set flowing through a splitting iteration: either
 /// a block of the current partition or an E-Scenario.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SetId {
     /// The `i`-th block of the current partition.
     Block(usize),
@@ -117,6 +115,9 @@ impl Reducer<Vec<SetId>, Eid> for BlockReducer {
 
 /// Runs EID set splitting as iterated MapReduce jobs (paper Algorithm 3).
 ///
+/// Post-processing (anchors, padding, uniqueness) is answered from the
+/// store's inverted index; engine job metrics accumulate into `metrics`.
+///
 /// # Errors
 ///
 /// Propagates [`JobError`] from the engine.
@@ -126,14 +127,54 @@ pub fn parallel_split(
     targets: &BTreeSet<Eid>,
     config: &ParallelSplitConfig,
 ) -> Result<SplitOutput, JobError> {
+    parallel_split_impl(
+        engine,
+        store,
+        targets,
+        config,
+        false,
+        &mut JobMetrics::default(),
+    )
+}
+
+/// Scan-based reference twin of [`parallel_split`]: identical driver, but
+/// post-processing walks the store instead of the index. Kept for the
+/// equivalence tests and benches.
+///
+/// # Errors
+///
+/// Propagates [`JobError`] from the engine.
+pub fn parallel_split_scan(
+    engine: &MapReduce,
+    store: &EScenarioStore,
+    targets: &BTreeSet<Eid>,
+    config: &ParallelSplitConfig,
+) -> Result<SplitOutput, JobError> {
+    parallel_split_impl(
+        engine,
+        store,
+        targets,
+        config,
+        true,
+        &mut JobMetrics::default(),
+    )
+}
+
+fn parallel_split_impl(
+    engine: &MapReduce,
+    store: &EScenarioStore,
+    targets: &BTreeSet<Eid>,
+    config: &ParallelSplitConfig,
+    scan: bool,
+    metrics: &mut JobMetrics,
+) -> Result<SplitOutput, JobError> {
     let mut blocks: Vec<BTreeSet<Eid>> = if targets.is_empty() {
         Vec::new()
     } else {
         vec![targets.clone()]
     };
     let mut recorded: Vec<ScenarioId> = Vec::new();
-    let mut lists: BTreeMap<Eid, ScenarioList> =
-        targets.iter().map(|&e| (e, Vec::new())).collect();
+    let mut lists: BTreeMap<Eid, ScenarioList> = targets.iter().map(|&e| (e, Vec::new())).collect();
     let mut examined = 0usize;
 
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
@@ -191,8 +232,10 @@ pub fn parallel_split(
 
         // ---- map + reduce: signatures ----
         let signatures = engine.run(inputs, &MembershipMapper, &SignatureReducer)?;
+        metrics.absorb(&signatures.metrics);
         // ---- merge: group by signature ----
         let merged = engine.run(signatures.output, &SignatureMapper, &BlockReducer)?;
+        metrics.absorb(&merged.metrics);
 
         // Rebuild the partition and find the effective scenarios.
         let mut children_of: BTreeMap<usize, Vec<&Vec<SetId>>> = BTreeMap::new();
@@ -243,9 +286,9 @@ pub fn parallel_split(
         blocks = new_blocks;
     }
 
-    attach_anchors(store, &mut lists);
-    crate::setsplit::extend_lists(store, &mut lists, 3, config.seed, true);
-    crate::setsplit::ensure_unique_against_universe(store, &mut lists, config.seed, true);
+    attach_anchors(store, &mut lists, scan);
+    crate::setsplit::extend_lists(store, &mut lists, 3, config.seed, true, scan);
+    crate::setsplit::ensure_unique_against_universe(store, &mut lists, config.seed, true, scan);
     let partition = EidPartition::from_blocks(blocks)
         .expect("merge output blocks are disjoint by construction");
     Ok(SplitOutput {
@@ -327,8 +370,7 @@ pub fn parallel_vfilter(
     let _ = engine.run(distinct, &ExtractionMapper { video }, &CountReducer)?;
 
     // Job B: per-EID comparisons (extractions now all hit the cache).
-    let inputs: Vec<(Eid, ScenarioList)> =
-        lists.iter().map(|(&e, l)| (e, l.clone())).collect();
+    let inputs: Vec<(Eid, ScenarioList)> = lists.iter().map(|(&e, l)| (e, l.clone())).collect();
     let mapper = ComparisonMapper {
         video,
         config: VFilterConfig {
@@ -374,9 +416,11 @@ fn resolve_conflicts(
                 .max_by(|&&a, &&b| {
                     let oa = &outcomes[a];
                     let ob = &outcomes[b];
-                    (oa.vote_share, oa.confidence)
-                        .partial_cmp(&(ob.vote_share, ob.confidence))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    // total_cmp: a NaN score must not silently tie and
+                    // hand the win to iteration order.
+                    oa.vote_share
+                        .total_cmp(&ob.vote_share)
+                        .then(oa.confidence.total_cmp(&ob.confidence))
                         .then(ob.eid.cmp(&oa.eid))
                 })
                 .expect("claimants non-empty");
@@ -408,19 +452,37 @@ pub fn parallel_match(
     split_config: &ParallelSplitConfig,
     vfilter_config: &VFilterConfig,
 ) -> Result<MatchReport, JobError> {
+    let mut metrics = JobMetrics::default();
+    let index_before = store.index().stats();
+    let cache_hits_before = video.stats().cache_hits;
+
     let e_start = Instant::now();
-    let split = parallel_split(engine, store, targets, split_config)?;
+    let split = parallel_split_impl(engine, store, targets, split_config, false, &mut metrics)?;
     let e_stage = e_start.elapsed();
 
     let v_start = Instant::now();
     let outcomes = parallel_vfilter(engine, video, &split.lists, vfilter_config)?;
     let v_stage = v_start.elapsed();
 
+    let index_delta = store.index().stats().since(&index_before);
+    let index = IndexCounters {
+        postings_probed: index_delta.postings_probed,
+        // The parallel V stage shares extractions through the video
+        // store's own cache rather than a driver-side gallery.
+        cache_hits: video.stats().cache_hits - cache_hits_before,
+        scans_avoided: index_delta.scans_avoided,
+    };
+    metrics.record_index_stats(index.postings_probed, index.cache_hits, index.scans_avoided);
+
     Ok(MatchReport {
         outcomes,
         selected_scenarios: split.selected(),
         lists: split.lists,
-        timings: StageTimings { e_stage, v_stage },
+        timings: StageTimings {
+            e_stage,
+            v_stage,
+            index,
+        },
         rounds: 1,
     })
 }
@@ -513,7 +575,10 @@ mod tests {
             &engine(),
             &store,
             &targets(0..8),
-            &ParallelSplitConfig { seed: 3, max_iterations: None },
+            &ParallelSplitConfig {
+                seed: 3,
+                max_iterations: None,
+            },
         )
         .unwrap();
         let sequential = split_ideal(&store, &targets(0..8), &SetSplitConfig::default());
@@ -563,13 +628,8 @@ mod tests {
             &ParallelSplitConfig::default(),
         )
         .unwrap();
-        let outcomes = parallel_vfilter(
-            &engine(),
-            &video,
-            &split.lists,
-            &VFilterConfig::default(),
-        )
-        .unwrap();
+        let outcomes =
+            parallel_vfilter(&engine(), &video, &split.lists, &VFilterConfig::default()).unwrap();
         assert_eq!(outcomes.len(), 8);
         for o in &outcomes {
             assert_eq!(o.vid.map(Vid::as_u64), Some(o.eid.as_u64()));
@@ -588,8 +648,8 @@ mod tests {
         .unwrap();
         let before = video.stats().extracted_scenarios;
         assert_eq!(before, 0);
-        let _ = parallel_vfilter(&engine(), &video, &split.lists, &VFilterConfig::default())
-            .unwrap();
+        let _ =
+            parallel_vfilter(&engine(), &video, &split.lists, &VFilterConfig::default()).unwrap();
         let stats = video.stats();
         let distinct: BTreeSet<ScenarioId> = split
             .lists
@@ -627,13 +687,8 @@ mod tests {
             &ParallelSplitConfig::default(),
         )
         .unwrap();
-        let outcomes = parallel_vfilter(
-            &engine(),
-            &video,
-            &split.lists,
-            &VFilterConfig::default(),
-        )
-        .unwrap();
+        let outcomes =
+            parallel_vfilter(&engine(), &video, &split.lists, &VFilterConfig::default()).unwrap();
         let mut seen: BTreeSet<Vid> = BTreeSet::new();
         for o in outcomes.iter().filter(|o| o.is_majority()) {
             let vid = o.vid.unwrap();

@@ -65,17 +65,16 @@ pub fn split_practical(
 ) -> PracticalSplitOutput {
     let mut cover = VagueCover::new(targets.iter().copied());
     let mut recorded: Vec<ScenarioId> = Vec::new();
-    let mut lists: BTreeMap<Eid, ScenarioList> =
-        targets.iter().map(|&e| (e, Vec::new())).collect();
+    let mut lists: BTreeMap<Eid, ScenarioList> = targets.iter().map(|&e| (e, Vec::new())).collect();
     let mut examined = 0usize;
     let mut pruned: BTreeSet<Eid> = BTreeSet::new();
     let cap = config.max_scenarios.unwrap_or(usize::MAX);
 
     let apply = |scenario: &EScenario,
-                     cover: &mut VagueCover,
-                     recorded: &mut Vec<ScenarioId>,
-                     lists: &mut BTreeMap<Eid, ScenarioList>,
-                     pruned: &mut BTreeSet<Eid>| {
+                 cover: &mut VagueCover,
+                 recorded: &mut Vec<ScenarioId>,
+                 lists: &mut BTreeMap<Eid, ScenarioList>,
+                 pruned: &mut BTreeSet<Eid>| {
         // Restrict the scenario to the requested universe.
         let mut restricted = EScenario::new(scenario.cell(), scenario.time());
         for (eid, attr) in scenario.iter() {
@@ -175,8 +174,8 @@ pub fn split_practical(
         SelectionStrategy::RandomTime { seed } => seed,
         _ => 0,
     };
-    crate::setsplit::extend_lists(store, &mut lists, config.min_list_len, seed, true);
-    crate::setsplit::ensure_unique_against_universe(store, &mut lists, seed, true);
+    crate::setsplit::extend_lists(store, &mut lists, config.min_list_len, seed, true, false);
+    crate::setsplit::ensure_unique_against_universe(store, &mut lists, seed, true, false);
 
     PracticalSplitOutput {
         recorded,

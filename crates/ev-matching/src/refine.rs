@@ -12,8 +12,8 @@
 
 use crate::practical::split_practical;
 use crate::setsplit::{split_ideal, SelectionStrategy, SetSplitConfig};
-use crate::types::{MatchOutcome, MatchReport, ScenarioList};
-use crate::vfilter::{filter_one, VFilterConfig};
+use crate::types::{IndexCounters, MatchOutcome, MatchReport, ScenarioList};
+use crate::vfilter::{filter_one_cached, GalleryCache, VFilterConfig};
 use ev_core::ids::{Eid, Vid};
 use ev_store::{EScenarioStore, VideoStore};
 use serde::{Deserialize, Serialize};
@@ -80,6 +80,10 @@ pub fn match_with_refinement_excluding(
     let mut matched_vids: BTreeSet<Vid> = excluded.clone();
     let mut pending: BTreeSet<Eid> = targets.clone();
     let mut rounds = 0;
+    let index_before = store.index().stats();
+    // One gallery cache for the whole run: refinement rounds revisit the
+    // footage earlier rounds already extracted and grouped.
+    let mut cache = GalleryCache::new();
 
     while !pending.is_empty() && rounds < config.max_rounds.max(1) {
         rounds += 1;
@@ -126,7 +130,8 @@ pub fn match_with_refinement_excluding(
         let mut order: Vec<(&Eid, &ScenarioList)> = lists.iter().collect();
         order.sort_by_key(|(eid, list)| (std::cmp::Reverse(list.len()), **eid));
         for (&eid, list) in order {
-            let outcome = filter_one(eid, list, video, &config.vfilter, &matched_vids);
+            let outcome =
+                filter_one_cached(eid, list, video, &config.vfilter, &matched_vids, &mut cache);
             if outcome.is_confident(config.vfilter.min_margin) {
                 if config.vfilter.exclusion {
                     if let Some(vid) = outcome.vid {
@@ -152,6 +157,12 @@ pub fn match_with_refinement_excluding(
         report.timings.v_stage += v_start.elapsed();
     }
 
+    let index_delta = store.index().stats().since(&index_before);
+    report.timings.index = IndexCounters {
+        postings_probed: index_delta.postings_probed,
+        cache_hits: cache.hits(),
+        scans_avoided: index_delta.scans_avoided,
+    };
     report.outcomes = accepted.into_values().collect();
     report.outcomes.sort_by_key(|o| o.eid);
     report.rounds = rounds;
@@ -280,11 +291,8 @@ mod tests {
     #[test]
     fn exhausted_budget_reports_best_effort() {
         // EID 5 exists in E-data but its VID never appears in V-data.
-        let layout: &[(u64, usize, &[u64], &[u64])] = &[
-            (0, 0, &[5], &[]),
-            (1, 0, &[5, 6], &[6]),
-            (2, 0, &[6], &[6]),
-        ];
+        let layout: &[(u64, usize, &[u64], &[u64])] =
+            &[(0, 0, &[5], &[]), (1, 0, &[5, 6], &[6]), (2, 0, &[6], &[6])];
         let (store, video) = world(layout, 8);
         let cfg = RefineConfig {
             max_rounds: 2,

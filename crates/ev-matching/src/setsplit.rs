@@ -11,6 +11,19 @@
 //! blocks were always carved off by absence can end with an empty list;
 //! such EIDs get an *anchor* scenario (any scenario containing them) so
 //! the V stage has footage to look at.
+//!
+//! # Index-backed hot path
+//!
+//! All strategies consume the store through its inverted index
+//! ([`ev_store::ScenarioIndex`]): the per-scenario target intersections
+//! are materialized once from the targets' posting lists, and the
+//! quadratic [`SelectionStrategy::GreedyBalanced`] re-scan is replaced by
+//! a lazy-greedy max-heap over cached split gains, invalidated only for
+//! scenarios sharing an EID with a block the last splitter touched
+//! (gains are non-increasing under refinement, so stale heap entries are
+//! safe to recompute on pop). The selection sequence — and therefore the
+//! whole [`SplitOutput`] — is identical to the scan-based reference
+//! implementation kept in [`reference`].
 
 use crate::types::ScenarioList;
 use ev_core::ids::Eid;
@@ -21,7 +34,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// How the splitting loop picks the next scenarios to try.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,7 +83,7 @@ impl Default for SetSplitConfig {
 }
 
 /// The result of EID set splitting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SplitOutput {
     /// Effective scenarios, in the order they were recorded.
     pub recorded: Vec<ScenarioId>,
@@ -102,8 +116,49 @@ impl SplitOutput {
     }
 }
 
+/// Applies one candidate intersection as a splitter, recording it and
+/// extending the member lists when it was effective.
+fn apply_candidate(
+    id: ScenarioId,
+    c: &BTreeSet<Eid>,
+    partition: &mut EidPartition,
+    recorded: &mut Vec<ScenarioId>,
+    lists: &mut BTreeMap<Eid, ScenarioList>,
+) {
+    if c.is_empty() {
+        return;
+    }
+    if partition.split_by(c).effective {
+        recorded.push(id);
+        for &eid in c {
+            if let Some(list) = lists.get_mut(&eid) {
+                list.push(id);
+            }
+        }
+    }
+}
+
+/// Materializes each scenario's intersection with the targets by merging
+/// the targets' posting lists — one pass over `O(Σ_target |postings|)`
+/// records, touching only scenarios that contain at least one target.
+fn candidate_intersections(
+    store: &EScenarioStore,
+    targets: &BTreeSet<Eid>,
+) -> BTreeMap<ScenarioId, BTreeSet<Eid>> {
+    let index = store.index();
+    let mut candidates: BTreeMap<ScenarioId, BTreeSet<Eid>> = BTreeMap::new();
+    for &eid in targets {
+        for &id in index.postings(eid) {
+            candidates.entry(id).or_default().insert(eid);
+        }
+    }
+    candidates
+}
+
 /// Runs ideal-setting EID set splitting over `store` for the requested
-/// `targets`.
+/// `targets`, answering all membership questions from the store's
+/// inverted index. Produces output identical to
+/// [`reference::split_ideal_scan`].
 ///
 /// EIDs in `targets` that never appear in any scenario simply remain
 /// grouped (they cannot be distinguished or matched); their lists come out
@@ -116,28 +171,10 @@ pub fn split_ideal(
 ) -> SplitOutput {
     let mut partition = EidPartition::new(targets.iter().copied());
     let mut recorded: Vec<ScenarioId> = Vec::new();
-    let mut lists: BTreeMap<Eid, ScenarioList> =
-        targets.iter().map(|&e| (e, Vec::new())).collect();
+    let mut lists: BTreeMap<Eid, ScenarioList> = targets.iter().map(|&e| (e, Vec::new())).collect();
     let mut examined = 0usize;
     let cap = config.max_scenarios.unwrap_or(usize::MAX);
-
-    let apply = |scenario: &EScenario,
-                     partition: &mut EidPartition,
-                     recorded: &mut Vec<ScenarioId>,
-                     lists: &mut BTreeMap<Eid, ScenarioList>| {
-        let c: BTreeSet<Eid> = scenario.eids().filter(|e| targets.contains(e)).collect();
-        if c.is_empty() {
-            return;
-        }
-        if partition.split_by(&c).effective {
-            recorded.push(scenario.id());
-            for eid in c {
-                if let Some(list) = lists.get_mut(&eid) {
-                    list.push(scenario.id());
-                }
-            }
-        }
-    };
+    let candidates = candidate_intersections(store, targets);
 
     match config.strategy {
         SelectionStrategy::Chronological => {
@@ -146,7 +183,11 @@ pub fn split_ideal(
                     break;
                 }
                 examined += 1;
-                apply(scenario, &mut partition, &mut recorded, &mut lists);
+                if let Some(c) = candidates.get(&scenario.id()) {
+                    apply_candidate(scenario.id(), c, &mut partition, &mut recorded, &mut lists);
+                } else {
+                    store.index().note_scan_avoided();
+                }
             }
         }
         SelectionStrategy::RandomTime { seed } => {
@@ -159,53 +200,128 @@ pub fn split_ideal(
                         break 'outer;
                     }
                     examined += 1;
-                    apply(scenario, &mut partition, &mut recorded, &mut lists);
+                    if let Some(c) = candidates.get(&scenario.id()) {
+                        apply_candidate(
+                            scenario.id(),
+                            c,
+                            &mut partition,
+                            &mut recorded,
+                            &mut lists,
+                        );
+                    } else {
+                        store.index().note_scan_avoided();
+                    }
                 }
             }
         }
         SelectionStrategy::GreedyBalanced => {
-            let mut used: BTreeSet<ScenarioId> = BTreeSet::new();
-            while !partition.is_fully_split() && examined < cap {
-                // Find the unused scenario with the best split gain.
-                let mut best: Option<(u64, ScenarioId)> = None;
-                for scenario in store.iter() {
-                    if used.contains(&scenario.id()) {
-                        continue;
-                    }
-                    let c: BTreeSet<Eid> =
-                        scenario.eids().filter(|e| targets.contains(e)).collect();
-                    if c.is_empty() {
-                        continue;
-                    }
-                    let gain = split_gain(&partition, &c);
-                    if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
-                        best = Some((gain, scenario.id()));
-                    }
-                }
-                let Some((_, id)) = best else {
-                    break; // no scenario can improve the partition
-                };
-                used.insert(id);
-                examined += 1;
-                if let Some(scenario) = store.get(id) {
-                    apply(scenario, &mut partition, &mut recorded, &mut lists);
-                }
-            }
+            greedy_balanced_indexed(
+                store,
+                &candidates,
+                cap,
+                &mut partition,
+                &mut recorded,
+                &mut lists,
+                &mut examined,
+            );
         }
     }
 
-    attach_anchors(store, &mut lists);
+    attach_anchors(store, &mut lists, false);
     let seed = match config.strategy {
         SelectionStrategy::RandomTime { seed } => seed,
         _ => 0,
     };
-    extend_lists(store, &mut lists, config.min_list_len, seed, false);
-    ensure_unique_against_universe(store, &mut lists, seed, false);
+    extend_lists(store, &mut lists, config.min_list_len, seed, false, false);
+    ensure_unique_against_universe(store, &mut lists, seed, false, false);
     SplitOutput {
         recorded,
         lists,
         partition,
         scenarios_examined: examined,
+    }
+}
+
+/// Incremental greedy selection: a max-heap over `(gain, smallest id)`
+/// with a split-gain cache that is invalidated only for scenarios sharing
+/// an EID with a block the last splitter touched.
+///
+/// Correctness: a partition refinement can only *decrease* a scenario's
+/// split gain (`min` is superadditive: `min(a+c, b+d) >= min(a,b) +
+/// min(c,d)`), so a popped heap entry whose gain is still current is the
+/// true argmax — the same scenario the quadratic re-scan would pick,
+/// including its smallest-id tie-break. Scenarios whose gain reaches 0
+/// are dropped for good (it can never grow back).
+#[allow(clippy::too_many_arguments)]
+fn greedy_balanced_indexed(
+    store: &EScenarioStore,
+    candidates: &BTreeMap<ScenarioId, BTreeSet<Eid>>,
+    cap: usize,
+    partition: &mut EidPartition,
+    recorded: &mut Vec<ScenarioId>,
+    lists: &mut BTreeMap<Eid, ScenarioList>,
+    examined: &mut usize,
+) {
+    let index = store.index();
+    // (gain, Reverse(id)) orders the heap by gain descending, then id
+    // ascending — matching the scan's first-strictly-greater selection.
+    let mut heap: BinaryHeap<(u64, Reverse<ScenarioId>)> = BinaryHeap::new();
+    let mut gain_cache: BTreeMap<ScenarioId, u64> = BTreeMap::new();
+    let mut dirty: BTreeSet<ScenarioId> = BTreeSet::new();
+    for (&id, c) in candidates {
+        let gain = split_gain(partition, c);
+        if gain > 0 {
+            gain_cache.insert(id, gain);
+            heap.push((gain, Reverse(id)));
+        }
+    }
+
+    while !partition.is_fully_split() && *examined < cap {
+        // Lazily pop until a current, positive-gain entry surfaces.
+        let best = loop {
+            let Some((g, Reverse(id))) = heap.pop() else {
+                break None;
+            };
+            let Some(&cached) = gain_cache.get(&id) else {
+                continue; // already used or dropped
+            };
+            if dirty.remove(&id) {
+                let gain = split_gain(partition, &candidates[&id]);
+                if gain == 0 {
+                    gain_cache.remove(&id);
+                } else {
+                    gain_cache.insert(id, gain);
+                    heap.push((gain, Reverse(id)));
+                }
+                continue;
+            }
+            if g != cached {
+                continue; // stale duplicate; a fresher entry exists
+            }
+            break Some(id);
+        };
+        let Some(id) = best else {
+            break; // no scenario can improve the partition
+        };
+        *examined += 1;
+        let c = &candidates[&id];
+        // EIDs of every block the splitter intersects: the only blocks —
+        // and therefore the only gains — this split can change.
+        let mut touched: BTreeSet<Eid> = BTreeSet::new();
+        for &eid in c {
+            if let Some(block) = partition.block_of(eid) {
+                touched.extend(block.iter().copied());
+            }
+        }
+        apply_candidate(id, c, partition, recorded, lists);
+        gain_cache.remove(&id);
+        for &eid in &touched {
+            for &sid in index.postings(eid) {
+                if gain_cache.contains_key(&sid) {
+                    dirty.insert(sid);
+                }
+            }
+        }
     }
 }
 
@@ -223,6 +339,7 @@ pub(crate) fn ensure_unique_against_universe(
     lists: &mut BTreeMap<Eid, ScenarioList>,
     seed: u64,
     inclusive_only: bool,
+    scan: bool,
 ) {
     let mut selected: BTreeSet<ScenarioId> =
         lists.values().flat_map(|l| l.iter().copied()).collect();
@@ -244,11 +361,11 @@ pub(crate) fn ensure_unique_against_universe(
             Some(c) if c.len() > 1 => c,
             _ => continue, // already unique (or no usable footage at all)
         };
-        let (mut reusable, mut fresh): (Vec<&EScenario>, Vec<&EScenario>) = store
-            .containing(eid)
-            .filter(|s| !inclusive_only || s.contains_inclusive(eid))
-            .filter(|s| !list.contains(&s.id()))
-            .partition(|s| selected.contains(&s.id()));
+        let (mut reusable, mut fresh): (Vec<&EScenario>, Vec<&EScenario>) =
+            containing_scenarios(store, eid, scan)
+                .filter(|s| !inclusive_only || s.contains_inclusive(eid))
+                .filter(|s| !list.contains(&s.id()))
+                .partition(|s| selected.contains(&s.id()));
         let mut rng =
             ChaCha8Rng::seed_from_u64(seed ^ eid.as_u64().wrapping_mul(0x2545f4914f6cdd1d));
         reusable.shuffle(&mut rng);
@@ -278,6 +395,7 @@ pub(crate) fn extend_lists(
     min_len: usize,
     seed: u64,
     inclusive_only: bool,
+    scan: bool,
 ) {
     // Scenarios already selected for anyone: padding prefers these, so
     // one padded scenario serves several EIDs — the same reuse that makes
@@ -288,12 +406,12 @@ pub(crate) fn extend_lists(
         if list.len() >= min_len {
             continue;
         }
-        let (mut reusable, mut fresh): (Vec<ScenarioId>, Vec<ScenarioId>) = store
-            .containing(eid)
-            .filter(|s| !inclusive_only || s.contains_inclusive(eid))
-            .map(EScenario::id)
-            .filter(|id| !list.contains(id))
-            .partition(|id| selected.contains(id));
+        let (mut reusable, mut fresh): (Vec<ScenarioId>, Vec<ScenarioId>) =
+            containing_scenarios(store, eid, scan)
+                .filter(|s| !inclusive_only || s.contains_inclusive(eid))
+                .map(EScenario::id)
+                .filter(|id| !list.contains(id))
+                .partition(|id| selected.contains(id));
         let mut rng =
             ChaCha8Rng::seed_from_u64(seed ^ eid.as_u64().wrapping_mul(0x9e3779b97f4a7c15));
         reusable.shuffle(&mut rng);
@@ -322,9 +440,32 @@ fn split_gain(partition: &EidPartition, c: &BTreeSet<Eid>) -> u64 {
     gain
 }
 
+/// The scenarios containing `eid`, in store order, through either the
+/// inverted index (`scan = false`) or a full store scan (`scan = true`,
+/// for the [`reference`] paths). Both yield identical sequences; the
+/// index path is `O(|postings|)` instead of `O(|store|)`.
+fn containing_scenarios<'a>(
+    store: &'a EScenarioStore,
+    eid: Eid,
+    scan: bool,
+) -> Box<dyn Iterator<Item = &'a EScenario> + 'a> {
+    if scan {
+        Box::new(store.containing_scan(eid))
+    } else {
+        Box::new(store.containing(eid))
+    }
+}
+
 /// Gives every empty-listed EID one anchor scenario (the first scenario in
 /// store order containing it) so VID filtering has footage to inspect.
-pub(crate) fn attach_anchors(store: &EScenarioStore, lists: &mut BTreeMap<Eid, ScenarioList>) {
+///
+/// The index path reads each EID's first posting directly (postings are
+/// in store order, so this is the same anchor the scan would find).
+pub(crate) fn attach_anchors(
+    store: &EScenarioStore,
+    lists: &mut BTreeMap<Eid, ScenarioList>,
+    scan: bool,
+) {
     let empties: Vec<Eid> = lists
         .iter()
         .filter(|(_, l)| l.is_empty())
@@ -333,20 +474,131 @@ pub(crate) fn attach_anchors(store: &EScenarioStore, lists: &mut BTreeMap<Eid, S
     if empties.is_empty() {
         return;
     }
+    if !scan {
+        let index = store.index();
+        for eid in empties {
+            if let Some(&id) = index.postings(eid).first() {
+                if let Some(list) = lists.get_mut(&eid) {
+                    list.push(id);
+                }
+            }
+        }
+        return;
+    }
     let mut pending: BTreeSet<Eid> = empties.into_iter().collect();
     for scenario in store.iter() {
         if pending.is_empty() {
             break;
         }
-        let found: Vec<Eid> = scenario
-            .eids()
-            .filter(|e| pending.contains(e))
-            .collect();
+        let found: Vec<Eid> = scenario.eids().filter(|e| pending.contains(e)).collect();
         for eid in found {
             pending.remove(&eid);
             if let Some(list) = lists.get_mut(&eid) {
                 list.push(scenario.id());
             }
+        }
+    }
+}
+
+/// Scan-based reference implementations, frozen from the pre-index code.
+///
+/// Every membership question here is answered by walking scenario
+/// membership maps, exactly as the original implementation did. The
+/// equivalence tests and the `index` benchmark compare these against the
+/// index-backed hot paths and require byte-identical [`SplitOutput`]s.
+pub mod reference {
+    use super::*;
+
+    /// The pre-index [`split_ideal`](super::split_ideal): linear scans
+    /// for candidate intersections and a full re-scan per greedy step.
+    #[must_use]
+    pub fn split_ideal_scan(
+        store: &EScenarioStore,
+        targets: &BTreeSet<Eid>,
+        config: &SetSplitConfig,
+    ) -> SplitOutput {
+        let mut partition = EidPartition::new(targets.iter().copied());
+        let mut recorded: Vec<ScenarioId> = Vec::new();
+        let mut lists: BTreeMap<Eid, ScenarioList> =
+            targets.iter().map(|&e| (e, Vec::new())).collect();
+        let mut examined = 0usize;
+        let cap = config.max_scenarios.unwrap_or(usize::MAX);
+
+        let apply = |scenario: &EScenario,
+                     partition: &mut EidPartition,
+                     recorded: &mut Vec<ScenarioId>,
+                     lists: &mut BTreeMap<Eid, ScenarioList>| {
+            let c: BTreeSet<Eid> = scenario.eids().filter(|e| targets.contains(e)).collect();
+            apply_candidate(scenario.id(), &c, partition, recorded, lists);
+        };
+
+        match config.strategy {
+            SelectionStrategy::Chronological => {
+                for scenario in store.iter() {
+                    if partition.is_fully_split() || examined >= cap {
+                        break;
+                    }
+                    examined += 1;
+                    apply(scenario, &mut partition, &mut recorded, &mut lists);
+                }
+            }
+            SelectionStrategy::RandomTime { seed } => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut times: Vec<_> = store.times().collect();
+                times.shuffle(&mut rng);
+                'outer: for t in times {
+                    for scenario in store.at_time(t) {
+                        if partition.is_fully_split() || examined >= cap {
+                            break 'outer;
+                        }
+                        examined += 1;
+                        apply(scenario, &mut partition, &mut recorded, &mut lists);
+                    }
+                }
+            }
+            SelectionStrategy::GreedyBalanced => {
+                let mut used: BTreeSet<ScenarioId> = BTreeSet::new();
+                while !partition.is_fully_split() && examined < cap {
+                    // Find the unused scenario with the best split gain.
+                    let mut best: Option<(u64, ScenarioId)> = None;
+                    for scenario in store.iter() {
+                        if used.contains(&scenario.id()) {
+                            continue;
+                        }
+                        let c: BTreeSet<Eid> =
+                            scenario.eids().filter(|e| targets.contains(e)).collect();
+                        if c.is_empty() {
+                            continue;
+                        }
+                        let gain = split_gain(&partition, &c);
+                        if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
+                            best = Some((gain, scenario.id()));
+                        }
+                    }
+                    let Some((_, id)) = best else {
+                        break; // no scenario can improve the partition
+                    };
+                    used.insert(id);
+                    examined += 1;
+                    if let Some(scenario) = store.get(id) {
+                        apply(scenario, &mut partition, &mut recorded, &mut lists);
+                    }
+                }
+            }
+        }
+
+        attach_anchors(store, &mut lists, true);
+        let seed = match config.strategy {
+            SelectionStrategy::RandomTime { seed } => seed,
+            _ => 0,
+        };
+        extend_lists(store, &mut lists, config.min_list_len, seed, false, true);
+        ensure_unique_against_universe(store, &mut lists, seed, false, true);
+        SplitOutput {
+            recorded,
+            lists,
+            partition,
+            scenarios_examined: examined,
         }
     }
 }

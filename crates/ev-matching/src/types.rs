@@ -60,14 +60,45 @@ impl MatchOutcome {
     }
 }
 
+/// Usage counters of the index/cache layer across one pipeline run.
+///
+/// The E stage reads the scenario store through its inverted index
+/// ([`ev_store::ScenarioIndex`]); the V stage reads footage through a
+/// [`GalleryCache`](crate::vfilter::GalleryCache). These counters say how
+/// much work those layers absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IndexCounters {
+    /// Posting lists fetched from the inverted scenario index.
+    pub postings_probed: u64,
+    /// V-Scenario galleries served from cache without re-extraction.
+    pub cache_hits: u64,
+    /// Full-store scans avoided by index-backed lookups.
+    pub scans_avoided: u64,
+}
+
+impl IndexCounters {
+    /// Counter-wise sum with `other`.
+    #[must_use]
+    pub fn merged(&self, other: &IndexCounters) -> IndexCounters {
+        IndexCounters {
+            postings_probed: self.postings_probed + other.postings_probed,
+            cache_hits: self.cache_hits + other.cache_hits,
+            scans_avoided: self.scans_avoided + other.scans_avoided,
+        }
+    }
+}
+
 /// Wall-clock timings of the two pipeline stages (paper Figs. 8–9 report
-/// E time, V time and their sum).
+/// E time, V time and their sum), plus the index-layer counters for the
+/// run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct StageTimings {
     /// Time spent selecting scenarios from E-data.
     pub e_stage: Duration,
     /// Time spent extracting and comparing V-data.
     pub v_stage: Duration,
+    /// Index and cache usage across both stages.
+    pub index: IndexCounters,
 }
 
 impl StageTimings {
@@ -123,8 +154,7 @@ impl MatchReport {
         if self.outcomes.is_empty() {
             return 0.0;
         }
-        self.outcomes.iter().filter(|o| o.is_majority()).count() as f64
-            / self.outcomes.len() as f64
+        self.outcomes.iter().filter(|o| o.is_majority()).count() as f64 / self.outcomes.len() as f64
     }
 }
 
@@ -162,8 +192,31 @@ mod tests {
         let t = StageTimings {
             e_stage: Duration::from_millis(3),
             v_stage: Duration::from_millis(7),
+            index: IndexCounters::default(),
         };
         assert_eq!(t.total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn index_counters_merge_componentwise() {
+        let a = IndexCounters {
+            postings_probed: 1,
+            cache_hits: 2,
+            scans_avoided: 3,
+        };
+        let b = IndexCounters {
+            postings_probed: 10,
+            cache_hits: 20,
+            scans_avoided: 30,
+        };
+        assert_eq!(
+            a.merged(&b),
+            IndexCounters {
+                postings_probed: 11,
+                cache_hits: 22,
+                scans_avoided: 33,
+            }
+        );
     }
 
     #[test]

@@ -14,11 +14,25 @@
 //! that have been already matched may help distinguishing those remain
 //! unmatched", §IV-A); EIDs are processed longest-list-first so the most
 //! constrained matches land before they are needed for exclusion.
+//!
+//! # Numerics and caching
+//!
+//! Joint membership probabilities are accumulated in **log space**
+//! (`Σ ln P` instead of `Π P`): with long scenario lists the raw product
+//! underflows to `0.0`, collapsing every candidate into a tie that was
+//! silently broken by VID order. Scores are compared with
+//! [`f64::total_cmp`] so a NaN probability cannot poison an argmax.
+//!
+//! A [`GalleryCache`] memoizes each extracted scenario's detections
+//! grouped by VID. [`filter_vids`] shares one cache across all EIDs —
+//! scenario reuse across lists is the point of set splitting — so each
+//! V-Scenario is fetched and regrouped once, no matter how many EIDs its
+//! footage serves.
 
 use crate::types::{MatchOutcome, ScenarioList};
 use ev_core::feature::{FeatureVector, Metric};
 use ev_core::ids::{Eid, Vid};
-use ev_core::scenario::VScenario;
+use ev_core::scenario::{ScenarioId, VScenario};
 use ev_store::VideoStore;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -46,8 +60,78 @@ impl Default for VFilterConfig {
     }
 }
 
+/// One scenario's extracted gallery: the V-Scenario handle plus its
+/// detection indices grouped by VID, in detection order. Concatenating a
+/// list's groups in list order reproduces exactly the observation
+/// sequence a direct detection walk would produce, so representatives
+/// computed through the cache are bit-identical to uncached ones.
+struct CacheEntry {
+    scenario: Arc<VScenario>,
+    groups: BTreeMap<Vid, Vec<usize>>,
+}
+
+/// Per-candidate gallery cache for the V stage.
+///
+/// VID filtering revisits the same V-Scenarios over and over: across
+/// EIDs (scenario reuse is the point of set splitting) and, under
+/// exclusion, across refiltering rounds. The cache keeps each extracted
+/// scenario's gallery grouped by VID so every revisit skips both the
+/// [`VideoStore`] lookup and the regrouping pass. Misses charge the cost
+/// ledger exactly as the uncached path does; hits touch no footage.
+#[derive(Default)]
+pub struct GalleryCache {
+    entries: BTreeMap<ScenarioId, Option<CacheEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl GalleryCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        GalleryCache::default()
+    }
+
+    /// Galleries served without touching the video store.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Galleries extracted and grouped on first sight (including
+    /// scenarios that turned out to have no footage).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Makes sure `id`'s gallery is resident, extracting it on a miss.
+    fn ensure(&mut self, id: ScenarioId, video: &VideoStore) {
+        if self.entries.contains_key(&id) {
+            self.hits += 1;
+            return;
+        }
+        self.misses += 1;
+        let entry = video.extract(id).map(|scenario| {
+            let mut groups: BTreeMap<Vid, Vec<usize>> = BTreeMap::new();
+            for (i, d) in scenario.detections().iter().enumerate() {
+                groups.entry(d.vid).or_default().push(i);
+            }
+            CacheEntry { scenario, groups }
+        });
+        self.entries.insert(id, entry);
+    }
+
+    fn get(&self, id: ScenarioId) -> Option<&CacheEntry> {
+        self.entries.get(&id).and_then(Option::as_ref)
+    }
+}
+
 /// Filters the VID for a single EID against its scenario list, treating
 /// `excluded` VIDs as already matched to someone else.
+///
+/// Convenience wrapper over [`filter_one_cached`] with a private,
+/// call-local [`GalleryCache`]; batch callers should share one cache.
 #[must_use]
 pub fn filter_one(
     eid: Eid,
@@ -56,9 +140,24 @@ pub fn filter_one(
     config: &VFilterConfig,
     excluded: &BTreeSet<Vid>,
 ) -> MatchOutcome {
-    let scenarios: Vec<Arc<VScenario>> =
-        list.iter().filter_map(|&id| video.extract(id)).collect();
-    if scenarios.is_empty() {
+    filter_one_cached(eid, list, video, config, excluded, &mut GalleryCache::new())
+}
+
+/// [`filter_one`] against a shared [`GalleryCache`].
+#[must_use]
+pub fn filter_one_cached(
+    eid: Eid,
+    list: &ScenarioList,
+    video: &VideoStore,
+    config: &VFilterConfig,
+    excluded: &BTreeSet<Vid>,
+    cache: &mut GalleryCache,
+) -> MatchOutcome {
+    for &id in list {
+        cache.ensure(id, video);
+    }
+    let entries: Vec<&CacheEntry> = list.iter().filter_map(|&id| cache.get(id)).collect();
+    if entries.is_empty() {
         return MatchOutcome::unmatched(eid);
     }
 
@@ -66,15 +165,17 @@ pub fn filter_one(
     // features across the list (re-identification links the detections).
     let mut observations: BTreeMap<Vid, Vec<&FeatureVector>> = BTreeMap::new();
     let mut presence: BTreeMap<Vid, usize> = BTreeMap::new();
-    for s in &scenarios {
-        let mut seen: BTreeSet<Vid> = BTreeSet::new();
-        for d in s.detections() {
-            if !excluded.contains(&d.vid) {
-                observations.entry(d.vid).or_default().push(&d.feature);
-                if seen.insert(d.vid) {
-                    *presence.entry(d.vid).or_insert(0) += 1;
-                }
+    for e in &entries {
+        let detections = e.scenario.detections();
+        for (&vid, indices) in &e.groups {
+            if excluded.contains(&vid) {
+                continue;
             }
+            observations
+                .entry(vid)
+                .or_default()
+                .extend(indices.iter().map(|&i| &detections[i].feature));
+            *presence.entry(vid).or_insert(0) += 1;
         }
     }
     // Candidate pruning (lossless for the final match): the matched VID
@@ -83,7 +184,7 @@ pub fn filter_one(
     // than half the scenarios can never be the match. At high densities
     // this cuts the candidate set from "everyone in the neighbourhood"
     // to the handful sharing most of the EID's trajectory.
-    let quorum = scenarios.len().div_ceil(2);
+    let quorum = entries.len().div_ceil(2);
     observations.retain(|vid, _| presence.get(vid).copied().unwrap_or(0) >= quorum);
     if observations.is_empty() {
         return MatchOutcome::unmatched(eid);
@@ -93,33 +194,35 @@ pub fn filter_one(
         .map(|(vid, obs)| (vid, mean_feature(&obs)))
         .collect();
 
-    // Joint membership probability per candidate (paper §IV-B2).
-    let mut joint: BTreeMap<Vid, f64> = BTreeMap::new();
+    // Joint membership probability per candidate (paper §IV-B2), in log
+    // space: `Σ ln P` survives the long lists that underflow `Π P` to a
+    // meaningless all-zero tie. `ln(0) = -inf` keeps the veto semantics
+    // of an impossible scenario.
+    let mut log_joint: BTreeMap<Vid, f64> = BTreeMap::new();
     for (&vid, rep) in &representatives {
-        let mut p = 1.0;
-        for s in &scenarios {
+        let mut lp = 0.0;
+        for e in &entries {
             // One charged comparison per (candidate, scenario): matching
             // a candidate's appearance model against a scenario's gallery
             // is one nearest-neighbour query in a real pipeline.
             video.charge_comparison();
-            p *= ev_vision::reid::membership_probability(rep, s, config.metric)
-                .unwrap_or(0.0);
+            lp += ev_vision::reid::membership_probability(rep, &e.scenario, config.metric)
+                .unwrap_or(0.0)
+                .ln();
         }
-        joint.insert(vid, p);
+        log_joint.insert(vid, lp);
     }
 
     // Per-scenario choice: the present candidate with the largest joint
     // probability.
     let mut votes: Vec<Vid> = Vec::new();
-    for s in &scenarios {
-        let choice = s
+    for e in &entries {
+        let choice = e
+            .scenario
             .vids()
             .filter(|v| representatives.contains_key(v))
             .max_by(|a, b| {
-                joint[a]
-                    .partial_cmp(&joint[b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.cmp(a)) // deterministic tie-break: lower VID
+                log_joint[a].total_cmp(&log_joint[b]).then(b.cmp(a)) // deterministic tie-break: lower VID
             });
         if let Some(v) = choice {
             votes.push(v);
@@ -138,13 +241,14 @@ pub fn filter_one(
         .iter()
         .max_by_key(|(vid, &c)| (c, std::cmp::Reverse(**vid)))
         .expect("votes is non-empty");
-    let runner_up = joint
-        .iter()
-        .filter(|(&v, _)| v != winner)
-        .map(|(_, &p)| p)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let margin = if runner_up.is_finite() {
-        joint[&winner] - runner_up
+    let confidence = log_joint[&winner].exp();
+    let margin = if log_joint.len() > 1 {
+        let runner_up = log_joint
+            .iter()
+            .filter(|(&v, _)| v != winner)
+            .map(|(_, &lp)| lp)
+            .fold(f64::NEG_INFINITY, f64::max);
+        confidence - runner_up.exp()
     } else {
         1.0
     };
@@ -152,7 +256,7 @@ pub fn filter_one(
         eid,
         vid: Some(winner),
         vote_share: count as f64 / votes.len() as f64,
-        confidence: joint[&winner],
+        confidence,
         margin,
         votes,
     }
@@ -161,9 +265,48 @@ pub fn filter_one(
 /// Filters VIDs for every EID in `lists`, longest list first, excluding
 /// majority-matched VIDs from subsequent candidacies when
 /// [`VFilterConfig::exclusion`] is on. Outcomes are returned in EID
-/// order.
+/// order. One [`GalleryCache`] is shared across the whole batch; pass
+/// your own through [`filter_vids_cached`] to read its hit counters.
 #[must_use]
 pub fn filter_vids(
+    lists: &BTreeMap<Eid, ScenarioList>,
+    video: &VideoStore,
+    config: &VFilterConfig,
+) -> Vec<MatchOutcome> {
+    filter_vids_cached(lists, video, config, &mut GalleryCache::new())
+}
+
+/// [`filter_vids`] against a caller-owned [`GalleryCache`].
+#[must_use]
+pub fn filter_vids_cached(
+    lists: &BTreeMap<Eid, ScenarioList>,
+    video: &VideoStore,
+    config: &VFilterConfig,
+    cache: &mut GalleryCache,
+) -> Vec<MatchOutcome> {
+    let mut order: Vec<(&Eid, &ScenarioList)> = lists.iter().collect();
+    order.sort_by_key(|(eid, list)| (std::cmp::Reverse(list.len()), **eid));
+
+    let mut excluded: BTreeSet<Vid> = BTreeSet::new();
+    let mut outcomes: Vec<MatchOutcome> = Vec::with_capacity(lists.len());
+    for (&eid, list) in order {
+        let outcome = filter_one_cached(eid, list, video, config, &excluded, cache);
+        if config.exclusion && outcome.is_majority() {
+            if let Some(vid) = outcome.vid {
+                excluded.insert(vid);
+            }
+        }
+        outcomes.push(outcome);
+    }
+    outcomes.sort_by_key(|o| o.eid);
+    outcomes
+}
+
+/// The pre-cache [`filter_vids`]: a fresh gallery per EID, so every list
+/// entry re-extracts and regroups. Kept as the reference for the
+/// cache-equivalence tests and the V-stage benchmark.
+#[must_use]
+pub fn filter_vids_uncached(
     lists: &BTreeMap<Eid, ScenarioList>,
     video: &VideoStore,
     config: &VFilterConfig,

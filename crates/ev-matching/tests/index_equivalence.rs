@@ -1,0 +1,284 @@
+//! Certifies the inverted-index / cache rewrite against the frozen
+//! scan-based reference implementations, and pins the Theorem 4.2/4.4
+//! scenario-count bounds.
+//!
+//! The contract under test: index-backed `split_ideal`,
+//! `parallel_split` and cached `filter_vids` must produce **identical**
+//! outputs (`==` on every field, including float scores and list
+//! orders) to their pre-index twins, across strategies and seeds.
+
+use ev_core::feature::FeatureVector;
+use ev_core::ids::{Eid, Vid};
+use ev_core::region::CellId;
+use ev_core::scenario::{Detection, EScenario, VScenario, ZoneAttr};
+use ev_core::time::Timestamp;
+use ev_mapreduce::{ClusterConfig, MapReduce};
+use ev_matching::parallel::{parallel_split, parallel_split_scan, ParallelSplitConfig};
+use ev_matching::setsplit::{
+    reference, split_ideal, SelectionStrategy, SetSplitConfig, SplitOutput,
+};
+use ev_matching::vfilter::{filter_vids, filter_vids_uncached, VFilterConfig};
+use ev_store::{EScenarioStore, VideoStore};
+use ev_vision::cost::CostModel;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+
+/// A random E/V world: `people` persons wander a `cells`-cell corridor
+/// for `times` steps; each scenario holds a random cohort and the
+/// matching footage (VID = EID number, one-hot-ish features).
+fn random_world(seed: u64, cells: usize, times: u64, people: u64) -> (EScenarioStore, VideoStore) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut es = Vec::new();
+    let mut vs = Vec::new();
+    for t in 0..times {
+        for c in 0..cells {
+            let mut e = EScenario::new(CellId::new(c), Timestamp::new(t));
+            let mut v = VScenario::new(CellId::new(c), Timestamp::new(t));
+            for p in 0..people {
+                if rng.gen_bool(1.0 / cells as f64) {
+                    e.insert(Eid::from_u64(p), ZoneAttr::Inclusive);
+                    let mut f = vec![0.05; people as usize];
+                    f[p as usize] = 0.9 + rng.gen_range(0.0..0.05);
+                    v.push(Detection {
+                        vid: Vid::new(p),
+                        feature: FeatureVector::new(f).unwrap(),
+                    });
+                }
+            }
+            if !e.is_empty() {
+                es.push(e);
+                vs.push(v);
+            }
+        }
+    }
+    (
+        EScenarioStore::from_scenarios(es),
+        VideoStore::new(vs, CostModel::free()),
+    )
+}
+
+fn targets(n: u64) -> BTreeSet<Eid> {
+    (0..n).map(Eid::from_u64).collect()
+}
+
+fn strategies() -> Vec<SelectionStrategy> {
+    vec![
+        SelectionStrategy::Chronological,
+        SelectionStrategy::RandomTime { seed: 1 },
+        SelectionStrategy::RandomTime { seed: 7 },
+        SelectionStrategy::GreedyBalanced,
+    ]
+}
+
+#[test]
+fn split_ideal_is_identical_to_the_scan_reference() {
+    for world_seed in [1, 2, 3] {
+        let (store, _) = random_world(world_seed, 4, 12, 16);
+        for strategy in strategies() {
+            for max_scenarios in [None, Some(5)] {
+                let cfg = SetSplitConfig {
+                    strategy,
+                    max_scenarios,
+                    min_list_len: 3,
+                };
+                let indexed = split_ideal(&store, &targets(16), &cfg);
+                let scanned = reference::split_ideal_scan(&store, &targets(16), &cfg);
+                assert_eq!(
+                    indexed, scanned,
+                    "divergence: world {world_seed}, {strategy:?}, cap {max_scenarios:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn split_ideal_equivalence_covers_missing_and_inseparable_eids() {
+    // EIDs 30/31 never appear; 0 and 1 always co-occur.
+    let mut es = Vec::new();
+    for t in 0..6u64 {
+        let mut e = EScenario::new(CellId::new(0), Timestamp::new(t));
+        e.insert(Eid::from_u64(0), ZoneAttr::Inclusive);
+        e.insert(Eid::from_u64(1), ZoneAttr::Inclusive);
+        e.insert(Eid::from_u64(2 + t % 3), ZoneAttr::Inclusive);
+        es.push(e);
+    }
+    let store = EScenarioStore::from_scenarios(es);
+    let t: BTreeSet<Eid> = [0, 1, 2, 3, 30, 31]
+        .iter()
+        .map(|&p| Eid::from_u64(p))
+        .collect();
+    for strategy in strategies() {
+        let cfg = SetSplitConfig {
+            strategy,
+            max_scenarios: None,
+            min_list_len: 2,
+        };
+        let indexed = split_ideal(&store, &t, &cfg);
+        let scanned = reference::split_ideal_scan(&store, &t, &cfg);
+        assert_eq!(indexed, scanned, "divergence under {strategy:?}");
+        assert!(!indexed.fully_split(), "0 and 1 are inseparable");
+    }
+}
+
+#[test]
+fn parallel_split_is_identical_to_its_scan_twin() {
+    let engine = MapReduce::new(ClusterConfig {
+        workers: 4,
+        split_size: 2,
+        reduce_partitions: 3,
+        ..ClusterConfig::default()
+    });
+    for world_seed in [1, 2] {
+        let (store, _) = random_world(world_seed, 3, 10, 12);
+        for split_seed in [0, 5] {
+            let cfg = ParallelSplitConfig {
+                seed: split_seed,
+                max_iterations: None,
+            };
+            let indexed = parallel_split(&engine, &store, &targets(12), &cfg).unwrap();
+            let scanned = parallel_split_scan(&engine, &store, &targets(12), &cfg).unwrap();
+            assert_eq!(
+                indexed, scanned,
+                "divergence: world {world_seed}, seed {split_seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_vfilter_is_identical_to_the_uncached_reference() {
+    for world_seed in [1, 2, 3] {
+        let (store, video) = random_world(world_seed, 4, 12, 16);
+        let split = split_ideal(&store, &targets(16), &SetSplitConfig::default());
+        for exclusion in [true, false] {
+            let cfg = VFilterConfig {
+                exclusion,
+                ..VFilterConfig::default()
+            };
+            video.reset_usage();
+            let cached = filter_vids(&split.lists, &video, &cfg);
+            video.reset_usage();
+            let uncached = filter_vids_uncached(&split.lists, &video, &cfg);
+            assert_eq!(
+                cached, uncached,
+                "divergence: world {world_seed}, exclusion {exclusion}"
+            );
+        }
+    }
+}
+
+/// A store of "bit" scenarios over `2^k` targets: scenario `b` holds the
+/// EIDs whose `b`-th bit is set. Fully splits with exactly `k` recorded
+/// scenarios — Theorem 4.4's `log n` lower bound, achieved.
+fn bit_store(k: u32) -> EScenarioStore {
+    let n = 1u64 << k;
+    let scenarios = (0..k)
+        .map(|b| {
+            let mut e = EScenario::new(CellId::new(b as usize), Timestamp::new(u64::from(b)));
+            for p in (0..n).filter(|p| p & (1 << b) != 0) {
+                e.insert(Eid::from_u64(p), ZoneAttr::Inclusive);
+            }
+            e
+        })
+        .collect();
+    EScenarioStore::from_scenarios(scenarios)
+}
+
+/// A "chain" store over `n` targets: scenario `i` holds EIDs `0..=i`.
+/// Every scenario carves off exactly one EID — Theorem 4.2's `n - 1`
+/// upper bound, achieved.
+fn chain_store(n: u64) -> EScenarioStore {
+    let scenarios = (0..n - 1)
+        .map(|i| {
+            let mut e = EScenario::new(CellId::new(0), Timestamp::new(i));
+            for p in 0..=i {
+                e.insert(Eid::from_u64(p), ZoneAttr::Inclusive);
+            }
+            e
+        })
+        .collect();
+    EScenarioStore::from_scenarios(scenarios)
+}
+
+fn fully_split_count(store: &EScenarioStore, n: u64, strategy: SelectionStrategy) -> SplitOutput {
+    let out = split_ideal(
+        store,
+        &targets(n),
+        &SetSplitConfig {
+            strategy,
+            max_scenarios: None,
+            min_list_len: 0,
+        },
+    );
+    assert!(out.fully_split(), "store must fully split {n} targets");
+    out
+}
+
+#[test]
+fn theorem_bounds_are_tight_at_both_ends() {
+    for k in [2u32, 3, 4, 5] {
+        let n = 1u64 << k;
+        let best = fully_split_count(&bit_store(k), n, SelectionStrategy::Chronological);
+        assert_eq!(
+            best.recorded.len(),
+            k as usize,
+            "bit store: exactly log2(n) scenarios"
+        );
+        let worst = fully_split_count(&chain_store(n), n, SelectionStrategy::Chronological);
+        assert_eq!(
+            worst.recorded.len(),
+            (n - 1) as usize,
+            "chain store: exactly n - 1 scenarios"
+        );
+    }
+}
+
+proptest! {
+    /// Theorem 4.2 / 4.4: whenever splitting fully distinguishes `n`
+    /// targets, `ceil(log2 n) <= #recorded <= n - 1`.
+    #[test]
+    fn fully_split_recorded_counts_respect_both_bounds(
+        world_seed in 0u64..50,
+        greedy in any::<bool>(),
+    ) {
+        let n = 12u64;
+        let (store, _) = random_world(world_seed, 3, 16, n);
+        let strategy = if greedy {
+            SelectionStrategy::GreedyBalanced
+        } else {
+            SelectionStrategy::Chronological
+        };
+        let out = split_ideal(
+            &store,
+            &targets(n),
+            &SetSplitConfig { strategy, max_scenarios: None, min_list_len: 0 },
+        );
+        prop_assert!(out.recorded.len() < n as usize, "upper bound n - 1");
+        if out.fully_split() {
+            let log_n = (n as f64).log2().ceil() as usize;
+            prop_assert!(
+                out.recorded.len() >= log_n,
+                "lower bound log2(n): {} < {log_n}",
+                out.recorded.len()
+            );
+        }
+    }
+
+    /// The index/scan equivalence holds for arbitrary generated worlds,
+    /// not just the hand-picked ones.
+    #[test]
+    fn split_equivalence_holds_for_arbitrary_worlds(
+        world_seed in 0u64..30,
+        strategy_pick in 0usize..4,
+    ) {
+        let (store, _) = random_world(world_seed, 3, 8, 10);
+        let strategy = strategies()[strategy_pick];
+        let cfg = SetSplitConfig { strategy, max_scenarios: None, min_list_len: 3 };
+        let indexed = split_ideal(&store, &targets(10), &cfg);
+        let scanned = reference::split_ideal_scan(&store, &targets(10), &cfg);
+        prop_assert_eq!(indexed, scanned);
+    }
+}

@@ -222,10 +222,7 @@ mod tests {
                 let r = v % params.block;
                 r < 1e-6 || (params.block - r) < 1e-6
             };
-            assert!(
-                on(p.x) || on(p.y),
-                "walker left the street grid at {p}"
-            );
+            assert!(on(p.x) || on(p.y), "walker left the street grid at {p}");
         }
     }
 
@@ -250,7 +247,9 @@ mod tests {
         let run = |seed: u64| {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let mut w = ManhattanWalk::new(ManhattanParams::default(), bounds(), &mut rng);
-            (0..200).map(|_| w.step(bounds(), &mut rng)).collect::<Vec<_>>()
+            (0..200)
+                .map(|_| w.step(bounds(), &mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

@@ -56,10 +56,7 @@ impl Trajectory {
     /// Total path length in metres.
     #[must_use]
     pub fn path_length(&self) -> f64 {
-        self.positions
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.positions.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 }
 
@@ -96,7 +93,11 @@ impl TraceSet {
     /// Duration in ticks (the longest trajectory's length).
     #[must_use]
     pub fn duration(&self) -> u64 {
-        self.traces.values().map(|t| t.len() as u64).max().unwrap_or(0)
+        self.traces
+            .values()
+            .map(|t| t.len() as u64)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates over `(person, trajectory)` pairs in person order.

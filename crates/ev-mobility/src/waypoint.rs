@@ -161,10 +161,8 @@ impl MobilityModel for RandomWaypoint {
             } => {
                 // Accelerate (or decelerate) toward the leg's target speed,
                 // bounded by max_accel per tick.
-                let dv = (target_speed - self.speed).clamp(
-                    -self.params.max_accel,
-                    self.params.max_accel,
-                );
+                let dv = (target_speed - self.speed)
+                    .clamp(-self.params.max_accel, self.params.max_accel);
                 self.speed = (self.speed + dv).max(0.0);
                 let to_target = target - self.position;
                 let dist = to_target.norm();
@@ -283,7 +281,9 @@ mod tests {
         let run = |seed| {
             let mut r = rng(seed);
             let mut w = RandomWaypoint::new(WaypointParams::default(), bounds(), &mut r);
-            (0..100).map(|_| w.step(bounds(), &mut r)).collect::<Vec<_>>()
+            (0..100)
+                .map(|_| w.step(bounds(), &mut r))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8), "different seeds diverge");

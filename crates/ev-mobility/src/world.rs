@@ -72,8 +72,7 @@ impl World {
         let bounds = region.bounds();
         let movers = (0..population)
             .map(|_| {
-                Box::new(RandomWalk::new(params, bounds, &mut rng))
-                    as Box<dyn MobilityModel + Send>
+                Box::new(RandomWalk::new(params, bounds, &mut rng)) as Box<dyn MobilityModel + Send>
             })
             .collect();
         World {
@@ -199,9 +198,8 @@ mod tests {
 
     #[test]
     fn same_seed_same_world() {
-        let run = |seed| {
-            World::random_waypoint(region(), 10, WaypointParams::default(), seed).run(100)
-        };
+        let run =
+            |seed| World::random_waypoint(region(), 10, WaypointParams::default(), seed).run(100);
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
     }
@@ -231,12 +229,7 @@ mod tests {
 
     #[test]
     fn manhattan_world_runs() {
-        let mut w = World::manhattan(
-            region(),
-            8,
-            crate::ManhattanParams::default(),
-            4,
-        );
+        let mut w = World::manhattan(region(), 8, crate::ManhattanParams::default(), 4);
         let traces = w.run(40);
         assert_eq!(traces.person_count(), 8);
         for (_, t) in traces.iter() {

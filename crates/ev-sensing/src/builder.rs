@@ -179,8 +179,7 @@ impl EScenarioBuilder {
         // vague-zone geometry (paper Fig. 2): estimates landing within
         // `vague_width` of the border are *vague hits* — they could
         // belong to the neighbouring cell.
-        let mut counts: BTreeMap<(Timestamp, CellId), BTreeMap<Eid, (u64, u64)>> =
-            BTreeMap::new();
+        let mut counts: BTreeMap<(Timestamp, CellId), BTreeMap<Eid, (u64, u64)>> = BTreeMap::new();
         for event in &log {
             let win_start = Timestamp::new((event.time.tick() / window) * window);
             let clamped = event.estimated.clamped(bounds);
@@ -297,7 +296,9 @@ mod tests {
         let log1 = b.capture_log(&traces, &roster, SensingNoise::default(), 42);
         let log2 = b.capture_log(&traces, &roster, SensingNoise::default(), 42);
         assert_eq!(log1, log2);
-        assert!(log1.windows(2).all(|w| (w[0].time, w[0].eid) <= (w[1].time, w[1].eid)));
+        assert!(log1
+            .windows(2)
+            .all(|w| (w[0].time, w[0].eid) <= (w[1].time, w[1].eid)));
         // Noiseless log has one event per (person, tick).
         let full = b.capture_log(&traces, &roster, SensingNoise::none(), 0);
         assert_eq!(full.len(), 10);
@@ -314,14 +315,7 @@ mod tests {
             dropout: 0.0,
         };
         let scenarios = EScenarioBuilder::new(region())
-            .build_practical(
-                &traces,
-                &roster,
-                noise,
-                10,
-                WindowThresholds::default(),
-                7,
-            )
+            .build_practical(&traces, &roster, noise, 10, WindowThresholds::default(), 7)
             .unwrap();
         assert_eq!(scenarios.len(), 1);
         let eid = PersonId::new(0).canonical_eid();

@@ -114,10 +114,30 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        assert!(SensingNoise { sigma: -1.0, dropout: 0.0 }.validate().is_err());
-        assert!(SensingNoise { sigma: f64::NAN, dropout: 0.0 }.validate().is_err());
-        assert!(SensingNoise { sigma: 1.0, dropout: 1.5 }.validate().is_err());
-        assert!(SensingNoise { sigma: 1.0, dropout: -0.1 }.validate().is_err());
+        assert!(SensingNoise {
+            sigma: -1.0,
+            dropout: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(SensingNoise {
+            sigma: f64::NAN,
+            dropout: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(SensingNoise {
+            sigma: 1.0,
+            dropout: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(SensingNoise {
+            sigma: 1.0,
+            dropout: -0.1
+        }
+        .validate()
+        .is_err());
         assert!(SensingNoise::default().validate().is_ok());
         assert!(SensingNoise::none().validate().is_ok());
     }

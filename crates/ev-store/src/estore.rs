@@ -1,5 +1,6 @@
 //! The E-Scenario store: an indexed, queryable collection of E-Scenarios.
 
+use crate::index::ScenarioIndex;
 use ev_core::ids::Eid;
 use ev_core::region::CellId;
 use ev_core::scenario::{EScenario, ScenarioId};
@@ -8,18 +9,62 @@ use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// An immutable, indexed collection of E-Scenarios.
 ///
 /// Indexes are built once at construction: scenario-id lookup, a
 /// time-major index (for Algorithm 3's pick-a-random-timestamp step) and a
-/// cell-major index (for spatial queries).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// cell-major index (for spatial queries). The inverted EID → scenario
+/// index ([`ScenarioIndex`]) is built lazily on first use and then shared
+/// by every pipeline reading the store.
+#[derive(Debug)]
 pub struct EScenarioStore {
     scenarios: Vec<EScenario>,
     by_id: BTreeMap<ScenarioId, usize>,
     by_time: BTreeMap<Timestamp, Vec<usize>>,
     by_cell: BTreeMap<CellId, Vec<usize>>,
+    /// Lazily built inverted index. Excluded from equality, cloning and
+    /// serialization: it is derived state, rebuilt on demand.
+    inverted: OnceLock<ScenarioIndex>,
+}
+
+impl Clone for EScenarioStore {
+    fn clone(&self) -> Self {
+        EScenarioStore {
+            scenarios: self.scenarios.clone(),
+            by_id: self.by_id.clone(),
+            by_time: self.by_time.clone(),
+            by_cell: self.by_cell.clone(),
+            // A clone starts with a fresh (unbuilt) index so its usage
+            // counters are independent of the original's.
+            inverted: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for EScenarioStore {
+    fn eq(&self, other: &Self) -> bool {
+        // The lookup maps and the inverted index are all derived from
+        // `scenarios`; comparing the source of truth is enough.
+        self.scenarios == other.scenarios
+    }
+}
+
+impl Serialize for EScenarioStore {
+    fn to_value(&self) -> serde::Value {
+        // Only the scenarios are persisted; every index is rebuilt on
+        // deserialization (they are pure functions of the scenarios).
+        self.scenarios.to_value()
+    }
+}
+
+impl Deserialize for EScenarioStore {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(EScenarioStore::from_scenarios(
+            Vec::<EScenario>::from_value(value)?,
+        ))
+    }
 }
 
 impl EScenarioStore {
@@ -45,7 +90,16 @@ impl EScenarioStore {
             by_id,
             by_time,
             by_cell,
+            inverted: OnceLock::new(),
         }
+    }
+
+    /// The inverted EID → scenario index, built on first call and cached
+    /// for the lifetime of the store.
+    #[must_use]
+    pub fn index(&self) -> &ScenarioIndex {
+        self.inverted
+            .get_or_init(|| ScenarioIndex::build(self.scenarios.iter()))
     }
 
     /// Number of scenarios stored.
@@ -108,9 +162,22 @@ impl EScenarioStore {
             .filter(move |s| cells.is_none_or(|cs| cs.contains(&s.cell())))
     }
 
-    /// All scenarios containing `eid` (linear scan; used by the EDP
-    /// baseline's E-filtering stage).
+    /// All scenarios containing `eid`, in id (= scan) order. Answered
+    /// from the inverted index posting list — `O(|postings| log |store|)`
+    /// instead of a full scan — with results identical to
+    /// [`containing_scan`](EScenarioStore::containing_scan).
     pub fn containing(&self, eid: Eid) -> impl Iterator<Item = &EScenario> {
+        self.index()
+            .postings(eid)
+            .iter()
+            .filter_map(move |&id| self.get(id))
+    }
+
+    /// Scan-based reference implementation of
+    /// [`containing`](EScenarioStore::containing): walks every scenario's
+    /// membership map. Kept for equivalence tests and as the comparison
+    /// baseline in the index benchmarks.
+    pub fn containing_scan(&self, eid: Eid) -> impl Iterator<Item = &EScenario> {
         self.scenarios.iter().filter(move |s| s.contains(eid))
     }
 
@@ -176,10 +243,8 @@ mod tests {
 
     #[test]
     fn duplicate_ids_are_replaced() {
-        let s = EScenarioStore::from_scenarios(vec![
-            scenario(0, 0, &[1]),
-            scenario(0, 0, &[1, 2, 3]),
-        ]);
+        let s =
+            EScenarioStore::from_scenarios(vec![scenario(0, 0, &[1]), scenario(0, 0, &[1, 2, 3])]);
         assert_eq!(s.len(), 1);
         assert_eq!(s.iter().next().unwrap().len(), 3, "later wins");
     }
@@ -222,6 +287,42 @@ mod tests {
     }
 
     #[test]
+    fn containing_matches_scan_reference() {
+        let s = store();
+        for e in 0..10 {
+            let eid = Eid::from_u64(e);
+            let indexed: Vec<ScenarioId> = s.containing(eid).map(EScenario::id).collect();
+            let scanned: Vec<ScenarioId> = s.containing_scan(eid).map(EScenario::id).collect();
+            assert_eq!(indexed, scanned, "order and content for EID {e}");
+        }
+    }
+
+    #[test]
+    fn index_is_built_once_and_survives_clone() {
+        let s = store();
+        let first = s.index() as *const _;
+        let second = s.index() as *const _;
+        assert_eq!(first, second, "same cached index");
+        let cloned = s.clone();
+        assert_eq!(cloned, s, "clone equals original");
+        assert_eq!(
+            cloned.index().stats().postings_probed,
+            0,
+            "clone starts with fresh counters"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_indexes() {
+        let s = store();
+        let value = s.to_value();
+        let back = EScenarioStore::from_value(&value).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.at_time(Timestamp::new(0)).count(), 2);
+        assert_eq!(back.containing(Eid::from_u64(1)).count(), 2);
+    }
+
+    #[test]
     fn random_time_draws_from_present_times() {
         let s = store();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
@@ -242,8 +343,8 @@ mod tests {
     fn merged_unions_and_prefers_newer() {
         let old = store();
         let newer = EScenarioStore::from_scenarios(vec![
-            scenario(0, 0, &[9]),     // collides with (t0, c0): newer wins
-            scenario(5, 7, &[4, 5]),  // brand new
+            scenario(0, 0, &[9]),    // collides with (t0, c0): newer wins
+            scenario(5, 7, &[4, 5]), // brand new
         ]);
         let merged = old.merged(&newer);
         assert_eq!(merged.len(), old.len() + 1);

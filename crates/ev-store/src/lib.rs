@@ -31,7 +31,9 @@
 #![warn(missing_docs)]
 
 mod estore;
+mod index;
 mod video;
 
 pub use estore::EScenarioStore;
+pub use index::{IndexStatsSnapshot, ScenarioIndex};
 pub use video::{VideoStore, VideoStoreStats};

@@ -257,8 +257,7 @@ mod tests {
 
     #[test]
     fn concurrent_extraction_charges_each_scenario_once() {
-        let scenarios: Vec<VScenario> =
-            (0..16).map(|i| vscenario(i, 0, &[i as u64])).collect();
+        let scenarios: Vec<VScenario> = (0..16).map(|i| vscenario(i, 0, &[i as u64])).collect();
         let s = Arc::new(VideoStore::new(
             scenarios,
             CostModel {

@@ -153,8 +153,7 @@ impl VScenarioBuilder {
                 if model.miss_rate > 0.0 && rng.gen::<f64>() < model.miss_rate {
                     continue; // missed detection
                 }
-                if let Some(feature) = self.gallery.observe(person, model.feature_sigma, &mut rng)
-                {
+                if let Some(feature) = self.gallery.observe(person, model.feature_sigma, &mut rng) {
                     scenario.push(Detection {
                         vid: person.canonical_vid(),
                         feature,

@@ -113,10 +113,8 @@ impl AppearanceGallery {
         let features = (0..population)
             .map(|i| {
                 let c = &centroids[(i as usize) % clusters];
-                let components: Vec<f64> = c
-                    .iter()
-                    .map(|&x| x + gaussian(&mut rng) * spread)
-                    .collect();
+                let components: Vec<f64> =
+                    c.iter().map(|&x| x + gaussian(&mut rng) * spread).collect();
                 FeatureVector::from_clamped(components)
             })
             .collect();

@@ -143,8 +143,7 @@ mod tests {
         let s2 = scenario(&[&[0.5, 0.5]]);
         let candidate = fv(&[0.5, 0.5]);
         let joint =
-            joint_membership_probability(&candidate, [&empty, &s2], Metric::NormalizedL2)
-                .unwrap();
+            joint_membership_probability(&candidate, [&empty, &s2], Metric::NormalizedL2).unwrap();
         assert_eq!(joint, 0.0);
     }
 

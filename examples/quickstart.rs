@@ -30,7 +30,9 @@ fn main() {
 
     // 3. Match them all at once with EID set splitting + VID filtering.
     let matcher = EvMatcher::new(&dataset.estore, &dataset.video, MatcherConfig::default());
-    let report = matcher.match_many(&targets).expect("sequential mode cannot fail");
+    let report = matcher
+        .match_many(&targets)
+        .expect("sequential mode cannot fail");
 
     // 4. Inspect: how much video did we touch, and were we right?
     let stats = score_report(&dataset, &report);

@@ -27,7 +27,10 @@ fn main() {
     let matcher = EvMatcher::new(&dataset.estore, &dataset.video, MatcherConfig::default());
 
     // --- Elastic matching sizes: 1, 50, universal. ---
-    let one = sample_targets(&dataset, 1, 3).into_iter().next().expect("non-empty");
+    let one = sample_targets(&dataset, 1, 3)
+        .into_iter()
+        .next()
+        .expect("non-empty");
     dataset.video.reset_usage();
     let t = Instant::now();
     let single = matcher.match_one(one);
@@ -41,7 +44,9 @@ fn main() {
     let batch = sample_targets(&dataset, 50, 3);
     dataset.video.reset_usage();
     let t = Instant::now();
-    let multi = matcher.match_many(&batch).expect("sequential mode cannot fail");
+    let multi = matcher
+        .match_many(&batch)
+        .expect("sequential mode cannot fail");
     println!(
         "50 EIDs:      {:>4} scenarios, {:>8.1?} total ({:.1?} per pair)",
         multi.selected_count(),
@@ -51,7 +56,9 @@ fn main() {
 
     dataset.video.reset_usage();
     let t = Instant::now();
-    let universal = matcher.match_universal().expect("sequential mode cannot fail");
+    let universal = matcher
+        .match_universal()
+        .expect("sequential mode cannot fail");
     let n = universal.outcomes.len() as u32;
     println!(
         "universal:    {:>4} scenarios, {:>8.1?} total ({:.1?} per pair, {} EIDs)",

@@ -78,8 +78,6 @@ fn main() {
         .iter()
         .zip(&noisy.outcomes)
         .all(|(a, b)| a.eid == b.eid && a.vid == b.vid);
-    println!(
-        "\nresults identical under 25% task failures + 20% stragglers: {same}"
-    );
+    println!("\nresults identical under 25% task failures + 20% stragglers: {same}");
     assert!(same, "fault tolerance must preserve results");
 }

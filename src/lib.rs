@@ -63,10 +63,10 @@ pub use ev_vision as vision;
 pub mod prelude {
     pub use ev_core::{Eid, PersonId, Vid};
     pub use ev_datagen::{sample_targets, score_report, DatasetConfig, EvDataset};
+    pub use ev_fusion::FusedIndex;
     pub use ev_mapreduce::ClusterConfig;
     pub use ev_matching::matcher::ExecutionMode;
     pub use ev_matching::refine::SplitMode;
     pub use ev_matching::{EvMatcher, MatchReport, MatcherConfig};
-    pub use ev_fusion::FusedIndex;
     pub use ev_store::{EScenarioStore, VideoStore};
 }

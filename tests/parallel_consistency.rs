@@ -51,13 +51,8 @@ fn parallel_split_is_deterministic_across_worker_counts() {
         seed: 5,
         max_iterations: None,
     };
-    let reference = parallel_split(
-        &MapReduce::new(cluster(1)),
-        &d.estore,
-        &targets,
-        &config,
-    )
-    .unwrap();
+    let reference =
+        parallel_split(&MapReduce::new(cluster(1)), &d.estore, &targets, &config).unwrap();
     for workers in [2, 4, 8] {
         let run = parallel_split(
             &MapReduce::new(cluster(workers)),
@@ -124,7 +119,11 @@ fn parallel_match_accuracy_is_comparable_to_sequential() {
     // No VID is awarded twice after conflict resolution.
     let mut seen = std::collections::BTreeSet::new();
     for o in par.outcomes.iter().filter(|o| o.is_majority()) {
-        assert!(seen.insert(o.vid.unwrap()), "duplicate award of {:?}", o.vid);
+        assert!(
+            seen.insert(o.vid.unwrap()),
+            "duplicate award of {:?}",
+            o.vid
+        );
     }
 }
 

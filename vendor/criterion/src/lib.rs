@@ -1,0 +1,245 @@
+//! Offline vendored micro-benchmark harness exposing the criterion API
+//! subset this workspace's benches use: `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `sample_size`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples
+//! of an adaptively-chosen iteration batch, and reports the median
+//! per-iteration time on stdout. Results are also collected in-process
+//! (see [`Criterion::take_results`]) so custom bench mains can export
+//! them.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` label.
+    pub id: String,
+    /// Median time per iteration.
+    pub per_iter: Duration,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// Passed into benchmark closures; runs and times the workload.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it enough times for a stable median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: grow the batch until one batch takes
+        // at least ~2ms (or a growth cap is hit) so cheap routines are
+        // measured over many iterations.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        let mut iterations = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / u32::try_from(batch).unwrap_or(u32::MAX));
+            iterations += batch;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        *self.result = Some((median, iterations));
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    sample_size: Option<usize>,
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<R>(&mut self, name: &str, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher<'_>),
+    {
+        let samples = self.sample_size.unwrap_or(DEFAULT_SAMPLES);
+        let result = run_one(name, samples, routine);
+        self.results.push(result);
+        self
+    }
+
+    /// Drains every result measured so far (for custom bench mains that
+    /// export measurements).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+fn run_one<R>(id: &str, samples: usize, mut routine: R) -> BenchResult
+where
+    R: FnMut(&mut Bencher<'_>),
+{
+    let mut measured: Option<(Duration, u64)> = None;
+    let mut bencher = Bencher {
+        samples,
+        result: &mut measured,
+    };
+    routine(&mut bencher);
+    let (per_iter, iterations) = measured.unwrap_or((Duration::ZERO, 0));
+    println!("bench {id:<50} {per_iter:>12.2?}/iter ({iterations} iterations)");
+    BenchResult {
+        id: id.to_string(),
+        per_iter,
+        iterations,
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R>(&mut self, id: impl fmt::Display, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(DEFAULT_SAMPLES);
+        let result = run_one(&label, samples, routine);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        R: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench entry point running each listed function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop-sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].iterations > 0);
+    }
+
+    #[test]
+    fn groups_label_results() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        let results = c.take_results();
+        assert_eq!(results[0].id, "g/7");
+    }
+}

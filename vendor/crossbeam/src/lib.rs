@@ -1,0 +1,204 @@
+//! Offline vendored stand-in for `crossbeam`: an unbounded MPMC channel
+//! (the only API this workspace uses) built on `Mutex` + `Condvar`.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; clone freely.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone freely (crossbeam channels are MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a closed channel")
+        }
+    }
+
+    /// Error returned when the channel is empty and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, closed channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing only when every receiver is gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] carrying `value` back when the channel
+        /// is closed on the receiving side.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake blocked receivers so they can
+                // observe disconnection.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next value, blocking while the channel is empty
+        /// and at least one sender is alive.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the channel is empty and every
+        /// sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeues without blocking; `None` when presently empty.
+        pub fn try_recv_opt(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_single_thread() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn multi_consumer_drains_everything() {
+            let (tx, rx) = unbounded();
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+            let mut all: Vec<i32> = workers
+                .into_iter()
+                .flat_map(|w| w.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..1000).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_fails_with_no_receivers() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline vendored property-testing shim.
+//!
+//! The build environment has no crate registry, so the workspace vendors
+//! the proptest API subset it uses: the `proptest!` macro, `prop_assert!`
+//! / `prop_assert_eq!`, range/tuple strategies, `collection::vec`,
+//! `collection::btree_set`, `any::<T>()` and `sample::Index`. Cases are
+//! generated deterministically per (test name, case index); there is no
+//! shrinking — a failure reports the offending inputs instead.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Types with a canonical strategy, reachable via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for sample::Index {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> sample::Index {
+        sample::Index::new(rng.unit_f64())
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig};
+
+    /// Namespace mirror of upstream's `prop::...` paths.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident
+            ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut runner_rng = $crate::test_runner::TestRng::for_case(
+                        stringify!($name),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strat, &mut runner_rng);
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "property `{}` failed at case {case}: {e}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, f in 0.25f64..=0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pairs in prop::collection::vec((0u64..5, 0.0f64..1.0), 0..10),
+        ) {
+            prop_assert!(pairs.len() < 10);
+            for (a, b) in &pairs {
+                prop_assert!(*a < 5 && (0.0..1.0).contains(b));
+            }
+        }
+
+        #[test]
+        fn btree_sets_respect_bounds(s in prop::collection::btree_set(0u64..12, 0..8)) {
+            prop_assert!(s.len() < 8);
+            for v in &s {
+                prop_assert!(*v < 12);
+            }
+        }
+
+        #[test]
+        fn index_picks_valid_element(
+            items in prop::collection::vec(0u64..100, 1..20),
+            pick in any::<prop::sample::Index>(),
+        ) {
+            let chosen = pick.get(&items);
+            prop_assert!(items.contains(chosen));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_override_applies(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,35 @@
+//! Sampling helpers: the `Index` type for picking slice elements.
+
+/// A position-independent index: a unit draw scaled by whatever slice
+/// length it is applied to.
+#[derive(Debug, Clone, Copy)]
+pub struct Index {
+    unit: f64,
+}
+
+impl Index {
+    pub(crate) fn new(unit: f64) -> Self {
+        Index { unit }
+    }
+
+    /// The concrete index for a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero, like upstream.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        ((self.unit * len as f64) as usize).min(len - 1)
+    }
+
+    /// A reference to the picked element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slice` is empty, like upstream.
+    #[must_use]
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline vendored ChaCha8 random number generator.
+//!
+//! A real ChaCha8 core (IETF layout: 32-byte key, 64-bit block counter)
+//! implementing the vendored [`rand`] traits. Streams are deterministic
+//! per seed, which is the property every consumer in this workspace
+//! relies on.
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha block function with 8 rounds.
+fn chacha8_block(key: &[u32; 8], counter: u64, out: &mut [u32; 16]) {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = 0;
+    state[15] = 0;
+
+    let mut x = state;
+    macro_rules! quarter {
+        ($a:expr, $b:expr, $c:expr, $d:expr) => {
+            x[$a] = x[$a].wrapping_add(x[$b]);
+            x[$d] = (x[$d] ^ x[$a]).rotate_left(16);
+            x[$c] = x[$c].wrapping_add(x[$d]);
+            x[$b] = (x[$b] ^ x[$c]).rotate_left(12);
+            x[$a] = x[$a].wrapping_add(x[$b]);
+            x[$d] = (x[$d] ^ x[$a]).rotate_left(8);
+            x[$c] = x[$c].wrapping_add(x[$d]);
+            x[$b] = (x[$b] ^ x[$c]).rotate_left(7);
+        };
+    }
+    for _ in 0..4 {
+        // 8 rounds = 4 double-rounds.
+        quarter!(0, 4, 8, 12);
+        quarter!(1, 5, 9, 13);
+        quarter!(2, 6, 10, 14);
+        quarter!(3, 7, 11, 15);
+        quarter!(0, 5, 10, 15);
+        quarter!(1, 6, 11, 12);
+        quarter!(2, 7, 8, 13);
+        quarter!(3, 4, 9, 14);
+    }
+    for (o, (s, v)) in out.iter_mut().zip(state.iter().zip(x.iter())) {
+        *o = s.wrapping_add(*v);
+    }
+}
+
+/// A ChaCha stream cipher RNG with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "exhausted".
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut out = [0u32; 16];
+        chacha8_block(&self.key, self.counter, &mut out);
+        self.buffer = out;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be unrelated");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        for _ in 0..40 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniformish_unit_floats() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

@@ -1,0 +1,370 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crate registry, so the workspace vendors
+//! a Value-centric serde subset: [`Serialize`] renders any value into a
+//! JSON-like [`Value`] tree, [`Deserialize`] reads one back. The
+//! `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! vendored `serde_derive`) cover the shapes this workspace uses: named
+//! structs, `#[serde(transparent)]` newtypes, tuple structs and
+//! externally-tagged enums with unit/tuple/struct variants.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::Duration;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any printable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// The canonical "missing field" error.
+    #[must_use]
+    pub fn missing_field(name: &str) -> Self {
+        Error::custom(format!("missing field `{name}`"))
+    }
+
+    /// The canonical "wrong type" error.
+    #[must_use]
+    pub fn wrong_type(expected: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a self-describing value.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back out of a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        Error::custom(format!("{} out of range for {}", i, stringify!($t)))
+                    }),
+                    other => Err(Error::wrong_type("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::Null => Ok(<$t>::NAN), // serde_json writes NaN as null
+                    other => Err(Error::wrong_type("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::wrong_type("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::wrong_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::wrong_type("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_arr().ok_or_else(|| Error::wrong_type("array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_arr().ok_or_else(|| Error::wrong_type("array", v))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (value::key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let fields = v.as_obj().ok_or_else(|| Error::wrong_type("object", v))?;
+        fields
+            .iter()
+            .map(|(raw, val)| {
+                // Try the raw string first (covers string keys), then the
+                // reconstructed key value (covers integral/id keys).
+                let key = K::from_value(&Value::Str(raw.clone()))
+                    .or_else(|_| K::from_value(&value::key_from_string(raw)))?;
+                Ok((key, V::from_value(val)?))
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_arr().ok_or_else(|| Error::wrong_type("array", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected {expected}-tuple, got {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("secs".to_string(), Value::Int(i128::from(self.as_secs()))),
+            (
+                "nanos".to_string(),
+                Value::Int(i128::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let secs = v
+            .get("secs")
+            .ok_or_else(|| Error::missing_field("secs"))
+            .and_then(u64::from_value)?;
+        let nanos = v
+            .get("nanos")
+            .ok_or_else(|| Error::missing_field("nanos"))
+            .and_then(u32::from_value)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collections_roundtrip() {
+        let mut map: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+        map.insert(3, vec!["a".into(), "b".into()]);
+        map.insert(u64::MAX, vec![]);
+        let v = map.to_value();
+        assert_eq!(BTreeMap::from_value(&v).ok(), Some(map));
+
+        let set: BTreeSet<i32> = [-2, 0, 9].into_iter().collect();
+        assert_eq!(BTreeSet::from_value(&set.to_value()).ok(), Some(set));
+    }
+
+    #[test]
+    fn option_and_tuple_roundtrip() {
+        let x: Option<(u8, f64)> = Some((4, 0.5));
+        assert_eq!(Option::from_value(&x.to_value()).ok(), Some(x));
+        let y: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&y.to_value()).ok(), Some(None));
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(7, 123_456_789);
+        assert_eq!(Duration::from_value(&d.to_value()).ok(), Some(d));
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(u64::from_value(&Value::Str("7".into())).is_err());
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Int(1)).is_err());
+    }
+}

@@ -1,0 +1,467 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! The build environment has no crate registry, so this macro parses the
+//! item's token stream by hand (no `syn`/`quote`) and emits Value-centric
+//! impls. Supported shapes — the ones this workspace derives:
+//!
+//! - named-field structs (serialized as objects),
+//! - tuple structs (1 field → the inner value, n fields → an array),
+//! - `#[serde(transparent)]` single-field structs,
+//! - externally-tagged enums with unit (`"Name"`), tuple
+//!   (`{"Name": value}` / `{"Name": [..]}`) and struct
+//!   (`{"Name": {..}}`) variants.
+//!
+//! Generic types are intentionally unsupported and fail loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading `#[...]` attributes from `tokens[*pos..]`, returning
+/// whether any was `#[serde(transparent)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut transparent = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                if attr_is_serde_transparent(&g.stream()) {
+                    transparent = true;
+                }
+                *pos += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    transparent
+}
+
+fn attr_is_serde_transparent(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a `pub` / `pub(...)` visibility marker if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let transparent = skip_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(&tokens, pos, &name)),
+        "enum" => Kind::Enum(parse_enum_body(&tokens, pos, &name)),
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+fn parse_struct_body(tokens: &[TokenTree], pos: usize, name: &str) -> Shape {
+    match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(&g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(&g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, tracking `<...>` depth so commas
+/// inside generic arguments do not split fields.
+fn parse_named_fields(stream: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(field)) = tokens.get(pos) else {
+            panic!(
+                "serde derive: expected field name, got {:?}",
+                tokens.get(pos)
+            );
+        };
+        fields.push(field.to_string());
+        pos += 1;
+        assert!(
+            matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde derive: expected `:` after field `{}`",
+            fields.last().expect("just pushed"),
+        );
+        pos += 1;
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        pos += 1; // past the comma (or the end)
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_trailing_comma = false;
+    }
+    if saw_trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_enum_body(tokens: &[TokenTree], pos: usize, name: &str) -> Vec<Variant> {
+    let Some(TokenTree::Group(body)) = tokens.get(pos) else {
+        panic!("serde derive: expected enum body for `{name}`");
+    };
+    assert!(
+        body.delimiter() == Delimiter::Brace,
+        "serde derive: expected braced enum body for `{name}`",
+    );
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        let Some(TokenTree::Ident(vname)) = tokens.get(pos) else {
+            panic!(
+                "serde derive: expected variant name, got {:?}",
+                tokens.get(pos)
+            );
+        };
+        let vname = vname.to_string();
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Named(parse_named_fields(&g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name: vname, shape });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn is_newtype(item: &Item) -> bool {
+    match &item.kind {
+        Kind::Struct(Shape::Tuple(1)) => true,
+        Kind::Struct(Shape::Named(fields)) => item.transparent && fields.len() == 1,
+        _ => false,
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Shape::Named(fields)) if is_newtype(item) => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string())"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Obj(vec![(\"{vname}\"\
+                             .to_string(), ::serde::Serialize::to_value(f0))])"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Obj(vec![(\"{vname}\"\
+                                 .to_string(), ::serde::Value::Arr(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::Obj(vec![(\"{vname}\".to_string(), \
+                                 ::serde::Value::Obj(vec![{}]))])",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_reads(target: &str, source: &str, fields: &[String]) -> String {
+    let reads: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match {source}.get(\"{f}\") {{ \
+                 Some(x) => ::serde::Deserialize::from_value(x)?, \
+                 None => return Err(::serde::Error::missing_field(\"{f}\")) }}"
+            )
+        })
+        .collect();
+    format!("{target} {{ {} }}", reads.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => format!("Ok({name})"),
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Shape::Named(fields)) if is_newtype(item) => {
+            format!(
+                "Ok({name} {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                fields[0]
+            )
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_arr().ok_or_else(|| \
+                 ::serde::Error::wrong_type(\"array\", v))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements, got {{}}\", items.len()))); }}\n\
+                 Ok({name}({}))",
+                reads.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            format!(
+                "if v.as_obj().is_none() {{ \
+                 return Err(::serde::Error::wrong_type(\"object\", v)); }}\n\
+                 Ok({})",
+                gen_named_reads(name, "v", fields)
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => return \
+                             Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let reads: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ \
+                                 let items = inner.as_arr().ok_or_else(|| \
+                                 ::serde::Error::wrong_type(\"array\", inner))?; \
+                                 if items.len() != {n} {{ \
+                                 return Err(::serde::Error::custom(\"wrong arity\")); }} \
+                                 return Ok({name}::{vname}({})); }}",
+                                reads.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => Some(format!(
+                            "\"{vname}\" => return Ok({}),",
+                            gen_named_reads(&format!("{name}::{vname}"), "inner", fields)
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(tag) = v {{\n\
+                 match tag.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 if let Some(fields) = v.as_obj() {{\n\
+                 if fields.len() == 1 {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+                 }}\n\
+                 Err(::serde::Error::custom(format!(\
+                 \"unknown variant for {name}: {{}}\", v)))",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }}\n\
+         }}"
+    )
+}

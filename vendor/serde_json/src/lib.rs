@@ -1,0 +1,123 @@
+//! Offline vendored JSON front end: `to_string`, `to_string_pretty`,
+//! `from_str` and the `json!` macro over the vendored serde stand-in.
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    inner: serde::Error,
+}
+
+impl From<serde::Error> for Error {
+    fn from(inner: serde::Error) -> Self {
+        Error { inner }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the shapes this workspace serializes; the `Result`
+/// mirrors the upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serializes a value as pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails for the shapes this workspace serializes; the `Result`
+/// mirrors the upstream signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parses JSON text into a value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::value::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Builds a [`Value`] in place, mirroring `serde_json::json!` for the
+/// forms this workspace uses: object literals with expression values,
+/// array literals, `null` and bare expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Obj(vec![
+            $( (($key).to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Arr(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn roundtrip_via_text() {
+        let mut m: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        m.insert("xs".into(), vec![1, 2, 3]);
+        let text = to_string(&m).unwrap();
+        let back: BTreeMap<String, Vec<u64>> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let count = 3u64;
+        let v = json!({
+            "count": count,
+            "items": (0..count).collect::<Vec<_>>(),
+            "nested": json!([1, 2]),
+            "missing": Option::<u64>::None,
+        });
+        let text = to_string(&v).unwrap();
+        assert_eq!(
+            text,
+            r#"{"count":3,"items":[0,1,2],"nested":[1,2],"missing":null}"#
+        );
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn from_str_reports_errors() {
+        assert!(from_str::<u64>("not json").is_err());
+        assert!(from_str::<u64>("\"seven\"").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"a": 1});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+}
