@@ -1,0 +1,120 @@
+//! Prices the telemetry instrumentation: the full sequential matching
+//! pipeline at every [`TelemetryLevel`] over the standard 400-person
+//! dataset, written to `results/BENCH_telemetry.json`.
+//!
+//! The issue's acceptance target is < 3% overhead at the `counters`
+//! level (every site behind one relaxed atomic load); `full` adds span
+//! clocks and per-comparison latency histograms and is expected to cost
+//! more — it is the profiling mode, not the production default.
+//!
+//! Custom main (no criterion harness): the results must land in a JSON
+//! record, so we drain [`Criterion::take_results`] ourselves.
+
+use criterion::{BenchResult, Criterion};
+use ev_bench::runner::run_ss_telemetry;
+use ev_datagen::{sample_targets, DatasetConfig, EvDataset};
+use ev_telemetry::{Telemetry, TelemetryLevel};
+use serde::Serialize;
+use std::path::Path;
+
+/// One exported measurement.
+#[derive(Debug, Serialize)]
+struct Entry {
+    id: String,
+    per_iter_ns: u64,
+    iterations: u64,
+}
+
+impl From<BenchResult> for Entry {
+    fn from(r: BenchResult) -> Self {
+        Entry {
+            id: r.id,
+            per_iter_ns: u64::try_from(r.per_iter.as_nanos()).unwrap_or(u64::MAX),
+            iterations: r.iterations,
+        }
+    }
+}
+
+/// The full `BENCH_telemetry.json` record.
+#[derive(Debug, Serialize)]
+struct Record {
+    population: u64,
+    duration: u64,
+    targets: usize,
+    /// (counters − off) / off, in percent (the < 3% target).
+    counters_overhead_pct: f64,
+    /// (full − off) / off, in percent (profiling mode; no target).
+    full_overhead_pct: f64,
+    results: Vec<Entry>,
+}
+
+fn per_iter_ns(results: &[Entry], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|e| e.id == id)
+        .map(|e| e.per_iter_ns as f64)
+        .expect("benchmark id present")
+}
+
+fn main() {
+    let population = 400;
+    let duration = 300;
+    let n_targets = 100;
+    let data = EvDataset::generate(&DatasetConfig {
+        population,
+        duration,
+        ..DatasetConfig::default()
+    })
+    .expect("valid config");
+    let targets = sample_targets(&data, n_targets, 1);
+    // Build the lazy inverted index up front so no level pays it first.
+    let _ = data.estore.index();
+
+    let mut c = Criterion::default();
+    let mut group = c.benchmark_group("telemetry_pipeline");
+    group.sample_size(10);
+    for (name, level) in [
+        ("off", TelemetryLevel::Off),
+        ("counters", TelemetryLevel::Counters),
+        ("full", TelemetryLevel::Full),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let tel = Telemetry::new(level);
+                run_ss_telemetry(&data, &targets, 1, &tel).rounds
+            });
+        });
+    }
+    group.finish();
+
+    let results: Vec<Entry> = c.take_results().into_iter().map(Entry::from).collect();
+    let off = per_iter_ns(&results, "telemetry_pipeline/off");
+    let counters = per_iter_ns(&results, "telemetry_pipeline/counters");
+    let full = per_iter_ns(&results, "telemetry_pipeline/full");
+    let record = Record {
+        population,
+        duration,
+        targets: n_targets,
+        counters_overhead_pct: (counters - off) / off * 100.0,
+        full_overhead_pct: (full - off) / off * 100.0,
+        results,
+    };
+
+    for e in &record.results {
+        println!(
+            "{:<40} {:>12} ns/iter  ({} iters)",
+            e.id, e.per_iter_ns, e.iterations
+        );
+    }
+    println!(
+        "counters overhead: {:+.2}%   full overhead: {:+.2}%",
+        record.counters_overhead_pct, record.full_overhead_pct
+    );
+
+    // Anchor to the workspace-root results directory regardless of the
+    // CWD cargo picked for the bench binary.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let json = serde_json::to_string_pretty(&record).expect("serialize record");
+    std::fs::write(dir.join("BENCH_telemetry.json"), json).expect("write BENCH_telemetry.json");
+}

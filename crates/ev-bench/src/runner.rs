@@ -6,8 +6,11 @@ use ev_datagen::{score_report, EvDataset};
 use ev_mapreduce::{ClusterConfig, MapReduce};
 use ev_matching::edp::{edp_engine, match_edp, match_edp_parallel, EdpConfig};
 use ev_matching::parallel::{parallel_match, ParallelSplitConfig};
-use ev_matching::refine::{match_with_refinement, RefineConfig, SplitMode};
+use ev_matching::refine::{
+    match_with_refinement, match_with_refinement_instrumented, RefineConfig, SplitMode,
+};
 use ev_matching::vfilter::VFilterConfig;
+use ev_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -74,6 +77,38 @@ pub fn run_ss(dataset: &EvDataset, targets: &BTreeSet<Eid>, seed: u64) -> RunSum
         *s = seed;
     }
     let report = match_with_refinement(&dataset.estore, &dataset.video, targets, &config);
+    summarize(dataset, targets, Algo::Ss, &report)
+}
+
+/// [`run_ss`] with a telemetry handle threaded through the pipeline, so
+/// experiments can export run profiles (and the telemetry bench can
+/// price each level). With a disabled handle this measures the same
+/// work as `run_ss`.
+#[must_use]
+pub fn run_ss_telemetry(
+    dataset: &EvDataset,
+    targets: &BTreeSet<Eid>,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> RunSummary {
+    dataset.video.reset_usage();
+    let mut config = RefineConfig {
+        mode: SplitMode::Practical,
+        ..RefineConfig::default()
+    };
+    if let ev_matching::setsplit::SelectionStrategy::RandomTime { seed: s } =
+        &mut config.split.strategy
+    {
+        *s = seed;
+    }
+    let report = match_with_refinement_instrumented(
+        &dataset.estore,
+        &dataset.video,
+        targets,
+        &config,
+        &BTreeSet::new(),
+        telemetry,
+    );
     summarize(dataset, targets, Algo::Ss, &report)
 }
 

@@ -5,6 +5,8 @@ use crate::api::{Combiner, Emitter, HashPartitioner, Mapper, Partitioner, Reduce
 use crate::config::{ClusterConfig, FaultPlan};
 use crate::metrics::JobMetrics;
 use crossbeam::channel;
+use ev_telemetry::Telemetry;
+use serde::Value;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::Hash;
@@ -66,6 +68,7 @@ pub struct JobResult<K, T> {
 #[derive(Debug, Clone)]
 pub struct MapReduce {
     config: ClusterConfig,
+    telemetry: Telemetry,
 }
 
 /// SplitMix64: cheap deterministic per-(seed, task, attempt) draw.
@@ -103,10 +106,31 @@ enum TaskOutcome<T> {
 }
 
 impl MapReduce {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration and telemetry
+    /// disabled.
     #[must_use]
     pub fn new(config: ClusterConfig) -> Self {
-        MapReduce { config }
+        MapReduce {
+            config,
+            telemetry: Telemetry::disabled().clone(),
+        }
+    }
+
+    /// Attaches a telemetry handle: finished jobs record their
+    /// [`JobMetrics`] into its registry, and at the `full` level every
+    /// task attempt becomes a trace span with retry / speculative /
+    /// straggler instant events.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// The telemetry handle in force (the shared disabled instance by
+    /// default).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration in force.
@@ -171,6 +195,7 @@ impl MapReduce {
         P: Partitioner<M::Key>,
     {
         self.config.validate().map_err(JobError::InvalidConfig)?;
+        let mut job_span = self.telemetry.span("mapreduce_job", "round");
         let job_start = Instant::now();
         let mut metrics = JobMetrics::default();
 
@@ -270,6 +295,13 @@ impl MapReduce {
             .collect::<Vec<_>>();
 
         metrics.total_time = job_start.elapsed();
+        if self.telemetry.counters_on() {
+            metrics.record_to(self.telemetry.registry());
+        }
+        job_span.arg("map_tasks", Value::Int(metrics.map_tasks as i128));
+        job_span.arg("reduce_tasks", Value::Int(metrics.reduce_tasks as i128));
+        job_span.arg("map_attempts", Value::Int(i128::from(metrics.map_attempts)));
+        drop(job_span);
         Ok(JobResult {
             output,
             grouped,
@@ -299,6 +331,9 @@ impl MapReduce {
         if task_count == 0 {
             return Ok(Vec::new());
         }
+        let tel = &self.telemetry;
+        let mut stage_span = tel.span(stage_name, "stage");
+        stage_span.arg("tasks", Value::Int(task_count as i128));
         let faults = self.config.faults;
         let overhead = self.config.task_overhead_units;
         let workers = self.config.workers;
@@ -313,6 +348,7 @@ impl MapReduce {
 
         // Schedule the first attempt of every task; launch a speculative
         // backup right away for attempts the fault plan marks straggling.
+        #[allow(clippy::too_many_arguments)]
         fn schedule(
             task: usize,
             attempts_next: &mut [u32],
@@ -320,6 +356,8 @@ impl MapReduce {
             tx: &channel::Sender<(usize, u32)>,
             faults: &FaultPlan,
             stage_id: u64,
+            stage_name: &'static str,
+            tel: &Telemetry,
         ) {
             let attempt = attempts_next[task];
             attempts_next[task] += 1;
@@ -328,11 +366,29 @@ impl MapReduce {
             let straggles = faults.straggler_rate > 0.0
                 && fault_draw(faults.seed ^ 0x5757, stage_id, task as u64, attempt.into())
                     < faults.straggler_rate;
+            if straggles {
+                tel.event(
+                    "straggler_detected",
+                    vec![
+                        ("stage".to_string(), Value::Str(stage_name.to_string())),
+                        ("task".to_string(), Value::Int(task as i128)),
+                        ("attempt".to_string(), Value::Int(i128::from(attempt))),
+                    ],
+                );
+            }
             if straggles && faults.speculative_execution {
                 let backup = attempts_next[task];
                 attempts_next[task] += 1;
                 metrics.speculative_attempts += 1;
                 metrics.map_attempts += u64::from(stage_id == 0);
+                tel.event(
+                    "speculative_launched",
+                    vec![
+                        ("stage".to_string(), Value::Str(stage_name.to_string())),
+                        ("task".to_string(), Value::Int(task as i128)),
+                        ("attempt".to_string(), Value::Int(i128::from(backup))),
+                    ],
+                );
                 tx.send((task, backup)).expect("task channel open");
             }
         }
@@ -344,6 +400,8 @@ impl MapReduce {
                 &task_tx,
                 &faults,
                 stage_id,
+                stage_name,
+                tel,
             );
         }
 
@@ -354,11 +412,31 @@ impl MapReduce {
                 let work = &work;
                 scope.spawn(move || {
                     while let Ok((task, attempt)) = task_rx.recv() {
+                        let attempt_start = tel.tracing_on().then(Instant::now);
+                        let close_span = |outcome: &'static str| {
+                            if let Some(start) = attempt_start {
+                                tel.tracer().complete(
+                                    format!("{stage_name}[{task}]#{attempt}"),
+                                    "task",
+                                    start,
+                                    vec![("outcome".to_string(), Value::Str(outcome.to_string()))],
+                                );
+                            }
+                        };
                         // Injected failure?
                         if faults.task_failure_rate > 0.0
                             && fault_draw(faults.seed, stage_id, task as u64, attempt.into())
                                 < faults.task_failure_rate
                         {
+                            tel.event(
+                                "task_failed",
+                                vec![
+                                    ("stage".to_string(), Value::Str(stage_name.to_string())),
+                                    ("task".to_string(), Value::Int(task as i128)),
+                                    ("attempt".to_string(), Value::Int(i128::from(attempt))),
+                                ],
+                            );
+                            close_span("failed");
                             let _ = done_tx.send(TaskOutcome::Failed { task });
                             continue;
                         }
@@ -379,6 +457,7 @@ impl MapReduce {
                             let _ = burn(units);
                         }
                         let payload = work(task);
+                        close_span("done");
                         let _ = done_tx.send(TaskOutcome::Done { task, payload });
                     }
                 });
@@ -411,6 +490,17 @@ impl MapReduce {
                                 attempts: failures[task],
                             });
                         }
+                        tel.event(
+                            "retry_scheduled",
+                            vec![
+                                ("stage".to_string(), Value::Str(stage_name.to_string())),
+                                ("task".to_string(), Value::Int(task as i128)),
+                                (
+                                    "failures".to_string(),
+                                    Value::Int(i128::from(failures[task])),
+                                ),
+                            ],
+                        );
                         schedule(
                             task,
                             &mut attempts_next,
@@ -418,6 +508,8 @@ impl MapReduce {
                             &task_tx,
                             &faults,
                             stage_id,
+                            stage_name,
+                            tel,
                         );
                     }
                 }
@@ -715,6 +807,58 @@ mod tests {
             .unwrap();
         assert_eq!(result.metrics.reduce_tasks, 1, "only partition 0 is used");
         assert_wordcount_correct(&result.output, 30);
+    }
+
+    #[test]
+    fn telemetry_records_job_metrics_and_events() {
+        use ev_telemetry::{names, TelemetryLevel};
+        let tel = Telemetry::new(TelemetryLevel::Full);
+        let cfg = ClusterConfig {
+            faults: FaultPlan {
+                task_failure_rate: 0.4,
+                max_attempts: 50,
+                seed: 3,
+                ..FaultPlan::default()
+            },
+            split_size: 5,
+            ..ClusterConfig::default()
+        };
+        let engine = MapReduce::new(cfg).with_telemetry(&tel);
+        let result = engine.run(corpus(100), &Tokenize, &Sum).unwrap();
+        assert_eq!(
+            tel.registry().counter_value(names::MAPREDUCE_MAP_ATTEMPTS),
+            Some(result.metrics.map_attempts),
+            "registry must mirror the job's attempt counter"
+        );
+        assert_eq!(
+            tel.registry()
+                .counter_value(names::MAPREDUCE_FAILED_ATTEMPTS),
+            Some(result.metrics.failed_attempts)
+        );
+        let events = tel.tracer().events();
+        assert!(events.iter().any(|e| e.name == "task_failed"));
+        assert!(events.iter().any(|e| e.name == "retry_scheduled"));
+        assert!(events.iter().any(|e| e.cat == "task" && e.ph == 'X'));
+        assert!(events.iter().any(|e| e.cat == "stage" && e.name == "map"));
+        assert!(events.iter().any(|e| e.name == "mapreduce_job"));
+    }
+
+    #[test]
+    fn disabled_telemetry_leaves_results_unchanged() {
+        let cfg = ClusterConfig {
+            split_size: 7,
+            ..ClusterConfig::default()
+        };
+        let plain = MapReduce::new(cfg.clone())
+            .run(corpus(60), &Tokenize, &Sum)
+            .unwrap();
+        let tel = Telemetry::new(ev_telemetry::TelemetryLevel::Full);
+        let traced = MapReduce::new(cfg)
+            .with_telemetry(&tel)
+            .run(corpus(60), &Tokenize, &Sum)
+            .unwrap();
+        assert_eq!(plain.output, traced.output);
+        assert!(Telemetry::disabled().tracer().is_empty());
     }
 
     #[test]

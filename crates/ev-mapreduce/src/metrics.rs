@@ -1,5 +1,6 @@
 //! Job execution metrics.
 
+use ev_telemetry::{names, IndexCounters, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -31,13 +32,13 @@ pub struct JobMetrics {
     pub reduce_time: Duration,
     /// End-to-end wall time.
     pub total_time: Duration,
-    /// Posting lists fetched from a driver-side inverted index while
-    /// preparing or post-processing job inputs.
-    pub index_postings_probed: u64,
-    /// Driver-side gallery/extraction cache hits.
-    pub index_cache_hits: u64,
-    /// Full-store scans avoided by answering from an index instead.
-    pub index_scans_avoided: u64,
+    /// Index/cache-layer work absorbed while preparing or
+    /// post-processing job inputs (the engine itself never touches an
+    /// index; drivers report through
+    /// [`JobMetrics::record_index_counters`]). Shared with the
+    /// sequential pipeline's `StageTimings` via
+    /// [`ev_telemetry::IndexCounters`].
+    pub index: IndexCounters,
 }
 
 impl JobMetrics {
@@ -66,28 +67,70 @@ impl JobMetrics {
         self.shuffle_time += other.shuffle_time;
         self.reduce_time += other.reduce_time;
         self.total_time += other.total_time;
-        self.index_postings_probed += other.index_postings_probed;
-        self.index_cache_hits += other.index_cache_hits;
-        self.index_scans_avoided += other.index_scans_avoided;
+        self.index.absorb(&other.index);
     }
 
-    /// Adds one batch of index-layer counters (the engine itself never
-    /// touches an index; drivers report through this).
-    pub fn record_index_stats(
-        &mut self,
-        postings_probed: u64,
-        cache_hits: u64,
-        scans_avoided: u64,
-    ) {
-        self.index_postings_probed += postings_probed;
-        self.index_cache_hits += cache_hits;
-        self.index_scans_avoided += scans_avoided;
+    /// The index/cache counter triple shared with the sequential
+    /// pipeline.
+    #[must_use]
+    pub fn index_counters(&self) -> IndexCounters {
+        self.index
+    }
+
+    /// Folds one batch of index-layer counters into the job totals —
+    /// the single conversion path between driver-side counters and job
+    /// metrics.
+    pub fn record_index_counters(&mut self, counters: &IndexCounters) {
+        self.index.absorb(counters);
+    }
+
+    /// Adds every field to its canonical `evm_mapreduce_*` /
+    /// `evm_index_*` metric in `registry`.
+    pub fn record_to(&self, registry: &MetricsRegistry) {
+        registry
+            .counter(names::MAPREDUCE_MAP_TASKS)
+            .add(self.map_tasks as u64);
+        registry
+            .counter(names::MAPREDUCE_REDUCE_TASKS)
+            .add(self.reduce_tasks as u64);
+        registry
+            .counter(names::MAPREDUCE_MAP_ATTEMPTS)
+            .add(self.map_attempts);
+        registry
+            .counter(names::MAPREDUCE_FAILED_ATTEMPTS)
+            .add(self.failed_attempts);
+        registry
+            .counter(names::MAPREDUCE_SPECULATIVE_ATTEMPTS)
+            .add(self.speculative_attempts);
+        registry
+            .counter(names::MAPREDUCE_SHUFFLED_PAIRS)
+            .add(self.shuffled_pairs);
+        registry
+            .counter(names::MAPREDUCE_PRE_COMBINE_PAIRS)
+            .add(self.pre_combine_pairs);
+        registry
+            .counter(names::MAPREDUCE_DISTINCT_KEYS)
+            .add(self.distinct_keys);
+        registry
+            .gauge(names::MAPREDUCE_MAP_TIME_SECONDS)
+            .set(self.map_time.as_secs_f64());
+        registry
+            .gauge(names::MAPREDUCE_SHUFFLE_TIME_SECONDS)
+            .set(self.shuffle_time.as_secs_f64());
+        registry
+            .gauge(names::MAPREDUCE_REDUCE_TIME_SECONDS)
+            .set(self.reduce_time.as_secs_f64());
+        registry
+            .gauge(names::MAPREDUCE_TOTAL_TIME_SECONDS)
+            .set(self.total_time.as_secs_f64());
+        self.index.record_to(registry);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::Value;
 
     #[test]
     fn combine_ratio_handles_edge_cases() {
@@ -128,15 +171,122 @@ mod tests {
     }
 
     #[test]
-    fn index_stats_record_and_absorb() {
+    fn index_counters_record_and_absorb() {
         let mut a = JobMetrics::default();
-        a.record_index_stats(5, 2, 9);
-        a.record_index_stats(1, 1, 1);
+        a.record_index_counters(&IndexCounters {
+            postings_probed: 5,
+            cache_hits: 2,
+            scans_avoided: 9,
+        });
+        a.record_index_counters(&IndexCounters {
+            postings_probed: 1,
+            cache_hits: 1,
+            scans_avoided: 1,
+        });
         let mut b = JobMetrics::default();
-        b.record_index_stats(10, 20, 30);
+        b.record_index_counters(&IndexCounters {
+            postings_probed: 10,
+            cache_hits: 20,
+            scans_avoided: 30,
+        });
         a.absorb(&b);
-        assert_eq!(a.index_postings_probed, 16);
-        assert_eq!(a.index_cache_hits, 23);
-        assert_eq!(a.index_scans_avoided, 40);
+        assert_eq!(
+            a.index_counters(),
+            IndexCounters {
+                postings_probed: 16,
+                cache_hits: 23,
+                scans_avoided: 40,
+            }
+        );
+    }
+
+    /// Fills every serialized leaf with a distinct non-zero value so
+    /// any field `absorb`/`record_to` forgets shows up as an exact
+    /// mismatch.
+    fn distinct_metrics() -> JobMetrics {
+        fn fill(value: &Value, next: &mut i128) -> Value {
+            match value {
+                Value::Int(_) => {
+                    *next += 1;
+                    Value::Int(*next)
+                }
+                Value::Obj(fields) => Value::Obj(
+                    fields
+                        .iter()
+                        .map(|(k, v)| {
+                            // Keep Duration nanos at zero so doubling
+                            // secs never carries.
+                            if k == "nanos" {
+                                (k.clone(), Value::Int(0))
+                            } else {
+                                (k.clone(), fill(v, next))
+                            }
+                        })
+                        .collect(),
+                ),
+                other => other.clone(),
+            }
+        }
+        let template = JobMetrics::default().to_value();
+        let mut next = 0i128;
+        let filled = fill(&template, &mut next);
+        JobMetrics::from_value(&filled).expect("JobMetrics round-trips")
+    }
+
+    /// Field-enumeration guard: absorbing a copy of itself must double
+    /// *every* serialized leaf, so a newly added counter cannot be
+    /// silently dropped from `JobMetrics::absorb`.
+    #[test]
+    fn absorb_covers_every_field() {
+        fn assert_doubled(path: &str, before: &Value, after: &Value) {
+            match (before, after) {
+                (Value::Int(a), Value::Int(b)) => {
+                    assert_eq!(*b, 2 * *a, "absorb dropped or mis-merged field {path}");
+                }
+                (Value::Obj(xs), Value::Obj(ys)) => {
+                    assert_eq!(xs.len(), ys.len());
+                    for ((k, x), (_, y)) in xs.iter().zip(ys) {
+                        assert_doubled(&format!("{path}.{k}"), x, y);
+                    }
+                }
+                other => panic!("unexpected field shape at {path}: {other:?}"),
+            }
+        }
+        let base = distinct_metrics();
+        let mut doubled = base.clone();
+        doubled.absorb(&base);
+        assert_doubled("metrics", &base.to_value(), &doubled.to_value());
+    }
+
+    /// Every serialized field must surface in the registry under its
+    /// canonical name.
+    #[test]
+    fn record_to_exports_every_field() {
+        let base = distinct_metrics();
+        let registry = MetricsRegistry::new();
+        base.record_to(&registry);
+        let snapshot = registry.snapshot();
+        let exported = |prefix: &str| {
+            snapshot
+                .counters
+                .keys()
+                .chain(snapshot.gauges.keys())
+                .any(|k| k.starts_with(prefix))
+        };
+        for (field, value) in base.to_value().as_obj().unwrap() {
+            if field == "index" {
+                for (leaf, _) in value.as_obj().unwrap() {
+                    assert!(
+                        exported(&format!("evm_index_{leaf}")),
+                        "index counter {leaf} not exported"
+                    );
+                }
+            } else {
+                assert!(
+                    exported(&format!("evm_mapreduce_{field}")),
+                    "field {field} not exported to the registry"
+                );
+            }
+        }
     }
 }

@@ -17,13 +17,14 @@
 
 use crate::edp::{efilter_one, EdpConfig};
 use crate::parallel::{parallel_match, ParallelSplitConfig};
-use crate::refine::{match_with_refinement, RefineConfig, SplitMode};
+use crate::refine::{match_with_refinement_instrumented, RefineConfig, SplitMode};
 use crate::setsplit::SetSplitConfig;
 use crate::types::{IndexCounters, MatchReport, StageTimings};
 use crate::vfilter::{filter_one, VFilterConfig};
 use ev_core::ids::Eid;
 use ev_mapreduce::{ClusterConfig, MapReduce};
 use ev_store::{EScenarioStore, VideoStore};
+use ev_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
@@ -74,6 +75,7 @@ pub struct EvMatcher<'a> {
     estore: &'a EScenarioStore,
     video: &'a VideoStore,
     config: MatcherConfig,
+    telemetry: Telemetry,
 }
 
 impl<'a> EvMatcher<'a> {
@@ -84,7 +86,23 @@ impl<'a> EvMatcher<'a> {
             estore,
             video,
             config,
+            telemetry: Telemetry::disabled().clone(),
         }
+    }
+
+    /// Attaches a telemetry handle; every pipeline the matcher runs —
+    /// including the MapReduce engine in parallel mode — records spans
+    /// and metrics through it.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// The telemetry handle in force (disabled unless attached).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration in force.
@@ -98,6 +116,7 @@ impl<'a> EvMatcher<'a> {
     /// matching other EIDs and VIDs", §I).
     #[must_use]
     pub fn match_one(&self, eid: Eid) -> MatchReport {
+        let mut span = self.telemetry.span("match_one", "pipeline");
         let index_before = self.estore.index().stats();
         let e_start = Instant::now();
         let edp_cfg = EdpConfig {
@@ -121,7 +140,7 @@ impl<'a> EvMatcher<'a> {
         let mut lists = BTreeMap::new();
         lists.insert(eid, list.clone());
         let index_delta = self.estore.index().stats().since(&index_before);
-        MatchReport {
+        let report = MatchReport {
             outcomes: vec![outcome],
             lists,
             selected_scenarios: list.into_iter().collect(),
@@ -135,7 +154,16 @@ impl<'a> EvMatcher<'a> {
                 },
             },
             rounds: 1,
+        };
+        if self.telemetry.counters_on() {
+            report.timings.record_to(self.telemetry.registry());
         }
+        span.arg(
+            "matched",
+            serde::Value::Bool(report.outcomes[0].vid.is_some()),
+        );
+        drop(span);
+        report
     }
 
     /// Matches a set of EIDs simultaneously via EID set splitting.
@@ -150,7 +178,7 @@ impl<'a> EvMatcher<'a> {
         targets: &BTreeSet<Eid>,
     ) -> Result<MatchReport, ev_mapreduce::JobError> {
         match &self.config.execution {
-            ExecutionMode::Sequential => Ok(match_with_refinement(
+            ExecutionMode::Sequential => Ok(match_with_refinement_instrumented(
                 self.estore,
                 self.video,
                 targets,
@@ -160,9 +188,11 @@ impl<'a> EvMatcher<'a> {
                     vfilter: self.config.vfilter,
                     max_rounds: self.config.max_rounds,
                 },
+                &BTreeSet::new(),
+                &self.telemetry,
             )),
             ExecutionMode::Parallel(cluster) => {
-                let engine = MapReduce::new(cluster.clone());
+                let engine = MapReduce::new(cluster.clone()).with_telemetry(&self.telemetry);
                 let seed = match self.config.split.strategy {
                     crate::setsplit::SelectionStrategy::RandomTime { seed } => seed,
                     _ => 0,

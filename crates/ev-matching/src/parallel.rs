@@ -452,29 +452,50 @@ pub fn parallel_match(
     split_config: &ParallelSplitConfig,
     vfilter_config: &VFilterConfig,
 ) -> Result<MatchReport, JobError> {
+    let tel = engine.telemetry();
+    let mut pipeline_span = tel.span("parallel_match", "pipeline");
     let mut metrics = JobMetrics::default();
     let index_before = store.index().stats();
     let cache_hits_before = video.stats().cache_hits;
+    let extracted_before = video.stats().extracted_scenarios;
 
     let e_start = Instant::now();
-    let split = parallel_split_impl(engine, store, targets, split_config, false, &mut metrics)?;
+    let split = {
+        let mut e_span = tel.span("parallel_split", "stage");
+        let out = parallel_split_impl(engine, store, targets, split_config, false, &mut metrics)?;
+        e_span.arg(
+            "examined",
+            serde::Value::Int(out.scenarios_examined as i128),
+        );
+        e_span.arg("recorded", serde::Value::Int(out.recorded.len() as i128));
+        out
+    };
     let e_stage = e_start.elapsed();
 
     let v_start = Instant::now();
-    let outcomes = parallel_vfilter(engine, video, &split.lists, vfilter_config)?;
+    let outcomes = {
+        let mut v_span = tel.span("parallel_vfilter", "stage");
+        let out = parallel_vfilter(engine, video, &split.lists, vfilter_config)?;
+        v_span.arg("eids", serde::Value::Int(split.lists.len() as i128));
+        out
+    };
     let v_stage = v_start.elapsed();
 
     let index_delta = store.index().stats().since(&index_before);
+    let cache_hits = video.stats().cache_hits - cache_hits_before;
+    let extracted = video.stats().extracted_scenarios - extracted_before;
     let index = IndexCounters {
         postings_probed: index_delta.postings_probed,
         // The parallel V stage shares extractions through the video
         // store's own cache rather than a driver-side gallery.
-        cache_hits: video.stats().cache_hits - cache_hits_before,
+        cache_hits,
         scans_avoided: index_delta.scans_avoided,
     };
-    metrics.record_index_stats(index.postings_probed, index.cache_hits, index.scans_avoided);
+    metrics.record_index_counters(&index);
 
-    Ok(MatchReport {
+    let examined = split.scenarios_examined;
+    let recorded_len = split.recorded.len();
+    let report = MatchReport {
         outcomes,
         selected_scenarios: split.selected(),
         lists: split.lists,
@@ -484,7 +505,43 @@ pub fn parallel_match(
             index,
         },
         rounds: 1,
-    })
+    };
+    if tel.counters_on() {
+        let registry = tel.registry();
+        registry
+            .counter(ev_telemetry::names::SETSPLIT_SCENARIOS_EXAMINED)
+            .add(examined as u64);
+        registry
+            .counter(ev_telemetry::names::SETSPLIT_RECORDED)
+            .add(recorded_len as u64);
+        registry
+            .counter(ev_telemetry::names::VFILTER_GALLERY_HITS)
+            .add(cache_hits);
+        registry
+            .counter(ev_telemetry::names::VFILTER_GALLERY_MISSES)
+            .add(extracted as u64);
+        let total = cache_hits + extracted as u64;
+        if total > 0 {
+            registry
+                .gauge(ev_telemetry::names::VFILTER_GALLERY_HIT_RATIO)
+                .set(cache_hits as f64 / total as f64);
+        }
+        report.timings.record_to(registry);
+        // fully_split stays false here even when the partition is fully
+        // split: Algorithm 3 records whole timestamp snapshots, so the
+        // Theorem 4.2/4.4 bounds on the recorded count do not apply.
+        crate::refine::record_paper_gauges(
+            registry,
+            targets.len(),
+            recorded_len,
+            false,
+            extracted as u64,
+            &report,
+        );
+    }
+    pipeline_span.arg("outcomes", serde::Value::Int(report.outcomes.len() as i128));
+    drop(pipeline_span);
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -11,11 +11,12 @@
 //! is spent.
 
 use crate::practical::split_practical;
-use crate::setsplit::{split_ideal, SelectionStrategy, SetSplitConfig};
+use crate::setsplit::{split_ideal_instrumented, SelectionStrategy, SetSplitConfig};
 use crate::types::{IndexCounters, MatchOutcome, MatchReport, ScenarioList};
-use crate::vfilter::{filter_one_cached, GalleryCache, VFilterConfig};
+use crate::vfilter::{filter_one_instrumented, GalleryCache, VFilterConfig};
 use ev_core::ids::{Eid, Vid};
 use ev_store::{EScenarioStore, VideoStore};
+use ev_telemetry::{names, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
@@ -75,7 +76,36 @@ pub fn match_with_refinement_excluding(
     config: &RefineConfig,
     excluded: &BTreeSet<Vid>,
 ) -> MatchReport {
+    match_with_refinement_instrumented(
+        store,
+        video,
+        targets,
+        config,
+        excluded,
+        Telemetry::disabled(),
+    )
+}
+
+/// [`match_with_refinement_excluding`] with telemetry: pipeline/round
+/// spans, refinement-round and stage-time metrics, plus the paper's
+/// semantic gauges (recorded scenarios against the Theorem 4.2/4.4
+/// bounds, distinct V-frames, majority-vote accuracy). With a disabled
+/// handle this is exactly `match_with_refinement_excluding`.
+#[must_use]
+pub fn match_with_refinement_instrumented(
+    store: &EScenarioStore,
+    video: &VideoStore,
+    targets: &BTreeSet<Eid>,
+    config: &RefineConfig,
+    excluded: &BTreeSet<Vid>,
+    tel: &Telemetry,
+) -> MatchReport {
+    let mut pipeline_span = tel.span("match_with_refinement", "pipeline");
     let mut report = MatchReport::default();
+    // Theorem 4.2/4.4 gauges describe the *first* split round, where the
+    // whole target set is split at once.
+    let mut first_round_recorded = 0usize;
+    let mut first_round_fully_split = false;
     let mut accepted: BTreeMap<Eid, MatchOutcome> = BTreeMap::new();
     let mut matched_vids: BTreeSet<Vid> = excluded.clone();
     let mut pending: BTreeSet<Eid> = targets.clone();
@@ -87,18 +117,28 @@ pub fn match_with_refinement_excluding(
 
     while !pending.is_empty() && rounds < config.max_rounds.max(1) {
         rounds += 1;
+        let mut round_span = tel.span(format!("refine_round_{rounds}"), "round");
+        round_span.arg("pending", serde::Value::Int(pending.len() as i128));
 
         // --- E stage: rebuild scenario lists for the pending EIDs. ---
         let e_start = Instant::now();
         let split_cfg = reseeded(&config.split, rounds);
         let mut lists: BTreeMap<Eid, ScenarioList> = match config.mode {
             SplitMode::Ideal => {
-                let out = split_ideal(store, &pending, &split_cfg);
+                let out = split_ideal_instrumented(store, &pending, &split_cfg, tel);
+                if rounds == 1 {
+                    first_round_recorded = out.recorded.len();
+                    first_round_fully_split = out.fully_split();
+                }
                 report.selected_scenarios.extend(out.selected());
                 out.lists
             }
             SplitMode::Practical => {
                 let out = split_practical(store, &pending, &split_cfg);
+                if rounds == 1 {
+                    first_round_recorded = out.recorded.len();
+                    first_round_fully_split = out.fully_split();
+                }
                 report.selected_scenarios.extend(out.selected());
                 out.lists
             }
@@ -130,8 +170,15 @@ pub fn match_with_refinement_excluding(
         let mut order: Vec<(&Eid, &ScenarioList)> = lists.iter().collect();
         order.sort_by_key(|(eid, list)| (std::cmp::Reverse(list.len()), **eid));
         for (&eid, list) in order {
-            let outcome =
-                filter_one_cached(eid, list, video, &config.vfilter, &matched_vids, &mut cache);
+            let outcome = filter_one_instrumented(
+                eid,
+                list,
+                video,
+                &config.vfilter,
+                &matched_vids,
+                &mut cache,
+                tel,
+            );
             if outcome.is_confident(config.vfilter.min_margin) {
                 if config.vfilter.exclusion {
                     if let Some(vid) = outcome.vid {
@@ -166,7 +213,81 @@ pub fn match_with_refinement_excluding(
     report.outcomes = accepted.into_values().collect();
     report.outcomes.sort_by_key(|o| o.eid);
     report.rounds = rounds;
+    if tel.counters_on() {
+        let registry = tel.registry();
+        registry
+            .counter(names::REFINE_ROUNDS)
+            .add(u64::from(report.rounds));
+        registry
+            .counter(names::VFILTER_GALLERY_HITS)
+            .add(cache.hits());
+        registry
+            .counter(names::VFILTER_GALLERY_MISSES)
+            .add(cache.misses());
+        let total = cache.hits() + cache.misses();
+        if total > 0 {
+            registry
+                .gauge(names::VFILTER_GALLERY_HIT_RATIO)
+                .set(cache.hits() as f64 / total as f64);
+        }
+        report.timings.record_to(registry);
+        record_paper_gauges(
+            registry,
+            targets.len(),
+            first_round_recorded,
+            first_round_fully_split,
+            cache.misses(),
+            &report,
+        );
+    }
+    pipeline_span.arg("rounds", serde::Value::Int(i128::from(report.rounds)));
+    drop(pipeline_span);
     report
+}
+
+/// Exports the paper-semantic gauges for a finished run: the recorded
+/// count of the first (whole-target-set) split round next to the
+/// Theorem 4.2 lower bound `ceil(log2 n)` and the Theorem 4.4 upper
+/// bound `n - 1`, whether the bounds' fully-split precondition held,
+/// the distinct V-frames extracted, and the majority-vote accuracy.
+pub(crate) fn record_paper_gauges(
+    registry: &ev_telemetry::MetricsRegistry,
+    n_targets: usize,
+    recorded: usize,
+    fully_split: bool,
+    v_frames: u64,
+    report: &MatchReport,
+) {
+    registry
+        .gauge(names::RECORDED_SCENARIOS)
+        .set(recorded as f64);
+    registry
+        .gauge(names::THEOREM_LOWER_BOUND)
+        .set(ceil_log2(n_targets) as f64);
+    registry
+        .gauge(names::THEOREM_UPPER_BOUND)
+        .set(n_targets.saturating_sub(1) as f64);
+    registry
+        .gauge(names::FULLY_SPLIT)
+        .set(if fully_split { 1.0 } else { 0.0 });
+    registry
+        .gauge(names::DISTINCT_V_FRAMES)
+        .set(v_frames as f64);
+    registry
+        .gauge(names::MAJORITY_VOTE_ACCURACY)
+        .set(report.majority_rate());
+    registry
+        .gauge(names::SELECTED_SCENARIOS)
+        .set(report.selected_count() as f64);
+}
+
+/// `ceil(log2 n)` over integers; 0 for `n <= 1`.
+pub(crate) fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
 }
 
 /// Derives the per-round splitting configuration: random-time runs get a
@@ -358,5 +479,59 @@ mod tests {
                 assert!(report.selected_scenarios.contains(id));
             }
         }
+    }
+
+    #[test]
+    fn ceil_log2_matches_the_theorem_bound_table() {
+        for (n, want) in [
+            (0, 0),
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+        ] {
+            assert_eq!(ceil_log2(n), want, "ceil(log2 {n})");
+        }
+        assert_eq!(ceil_log2(1 << 20), 20);
+        assert_eq!(ceil_log2((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run_and_exports_gauges() {
+        let layout: &[(u64, usize, &[u64], &[u64])] = &[
+            (0, 0, &[0, 1], &[0, 1]),
+            (0, 1, &[2, 3], &[2, 3]),
+            (1, 0, &[0, 2], &[0, 2]),
+            (1, 1, &[1, 3], &[1, 3]),
+        ];
+        let (store, video) = world(layout, 8);
+        let cfg = RefineConfig {
+            mode: SplitMode::Ideal,
+            ..RefineConfig::default()
+        };
+        let plain = match_with_refinement(&store, &video, &targets(0..4), &cfg);
+        let tel = ev_telemetry::Telemetry::new(ev_telemetry::TelemetryLevel::Full);
+        let instrumented = match_with_refinement_instrumented(
+            &store,
+            &video,
+            &targets(0..4),
+            &cfg,
+            &BTreeSet::new(),
+            &tel,
+        );
+        assert_eq!(plain.outcomes, instrumented.outcomes);
+        assert_eq!(plain.lists, instrumented.lists);
+        let snap = tel.registry().snapshot();
+        let gauge = |name: &str| *snap.gauges.get(name).expect("gauge exported");
+        assert_eq!(gauge(names::THEOREM_LOWER_BOUND), 2.0);
+        assert_eq!(gauge(names::THEOREM_UPPER_BOUND), 3.0);
+        if gauge(names::FULLY_SPLIT) == 1.0 {
+            let recorded = gauge(names::RECORDED_SCENARIOS);
+            assert!((2.0..=3.0).contains(&recorded), "recorded {recorded}");
+        }
+        assert!(!tel.tracer().is_empty(), "spans recorded at full level");
     }
 }

@@ -30,6 +30,7 @@ use ev_core::ids::Eid;
 use ev_core::partition::EidPartition;
 use ev_core::scenario::{EScenario, ScenarioId};
 use ev_store::EScenarioStore;
+use ev_telemetry::{names, Telemetry};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -169,12 +170,34 @@ pub fn split_ideal(
     targets: &BTreeSet<Eid>,
     config: &SetSplitConfig,
 ) -> SplitOutput {
+    split_ideal_instrumented(store, targets, config, Telemetry::disabled())
+}
+
+/// [`split_ideal`] with telemetry: records scenarios examined, effective
+/// (recorded) scenarios, splitting rounds, final block count and — for
+/// the greedy strategy, where gains are already computed — a per-round
+/// splitter-gain histogram plus gain-cache invalidation counts. With a
+/// disabled handle this is exactly `split_ideal`.
+#[must_use]
+pub fn split_ideal_instrumented(
+    store: &EScenarioStore,
+    targets: &BTreeSet<Eid>,
+    config: &SetSplitConfig,
+    tel: &Telemetry,
+) -> SplitOutput {
+    let mut split_span = tel.span("setsplit", "stage");
     let mut partition = EidPartition::new(targets.iter().copied());
     let mut recorded: Vec<ScenarioId> = Vec::new();
     let mut lists: BTreeMap<Eid, ScenarioList> = targets.iter().map(|&e| (e, Vec::new())).collect();
     let mut examined = 0usize;
+    let mut rounds = 0u64;
     let cap = config.max_scenarios.unwrap_or(usize::MAX);
     let candidates = candidate_intersections(store, targets);
+    // Sequential strategies never compute split gains, so the gain
+    // histogram there is a profiling-only (full level) extra.
+    let full_gain_hist = tel
+        .tracing_on()
+        .then(|| tel.registry().histogram(names::SETSPLIT_SPLITTER_GAIN));
 
     match config.strategy {
         SelectionStrategy::Chronological => {
@@ -184,6 +207,10 @@ pub fn split_ideal(
                 }
                 examined += 1;
                 if let Some(c) = candidates.get(&scenario.id()) {
+                    rounds += 1;
+                    if let Some(hist) = &full_gain_hist {
+                        hist.record(split_gain(&partition, c));
+                    }
                     apply_candidate(scenario.id(), c, &mut partition, &mut recorded, &mut lists);
                 } else {
                     store.index().note_scan_avoided();
@@ -201,6 +228,10 @@ pub fn split_ideal(
                     }
                     examined += 1;
                     if let Some(c) = candidates.get(&scenario.id()) {
+                        rounds += 1;
+                        if let Some(hist) = &full_gain_hist {
+                            hist.record(split_gain(&partition, c));
+                        }
                         apply_candidate(
                             scenario.id(),
                             c,
@@ -223,7 +254,9 @@ pub fn split_ideal(
                 &mut recorded,
                 &mut lists,
                 &mut examined,
+                tel,
             );
+            rounds = examined as u64;
         }
     }
 
@@ -234,6 +267,22 @@ pub fn split_ideal(
     };
     extend_lists(store, &mut lists, config.min_list_len, seed, false, false);
     ensure_unique_against_universe(store, &mut lists, seed, false, false);
+    if tel.counters_on() {
+        let registry = tel.registry();
+        registry
+            .counter(names::SETSPLIT_SCENARIOS_EXAMINED)
+            .add(examined as u64);
+        registry
+            .counter(names::SETSPLIT_RECORDED)
+            .add(recorded.len() as u64);
+        registry.counter(names::SETSPLIT_ROUNDS).add(rounds);
+        registry
+            .gauge(names::SETSPLIT_BLOCKS)
+            .set(partition.block_count() as f64);
+    }
+    split_span.arg("examined", serde::Value::Int(examined as i128));
+    split_span.arg("recorded", serde::Value::Int(recorded.len() as i128));
+    drop(split_span);
     SplitOutput {
         recorded,
         lists,
@@ -261,8 +310,13 @@ fn greedy_balanced_indexed(
     recorded: &mut Vec<ScenarioId>,
     lists: &mut BTreeMap<Eid, ScenarioList>,
     examined: &mut usize,
+    tel: &Telemetry,
 ) {
     let index = store.index();
+    let gain_hist = tel
+        .counters_on()
+        .then(|| tel.registry().histogram(names::SETSPLIT_SPLITTER_GAIN));
+    let mut invalidations = 0u64;
     // (gain, Reverse(id)) orders the heap by gain descending, then id
     // ascending — matching the scan's first-strictly-greater selection.
     let mut heap: BinaryHeap<(u64, Reverse<ScenarioId>)> = BinaryHeap::new();
@@ -298,11 +352,14 @@ fn greedy_balanced_indexed(
             if g != cached {
                 continue; // stale duplicate; a fresher entry exists
             }
-            break Some(id);
+            break Some((id, g));
         };
-        let Some(id) = best else {
+        let Some((id, gain)) = best else {
             break; // no scenario can improve the partition
         };
+        if let Some(hist) = &gain_hist {
+            hist.record(gain);
+        }
         *examined += 1;
         let c = &candidates[&id];
         // EIDs of every block the splitter intersects: the only blocks —
@@ -317,11 +374,16 @@ fn greedy_balanced_indexed(
         gain_cache.remove(&id);
         for &eid in &touched {
             for &sid in index.postings(eid) {
-                if gain_cache.contains_key(&sid) {
-                    dirty.insert(sid);
+                if gain_cache.contains_key(&sid) && dirty.insert(sid) {
+                    invalidations += 1;
                 }
             }
         }
+    }
+    if tel.counters_on() {
+        tel.registry()
+            .counter(names::SETSPLIT_GAIN_CACHE_INVALIDATIONS)
+            .add(invalidations);
     }
 }
 

@@ -64,29 +64,11 @@ impl MatchOutcome {
 ///
 /// The E stage reads the scenario store through its inverted index
 /// ([`ev_store::ScenarioIndex`]); the V stage reads footage through a
-/// [`GalleryCache`](crate::vfilter::GalleryCache). These counters say how
-/// much work those layers absorbed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct IndexCounters {
-    /// Posting lists fetched from the inverted scenario index.
-    pub postings_probed: u64,
-    /// V-Scenario galleries served from cache without re-extraction.
-    pub cache_hits: u64,
-    /// Full-store scans avoided by index-backed lookups.
-    pub scans_avoided: u64,
-}
-
-impl IndexCounters {
-    /// Counter-wise sum with `other`.
-    #[must_use]
-    pub fn merged(&self, other: &IndexCounters) -> IndexCounters {
-        IndexCounters {
-            postings_probed: self.postings_probed + other.postings_probed,
-            cache_hits: self.cache_hits + other.cache_hits,
-            scans_avoided: self.scans_avoided + other.scans_avoided,
-        }
-    }
-}
+/// [`GalleryCache`](crate::vfilter::GalleryCache). The type itself is
+/// shared with `ev_mapreduce::JobMetrics` through
+/// [`ev_telemetry::IndexCounters`], so both pipelines merge and export
+/// the triple through one code path.
+pub use ev_telemetry::IndexCounters;
 
 /// Wall-clock timings of the two pipeline stages (paper Figs. 8–9 report
 /// E time, V time and their sum), plus the index-layer counters for the
@@ -106,6 +88,18 @@ impl StageTimings {
     #[must_use]
     pub fn total(&self) -> Duration {
         self.e_stage + self.v_stage
+    }
+
+    /// Exports the stage wall times and the index counter triple to
+    /// their canonical metrics.
+    pub fn record_to(&self, registry: &ev_telemetry::MetricsRegistry) {
+        registry
+            .gauge(ev_telemetry::names::STAGE_E_SECONDS)
+            .set(self.e_stage.as_secs_f64());
+        registry
+            .gauge(ev_telemetry::names::STAGE_V_SECONDS)
+            .set(self.v_stage.as_secs_f64());
+        self.index.record_to(registry);
     }
 }
 

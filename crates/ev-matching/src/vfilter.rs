@@ -34,9 +34,11 @@ use ev_core::feature::{FeatureVector, Metric};
 use ev_core::ids::{Eid, Vid};
 use ev_core::scenario::{ScenarioId, VScenario};
 use ev_store::VideoStore;
+use ev_telemetry::{names, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of the VID filtering stage.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -153,6 +155,31 @@ pub fn filter_one_cached(
     excluded: &BTreeSet<Vid>,
     cache: &mut GalleryCache,
 ) -> MatchOutcome {
+    filter_one_instrumented(
+        eid,
+        list,
+        video,
+        config,
+        excluded,
+        cache,
+        Telemetry::disabled(),
+    )
+}
+
+/// [`filter_one_cached`] with telemetry: counts candidates scored and,
+/// at the full level, records a per-scenario scoring-latency histogram.
+/// With a disabled handle this is exactly `filter_one_cached`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn filter_one_instrumented(
+    eid: Eid,
+    list: &ScenarioList,
+    video: &VideoStore,
+    config: &VFilterConfig,
+    excluded: &BTreeSet<Vid>,
+    cache: &mut GalleryCache,
+    tel: &Telemetry,
+) -> MatchOutcome {
     for &id in list {
         cache.ensure(id, video);
     }
@@ -193,6 +220,16 @@ pub fn filter_one_cached(
         .into_iter()
         .map(|(vid, obs)| (vid, mean_feature(&obs)))
         .collect();
+    if tel.counters_on() {
+        tel.registry()
+            .counter(names::VFILTER_CANDIDATES_SCORED)
+            .add(representatives.len() as u64);
+    }
+    // Per-scenario scoring latency is profiling-only: the clock reads
+    // would dominate the membership computation at the counters level.
+    let scoring_hist = tel
+        .tracing_on()
+        .then(|| tel.registry().histogram(names::VFILTER_SCORING_NS));
 
     // Joint membership probability per candidate (paper §IV-B2), in log
     // space: `Σ ln P` survives the long lists that underflow `Π P` to a
@@ -206,9 +243,13 @@ pub fn filter_one_cached(
             // a candidate's appearance model against a scenario's gallery
             // is one nearest-neighbour query in a real pipeline.
             video.charge_comparison();
+            let scoring_start = scoring_hist.as_ref().map(|_| Instant::now());
             lp += ev_vision::reid::membership_probability(rep, &e.scenario, config.metric)
                 .unwrap_or(0.0)
                 .ln();
+            if let (Some(hist), Some(start)) = (&scoring_hist, scoring_start) {
+                hist.record(start.elapsed().as_nanos() as u64);
+            }
         }
         log_joint.insert(vid, lp);
     }
@@ -284,13 +325,29 @@ pub fn filter_vids_cached(
     config: &VFilterConfig,
     cache: &mut GalleryCache,
 ) -> Vec<MatchOutcome> {
+    filter_vids_instrumented(lists, video, config, cache, Telemetry::disabled())
+}
+
+/// [`filter_vids_cached`] with telemetry: records the batch's gallery
+/// hit/miss deltas, the run-wide hit ratio and a stage span. With a
+/// disabled handle this is exactly `filter_vids_cached`.
+#[must_use]
+pub fn filter_vids_instrumented(
+    lists: &BTreeMap<Eid, ScenarioList>,
+    video: &VideoStore,
+    config: &VFilterConfig,
+    cache: &mut GalleryCache,
+    tel: &Telemetry,
+) -> Vec<MatchOutcome> {
+    let mut stage_span = tel.span("vfilter", "stage");
+    let (hits_before, misses_before) = (cache.hits(), cache.misses());
     let mut order: Vec<(&Eid, &ScenarioList)> = lists.iter().collect();
     order.sort_by_key(|(eid, list)| (std::cmp::Reverse(list.len()), **eid));
 
     let mut excluded: BTreeSet<Vid> = BTreeSet::new();
     let mut outcomes: Vec<MatchOutcome> = Vec::with_capacity(lists.len());
     for (&eid, list) in order {
-        let outcome = filter_one_cached(eid, list, video, config, &excluded, cache);
+        let outcome = filter_one_instrumented(eid, list, video, config, &excluded, cache, tel);
         if config.exclusion && outcome.is_majority() {
             if let Some(vid) = outcome.vid {
                 excluded.insert(vid);
@@ -299,6 +356,29 @@ pub fn filter_vids_cached(
         outcomes.push(outcome);
     }
     outcomes.sort_by_key(|o| o.eid);
+    if tel.counters_on() {
+        let registry = tel.registry();
+        registry
+            .counter(names::VFILTER_GALLERY_HITS)
+            .add(cache.hits() - hits_before);
+        registry
+            .counter(names::VFILTER_GALLERY_MISSES)
+            .add(cache.misses() - misses_before);
+        let hits = registry
+            .counter_value(names::VFILTER_GALLERY_HITS)
+            .unwrap_or(0);
+        let total = hits
+            + registry
+                .counter_value(names::VFILTER_GALLERY_MISSES)
+                .unwrap_or(0);
+        if total > 0 {
+            registry
+                .gauge(names::VFILTER_GALLERY_HIT_RATIO)
+                .set(hits as f64 / total as f64);
+        }
+    }
+    stage_span.arg("eids", serde::Value::Int(lists.len() as i128));
+    drop(stage_span);
     outcomes
 }
 

@@ -70,6 +70,8 @@ pub struct ScenarioIndex {
     /// (cell, time) → the scenario snapshotted there.
     slots: BTreeMap<(CellId, Timestamp), ScenarioId>,
     stats: IndexStats,
+    /// Wall time the one-time build took.
+    build_time: std::time::Duration,
 }
 
 impl ScenarioIndex {
@@ -77,6 +79,7 @@ impl ScenarioIndex {
     /// store's canonical order). One pass over every membership record.
     #[must_use]
     pub fn build<'a>(scenarios: impl IntoIterator<Item = &'a EScenario>) -> Self {
+        let start = std::time::Instant::now();
         let mut postings: BTreeMap<Eid, Vec<ScenarioId>> = BTreeMap::new();
         let mut slots = BTreeMap::new();
         for s in scenarios {
@@ -90,7 +93,14 @@ impl ScenarioIndex {
             postings,
             slots,
             stats: IndexStats::default(),
+            build_time: start.elapsed(),
         }
+    }
+
+    /// Wall time the one-time build took (zero for a defaulted index).
+    #[must_use]
+    pub fn build_time(&self) -> std::time::Duration {
+        self.build_time
     }
 
     /// The sorted posting list for `eid` (empty when the EID never

@@ -1,0 +1,127 @@
+//! The shared index/cache counter triple.
+//!
+//! Both the sequential pipeline (`ev_matching::StageTimings`) and the
+//! distributed engine (`ev_mapreduce::JobMetrics`) report how much work
+//! the index/cache layer absorbed. The type lives here — below both
+//! crates — so there is exactly one definition, one merge, and one
+//! export path into the registry.
+
+use crate::metrics::MetricsRegistry;
+use crate::names;
+use serde::{Deserialize, Serialize};
+
+/// Usage counters of the index/cache layer across one pipeline run.
+///
+/// The E stage reads the scenario store through its inverted index; the
+/// V stage reads footage through a gallery cache. These counters say
+/// how much work those layers absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IndexCounters {
+    /// Posting lists fetched from the inverted scenario index.
+    pub postings_probed: u64,
+    /// V-Scenario galleries served from cache without re-extraction.
+    pub cache_hits: u64,
+    /// Full-store scans avoided by index-backed lookups.
+    pub scans_avoided: u64,
+}
+
+impl IndexCounters {
+    /// Counter-wise sum with `other`.
+    #[must_use]
+    pub fn merged(&self, other: &IndexCounters) -> IndexCounters {
+        IndexCounters {
+            postings_probed: self.postings_probed + other.postings_probed,
+            cache_hits: self.cache_hits + other.cache_hits,
+            scans_avoided: self.scans_avoided + other.scans_avoided,
+        }
+    }
+
+    /// Folds `other` into `self` counter-wise.
+    pub fn absorb(&mut self, other: &IndexCounters) {
+        *self = self.merged(other);
+    }
+
+    /// Adds the triple to the canonical `evm_index_*` counters.
+    pub fn record_to(&self, registry: &MetricsRegistry) {
+        registry
+            .counter(names::INDEX_POSTINGS_PROBED)
+            .add(self.postings_probed);
+        registry
+            .counter(names::INDEX_CACHE_HITS)
+            .add(self.cache_hits);
+        registry
+            .counter(names::INDEX_SCANS_AVOIDED)
+            .add(self.scans_avoided);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    #[test]
+    fn merge_and_absorb_agree() {
+        let a = IndexCounters {
+            postings_probed: 1,
+            cache_hits: 2,
+            scans_avoided: 3,
+        };
+        let b = IndexCounters {
+            postings_probed: 10,
+            cache_hits: 20,
+            scans_avoided: 30,
+        };
+        let mut c = a;
+        c.absorb(&b);
+        assert_eq!(c, a.merged(&b));
+        assert_eq!(c.postings_probed, 11);
+        assert_eq!(c.cache_hits, 22);
+        assert_eq!(c.scans_avoided, 33);
+    }
+
+    /// Field-enumeration guard: `absorb` must sum *every* serialized
+    /// field, so a newly added counter cannot be silently dropped.
+    #[test]
+    fn absorb_covers_every_field() {
+        let mut distinct = IndexCounters::default();
+        let value = serde_json::to_value(&distinct);
+        let fields = value.as_obj().expect("struct serializes as an object");
+        // Rebuild with each field set to a distinct non-zero value.
+        let rebuilt = Value::Obj(
+            fields
+                .iter()
+                .enumerate()
+                .map(|(i, (k, _))| (k.clone(), Value::Int(i as i128 + 1)))
+                .collect(),
+        );
+        distinct = serde_json::from_str(&rebuilt.to_json()).expect("round-trip");
+        let mut doubled = distinct;
+        doubled.absorb(&distinct);
+        let before = serde_json::to_value(&distinct);
+        let after = serde_json::to_value(&doubled);
+        for ((k, a), (_, b)) in before.as_obj().unwrap().iter().zip(after.as_obj().unwrap()) {
+            let (Value::Int(a), Value::Int(b)) = (a, b) else {
+                panic!("field {k} is not an integer counter");
+            };
+            assert_eq!(*b, 2 * *a, "absorb dropped field {k}");
+        }
+    }
+
+    #[test]
+    fn record_to_exports_every_field() {
+        let counters = IndexCounters {
+            postings_probed: 5,
+            cache_hits: 6,
+            scans_avoided: 7,
+        };
+        let registry = MetricsRegistry::new();
+        counters.record_to(&registry);
+        let snapshot = registry.snapshot();
+        let total: u64 = snapshot.counters.values().sum();
+        assert_eq!(total, 5 + 6 + 7);
+        // One exported counter per serialized field.
+        let field_count = serde_json::to_value(&counters).as_obj().unwrap().len();
+        assert_eq!(snapshot.counters.len(), field_count);
+    }
+}

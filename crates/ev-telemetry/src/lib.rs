@@ -1,0 +1,297 @@
+//! Telemetry substrate for the EV-Matching pipeline: hierarchical
+//! tracing spans with Chrome-trace export, a global-free metrics
+//! registry (counters / gauges / log-bucketed histograms) with
+//! Prometheus text and JSON export, and a shared [`IndexCounters`]
+//! type unifying the index/cache counter plumbing that was previously
+//! duplicated between `ev-matching` and `ev-mapreduce`.
+//!
+//! # Cost model
+//!
+//! A [`Telemetry`] handle is an `Arc` around one atomic level byte, a
+//! [`MetricsRegistry`] and a [`Tracer`]. Every instrumentation site
+//! checks the level with a single relaxed atomic load
+//! ([`Telemetry::counters_on`] / [`Telemetry::tracing_on`]) and does
+//! nothing else when disabled, so `--telemetry off` runs are
+//! bit-identical to uninstrumented code. Hot loops resolve metric
+//! handles once and then pay one relaxed `fetch_add` per update.
+//!
+//! # Span taxonomy
+//!
+//! Spans nest `pipeline → stage → round → task`, carried in the event
+//! `cat` field; ad-hoc markers (retries, speculative launches,
+//! stragglers, cache invalidations) are instant events under `event`.
+
+mod counters;
+mod metrics;
+pub mod names;
+pub mod prometheus;
+mod trace;
+
+pub use counters::IndexCounters;
+pub use metrics::{
+    bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, BUCKET_COUNT,
+};
+pub use trace::{current_tid, TraceEvent, Tracer, DEFAULT_CAPACITY};
+
+use serde_json::Value;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// How much the pipeline records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TelemetryLevel {
+    /// Record nothing; every site is a single relaxed load.
+    #[default]
+    Off,
+    /// Update counters, gauges and histograms; no trace events.
+    Counters,
+    /// Counters plus tracing spans and instant events.
+    Full,
+}
+
+impl TelemetryLevel {
+    const fn from_u8(v: u8) -> TelemetryLevel {
+        match v {
+            0 => TelemetryLevel::Off,
+            1 => TelemetryLevel::Counters,
+            _ => TelemetryLevel::Full,
+        }
+    }
+}
+
+impl FromStr for TelemetryLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(TelemetryLevel::Off),
+            "counters" => Ok(TelemetryLevel::Counters),
+            "full" => Ok(TelemetryLevel::Full),
+            other => Err(format!(
+                "unknown telemetry level {other:?} (expected off|counters|full)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for TelemetryLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Counters => "counters",
+            TelemetryLevel::Full => "full",
+        })
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    level: AtomicU8,
+    registry: MetricsRegistry,
+    tracer: Tracer,
+}
+
+/// A cloneable handle to one run's telemetry state. Clones share the
+/// same registry, tracer and level.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::off()
+    }
+}
+
+impl Telemetry {
+    /// Fresh telemetry state recording at `level`.
+    #[must_use]
+    pub fn new(level: TelemetryLevel) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                level: AtomicU8::new(level as u8),
+                registry: MetricsRegistry::new(),
+                tracer: Tracer::default(),
+            }),
+        }
+    }
+
+    /// Fresh telemetry state that records nothing.
+    #[must_use]
+    pub fn off() -> Self {
+        Telemetry::new(TelemetryLevel::Off)
+    }
+
+    /// The shared always-off instance used by uninstrumented entry
+    /// points, so plumbing a default costs one pointer copy.
+    #[must_use]
+    pub fn disabled() -> &'static Telemetry {
+        static DISABLED: OnceLock<Telemetry> = OnceLock::new();
+        DISABLED.get_or_init(Telemetry::off)
+    }
+
+    /// Current recording level.
+    #[must_use]
+    pub fn level(&self) -> TelemetryLevel {
+        TelemetryLevel::from_u8(self.inner.level.load(Ordering::Relaxed))
+    }
+
+    /// Changes the recording level for every clone of this handle.
+    pub fn set_level(&self, level: TelemetryLevel) {
+        self.inner.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Whether counter/gauge/histogram updates are recorded — the one
+    /// relaxed load guarding each instrumentation site.
+    #[inline]
+    #[must_use]
+    pub fn counters_on(&self) -> bool {
+        self.inner.level.load(Ordering::Relaxed) >= TelemetryLevel::Counters as u8
+    }
+
+    /// Whether trace spans and events are recorded.
+    #[inline]
+    #[must_use]
+    pub fn tracing_on(&self) -> bool {
+        self.inner.level.load(Ordering::Relaxed) >= TelemetryLevel::Full as u8
+    }
+
+    /// The metrics registry shared by every clone.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// The tracer shared by every clone.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Opens a span; it records a complete (`'X'`) trace event when
+    /// dropped. A no-op (no clock read) unless tracing is on.
+    #[must_use]
+    pub fn span(&self, name: impl Into<String>, cat: &'static str) -> Span<'_> {
+        if self.tracing_on() {
+            Span {
+                tracer: Some(&self.inner.tracer),
+                name: name.into(),
+                cat,
+                start: Instant::now(),
+                args: Vec::new(),
+            }
+        } else {
+            Span {
+                tracer: None,
+                name: String::new(),
+                cat,
+                start: self.inner.tracer.epoch(),
+                args: Vec::new(),
+            }
+        }
+    }
+
+    /// Records an instant event when tracing is on.
+    pub fn event(&self, name: &str, args: Vec<(String, Value)>) {
+        if self.tracing_on() {
+            self.inner.tracer.instant(name, "event", args);
+        }
+    }
+}
+
+/// An open tracing span; records itself on drop. Obtained from
+/// [`Telemetry::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: Option<&'a Tracer>,
+    name: String,
+    cat: &'static str,
+    start: Instant,
+    args: Vec<(String, Value)>,
+}
+
+impl Span<'_> {
+    /// Attaches a key/value pair to the span's `args` payload.
+    pub fn arg(&mut self, key: &str, value: Value) {
+        if self.tracer.is_some() {
+            self.args.push((key.to_string(), value));
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(tracer) = self.tracer {
+            tracer.complete(
+                std::mem::take(&mut self.name),
+                self.cat,
+                self.start,
+                std::mem::take(&mut self.args),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("off".parse::<TelemetryLevel>(), Ok(TelemetryLevel::Off));
+        assert_eq!(
+            "counters".parse::<TelemetryLevel>(),
+            Ok(TelemetryLevel::Counters)
+        );
+        assert_eq!("full".parse::<TelemetryLevel>(), Ok(TelemetryLevel::Full));
+        assert!("verbose".parse::<TelemetryLevel>().is_err());
+        assert!(TelemetryLevel::Off < TelemetryLevel::Counters);
+        assert!(TelemetryLevel::Counters < TelemetryLevel::Full);
+        assert_eq!(TelemetryLevel::Full.to_string(), "full");
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let tel = Telemetry::off();
+        assert!(!tel.counters_on());
+        assert!(!tel.tracing_on());
+        {
+            let mut span = tel.span("noop", "stage");
+            span.arg("k", Value::Int(1));
+        }
+        tel.event("noop", Vec::new());
+        assert!(tel.tracer().is_empty());
+        assert!(tel.registry().snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tel = Telemetry::new(TelemetryLevel::Counters);
+        let other = tel.clone();
+        other.registry().counter("shared").add(3);
+        assert_eq!(tel.registry().counter_value("shared"), Some(3));
+        other.set_level(TelemetryLevel::Full);
+        assert!(tel.tracing_on());
+    }
+
+    #[test]
+    fn spans_record_complete_events() {
+        let tel = Telemetry::new(TelemetryLevel::Full);
+        {
+            let mut span = tel.span("e_stage", "stage");
+            span.arg("round", Value::Int(1));
+        }
+        tel.event("retry_scheduled", vec![("task".to_string(), Value::Int(7))]);
+        let events = tel.tracer().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "e_stage");
+        assert_eq!(events[0].ph, 'X');
+        assert_eq!(events[0].cat, "stage");
+        assert_eq!(events[1].ph, 'i');
+    }
+}

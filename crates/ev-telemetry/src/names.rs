@@ -1,0 +1,148 @@
+//! Canonical metric names (`evm_` prefix). Every crate on the hot path
+//! registers through these constants so exported profiles from
+//! different runs and runners are directly comparable.
+
+/// Scenarios examined by the set splitter across all rounds.
+pub const SETSPLIT_SCENARIOS_EXAMINED: &str = "evm_setsplit_scenarios_examined";
+/// Scenarios recorded (selected as effective) by the set splitter.
+pub const SETSPLIT_RECORDED: &str = "evm_setsplit_recorded_total";
+/// Greedy gain-cache entries invalidated by block splits.
+pub const SETSPLIT_GAIN_CACHE_INVALIDATIONS: &str = "evm_setsplit_gain_cache_invalidations";
+/// Splitting rounds executed (greedy candidate selections).
+pub const SETSPLIT_ROUNDS: &str = "evm_setsplit_rounds";
+/// Partition blocks after the final split round.
+pub const SETSPLIT_BLOCKS: &str = "evm_setsplit_blocks";
+/// Histogram of per-round winning splitter gains.
+pub const SETSPLIT_SPLITTER_GAIN: &str = "evm_setsplit_splitter_gain";
+
+/// V-Scenario galleries served from the gallery cache.
+pub const VFILTER_GALLERY_HITS: &str = "evm_vfilter_gallery_hits";
+/// V-Scenario galleries extracted because they were not cached.
+pub const VFILTER_GALLERY_MISSES: &str = "evm_vfilter_gallery_misses";
+/// hits / (hits + misses) across the run.
+pub const VFILTER_GALLERY_HIT_RATIO: &str = "evm_vfilter_gallery_hit_ratio";
+/// Candidate VIDs scored against scenario lists.
+pub const VFILTER_CANDIDATES_SCORED: &str = "evm_vfilter_candidates_scored";
+/// Histogram of per-scenario scoring latency, nanoseconds.
+pub const VFILTER_SCORING_NS: &str = "evm_vfilter_scoring_ns";
+
+/// Map tasks executed (first attempts).
+pub const MAPREDUCE_MAP_TASKS: &str = "evm_mapreduce_map_tasks";
+/// Reduce tasks executed.
+pub const MAPREDUCE_REDUCE_TASKS: &str = "evm_mapreduce_reduce_tasks";
+/// Map-task attempts launched (first tries + retries + backups).
+pub const MAPREDUCE_MAP_ATTEMPTS: &str = "evm_mapreduce_map_attempts";
+/// Attempts that failed and were retried.
+pub const MAPREDUCE_FAILED_ATTEMPTS: &str = "evm_mapreduce_failed_attempts";
+/// Speculative backup attempts launched for stragglers.
+pub const MAPREDUCE_SPECULATIVE_ATTEMPTS: &str = "evm_mapreduce_speculative_attempts";
+/// Key/value pairs shuffled between map and reduce.
+pub const MAPREDUCE_SHUFFLED_PAIRS: &str = "evm_mapreduce_shuffled_pairs";
+/// Pairs before the map-side combiner ran.
+pub const MAPREDUCE_PRE_COMBINE_PAIRS: &str = "evm_mapreduce_pre_combine_pairs";
+/// Distinct keys seen by the reduce stage.
+pub const MAPREDUCE_DISTINCT_KEYS: &str = "evm_mapreduce_distinct_keys";
+/// Map-stage wall time, seconds.
+pub const MAPREDUCE_MAP_TIME_SECONDS: &str = "evm_mapreduce_map_time_seconds";
+/// Shuffle wall time, seconds.
+pub const MAPREDUCE_SHUFFLE_TIME_SECONDS: &str = "evm_mapreduce_shuffle_time_seconds";
+/// Reduce-stage wall time, seconds.
+pub const MAPREDUCE_REDUCE_TIME_SECONDS: &str = "evm_mapreduce_reduce_time_seconds";
+/// End-to-end job wall time, seconds.
+pub const MAPREDUCE_TOTAL_TIME_SECONDS: &str = "evm_mapreduce_total_time_seconds";
+
+/// Posting lists fetched from the inverted scenario index.
+pub const INDEX_POSTINGS_PROBED: &str = "evm_index_postings_probed";
+/// V-Scenario galleries served from cache without re-extraction.
+pub const INDEX_CACHE_HITS: &str = "evm_index_cache_hits";
+/// Full-store scans avoided by index-backed lookups.
+pub const INDEX_SCANS_AVOIDED: &str = "evm_index_scans_avoided";
+/// Inverted scenario index build time, nanoseconds.
+pub const INDEX_BUILD_NS: &str = "evm_index_build_ns";
+
+/// Refinement rounds executed for the run.
+pub const REFINE_ROUNDS: &str = "evm_refine_rounds";
+/// E-stage wall time, seconds.
+pub const STAGE_E_SECONDS: &str = "evm_stage_e_seconds";
+/// V-stage wall time, seconds.
+pub const STAGE_V_SECONDS: &str = "evm_stage_v_seconds";
+
+/// Distinct scenarios recorded for the run (paper Figs. 5–6 y-axis).
+pub const RECORDED_SCENARIOS: &str = "evm_recorded_scenarios";
+/// Theorem 4.2 lower bound `ceil(log2 n)` for the run's `n` targets.
+pub const THEOREM_LOWER_BOUND: &str = "evm_theorem_lower_bound";
+/// Theorem 4.4 upper bound `n − 1`.
+pub const THEOREM_UPPER_BOUND: &str = "evm_theorem_upper_bound";
+/// 1 when the first split round fully split the targets *with
+/// Algorithm 1 (sequential) recording semantics*, else 0 — the
+/// precondition under which the theorem bounds apply. Parallel
+/// (Algorithm 3) runs report 0: recording whole timestamp snapshots can
+/// legitimately exceed the `n - 1` bound.
+pub const FULLY_SPLIT: &str = "evm_fully_split";
+/// Distinct V-frames (V-Scenario galleries) extracted from footage.
+pub const DISTINCT_V_FRAMES: &str = "evm_distinct_v_frames";
+/// Fraction of targets matched with a strict vote majority.
+pub const MAJORITY_VOTE_ACCURACY: &str = "evm_majority_vote_accuracy";
+/// Distinct scenarios selected across all target lists.
+pub const SELECTED_SCENARIOS: &str = "evm_selected_scenarios";
+
+/// Every canonical counter name.
+pub const ALL_COUNTERS: &[&str] = &[
+    SETSPLIT_SCENARIOS_EXAMINED,
+    SETSPLIT_RECORDED,
+    SETSPLIT_GAIN_CACHE_INVALIDATIONS,
+    SETSPLIT_ROUNDS,
+    VFILTER_GALLERY_HITS,
+    VFILTER_GALLERY_MISSES,
+    VFILTER_CANDIDATES_SCORED,
+    MAPREDUCE_MAP_TASKS,
+    MAPREDUCE_REDUCE_TASKS,
+    MAPREDUCE_MAP_ATTEMPTS,
+    MAPREDUCE_FAILED_ATTEMPTS,
+    MAPREDUCE_SPECULATIVE_ATTEMPTS,
+    MAPREDUCE_SHUFFLED_PAIRS,
+    MAPREDUCE_PRE_COMBINE_PAIRS,
+    MAPREDUCE_DISTINCT_KEYS,
+    INDEX_POSTINGS_PROBED,
+    INDEX_CACHE_HITS,
+    INDEX_SCANS_AVOIDED,
+    REFINE_ROUNDS,
+];
+
+/// Every canonical gauge name.
+pub const ALL_GAUGES: &[&str] = &[
+    SETSPLIT_BLOCKS,
+    VFILTER_GALLERY_HIT_RATIO,
+    MAPREDUCE_MAP_TIME_SECONDS,
+    MAPREDUCE_SHUFFLE_TIME_SECONDS,
+    MAPREDUCE_REDUCE_TIME_SECONDS,
+    MAPREDUCE_TOTAL_TIME_SECONDS,
+    INDEX_BUILD_NS,
+    STAGE_E_SECONDS,
+    STAGE_V_SECONDS,
+    RECORDED_SCENARIOS,
+    THEOREM_LOWER_BOUND,
+    THEOREM_UPPER_BOUND,
+    FULLY_SPLIT,
+    DISTINCT_V_FRAMES,
+    MAJORITY_VOTE_ACCURACY,
+    SELECTED_SCENARIOS,
+];
+
+/// Every canonical histogram name.
+pub const ALL_HISTOGRAMS: &[&str] = &[SETSPLIT_SPLITTER_GAIN, VFILTER_SCORING_NS];
+
+/// Registers every canonical metric at its zero value, so an exported
+/// profile always contains the full schema even when a run never touched
+/// some subsystem (e.g. a sequential run records no mapreduce attempts).
+pub fn preregister(registry: &crate::MetricsRegistry) {
+    for &name in ALL_COUNTERS {
+        let _ = registry.counter(name);
+    }
+    for &name in ALL_GAUGES {
+        let _ = registry.gauge(name);
+    }
+    for &name in ALL_HISTOGRAMS {
+        let _ = registry.histogram(name);
+    }
+}

@@ -1,0 +1,204 @@
+//! Hierarchical tracing spans recorded into a bounded ring buffer,
+//! exportable in the Chrome trace-event format (`chrome://tracing` /
+//! Perfetto's `trace.json`).
+//!
+//! Events are appended under a single short mutex hold; when the ring
+//! is full the oldest events are evicted and counted in `dropped`, so a
+//! long run degrades to "most recent window" rather than unbounded
+//! memory.
+
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Default ring capacity (events retained).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Small stable per-thread id for the `tid` trace field (thread 1 is
+    /// the first thread that ever records an event).
+    static TRACE_TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The id this thread's events carry in the `tid` field.
+#[must_use]
+pub fn current_tid() -> u64 {
+    TRACE_TID.with(|t| *t)
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (shown on the trace slice).
+    pub name: String,
+    /// Category — the span taxonomy level (`pipeline`, `stage`,
+    /// `round`, `task`, `event`).
+    pub cat: &'static str,
+    /// Chrome phase: `'X'` (complete span) or `'i'` (instant).
+    pub ph: char,
+    /// Start offset from the tracer epoch, microseconds.
+    pub ts_us: u64,
+    /// Duration in microseconds (0 for instants).
+    pub dur_us: u64,
+    /// Recording thread id (see [`current_tid`]).
+    pub tid: u64,
+    /// Extra key/value payload rendered under `args`.
+    pub args: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// The event as one Chrome trace-event object.
+    #[must_use]
+    pub fn to_value(&self, pid: u64) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("cat".to_string(), Value::Str(self.cat.to_string())),
+            ("ph".to_string(), Value::Str(self.ph.to_string())),
+            ("ts".to_string(), Value::Int(i128::from(self.ts_us))),
+            ("pid".to_string(), Value::Int(i128::from(pid))),
+            ("tid".to_string(), Value::Int(i128::from(self.tid))),
+        ];
+        if self.ph == 'X' {
+            fields.push(("dur".to_string(), Value::Int(i128::from(self.dur_us))));
+        }
+        if self.ph == 'i' {
+            // Instant scope: thread-local, the narrowest marker.
+            fields.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+        if !self.args.is_empty() {
+            fields.push(("args".to_string(), Value::Obj(self.args.clone())));
+        }
+        Value::Obj(fields)
+    }
+}
+
+/// The span/event recorder: a bounded ring of [`TraceEvent`]s sharing
+/// one epoch, so exported timestamps are directly comparable.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    events: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer retaining at most `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The tracer's epoch — span starts should be taken with
+    /// `Instant::now()` and handed back to [`Tracer::complete`].
+    #[must_use]
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Microseconds elapsed since the epoch.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut ring = self.events.lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Records a complete (`'X'`) span that started at `start`.
+    pub fn complete(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: Instant,
+        args: Vec<(String, Value)>,
+    ) {
+        let ts_us = u64::try_from(start.saturating_duration_since(self.epoch).as_micros())
+            .unwrap_or(u64::MAX);
+        let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: 'X',
+            ts_us,
+            dur_us,
+            tid: current_tid(),
+            args,
+        });
+    }
+
+    /// Records an instant (`'i'`) event at the current time.
+    pub fn instant(&self, name: impl Into<String>, cat: &'static str, args: Vec<(String, Value)>) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            ph: 'i',
+            ts_us: self.now_us(),
+            dur_us: 0,
+            tid: current_tid(),
+            args,
+        });
+    }
+
+    /// Events recorded so far, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Number of events recorded (retained in the ring).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events have been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The whole ring as a Chrome trace document
+    /// (`{"traceEvents": [...]}`), loadable in `chrome://tracing`.
+    #[must_use]
+    pub fn chrome_trace(&self) -> Value {
+        let events: Vec<Value> = self.events.lock().iter().map(|e| e.to_value(1)).collect();
+        Value::Obj(vec![
+            ("traceEvents".to_string(), Value::Arr(events)),
+            ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        ])
+    }
+
+    /// [`Tracer::chrome_trace`] rendered as pretty JSON text.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        self.chrome_trace().to_json_pretty()
+    }
+}

@@ -4,14 +4,34 @@
 //! run (paper §V-A: "task failure recovery [is] managed by a master
 //! machine").
 //!
+//! The flaky run carries a full-level [`Telemetry`] handle, so after it
+//! finishes we can replay the engine's fault-recovery decisions as a
+//! timeline of trace events.
+//!
 //! ```text
 //! cargo run --release --example unreliable_cluster
 //! ```
 
+use ev_telemetry::{names, TraceEvent};
 use evmatch::mapreduce::{ClusterConfig, FaultPlan, MapReduce};
 use evmatch::matching::parallel::{parallel_match, ParallelSplitConfig};
 use evmatch::matching::vfilter::VFilterConfig;
 use evmatch::prelude::*;
+use serde_json::Value;
+
+/// Renders one instant event's args as `stage=map task=3 attempt=1`.
+fn fmt_args(event: &TraceEvent) -> String {
+    event
+        .args
+        .iter()
+        .map(|(k, v)| match v {
+            Value::Str(s) => format!("{k}={s}"),
+            Value::Int(i) => format!("{k}={i}"),
+            other => format!("{k}={other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
 
 fn main() {
     let dataset = EvDataset::generate(&DatasetConfig {
@@ -41,9 +61,9 @@ fn main() {
         ..healthy.clone()
     };
 
-    let run = |name: &str, cluster: &ClusterConfig| {
+    let run = |name: &str, cluster: &ClusterConfig, telemetry: &Telemetry| {
         dataset.video.reset_usage();
-        let engine = MapReduce::new(cluster.clone());
+        let engine = MapReduce::new(cluster.clone()).with_telemetry(telemetry);
         let report = parallel_match(
             &engine,
             &dataset.estore,
@@ -68,8 +88,43 @@ fn main() {
         "matching {} EIDs on a 4-worker simulated cluster...\n",
         targets.len()
     );
-    let clean = run("healthy", &healthy);
-    let noisy = run("flaky", &flaky);
+    let clean = run("healthy", &healthy, Telemetry::disabled());
+    let tel = Telemetry::new(TelemetryLevel::Full);
+    let noisy = run("flaky", &flaky, &tel);
+
+    // Replay the engine's fault-recovery decisions, oldest first.
+    let timeline: Vec<TraceEvent> = tel
+        .tracer()
+        .events()
+        .into_iter()
+        .filter(|e| {
+            matches!(
+                e.name.as_str(),
+                "task_failed" | "retry_scheduled" | "straggler_detected" | "speculative_launched"
+            )
+        })
+        .collect();
+    println!("\nfault-recovery timeline ({} events):", timeline.len());
+    for event in &timeline {
+        println!(
+            "  {:>9.3} ms  {:<21} {}",
+            event.ts_us as f64 / 1000.0,
+            event.name,
+            fmt_args(event)
+        );
+    }
+    let registry = tel.registry();
+    let counter = |name| registry.counter_value(name).unwrap_or(0);
+    println!(
+        "attempts: {} map / {} failed / {} speculative",
+        counter(names::MAPREDUCE_MAP_ATTEMPTS),
+        counter(names::MAPREDUCE_FAILED_ATTEMPTS),
+        counter(names::MAPREDUCE_SPECULATIVE_ATTEMPTS),
+    );
+    assert!(
+        timeline.iter().any(|e| e.name == "retry_scheduled"),
+        "a 25% failure rate must trigger at least one retry"
+    );
 
     // Fault injection must not change what was computed — only how long
     // it took.

@@ -4,15 +4,25 @@
 //! evmatch generate  [--population N] [--duration T] [--seed S]
 //! evmatch match     [--population N] [--duration T] [--seed S]
 //!                   [--targets K] [--mode ideal|practical] [--workers W]
-//!                   [--json]
+//!                   [--telemetry off|counters|full] [--trace-out PATH]
+//!                   [--metrics-out PATH] [--json]
 //! evmatch query     [--population N] [--duration T] [--seed S]
 //!                   [--targets K] --eid HEX|--cell C --from T0 --to T1
+//! evmatch check-metrics --in PATH
 //! ```
 //!
 //! Datasets are regenerated deterministically from their parameters, so
 //! the CLI needs no dataset files: the same flags always rebuild the
 //! same world.
+//!
+//! `--metrics-out` implies the `counters` telemetry level and
+//! `--trace-out` implies `full`; an explicit `--telemetry` wins over
+//! both (so `--telemetry off` always runs the uninstrumented paths).
+//! `check-metrics` strictly parses an exported Prometheus profile and
+//! verifies the Theorem 4.2/4.4 invariant `log2(n) <= recorded <= n-1`
+//! whenever the run reported a fully split first round.
 
+use ev_telemetry::{names, prometheus, Telemetry, TelemetryLevel};
 use evmatch::fusion::FusedIndex;
 use evmatch::matching::refine::SplitMode;
 use evmatch::prelude::*;
@@ -28,7 +38,27 @@ struct CommonArgs {
     mode: SplitMode,
     workers: Option<usize>,
     json: bool,
+    telemetry: Option<TelemetryLevel>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
     rest: BTreeMap<String, String>,
+}
+
+impl CommonArgs {
+    /// The telemetry level in force: explicit `--telemetry` wins, else
+    /// the strongest level an output flag implies, else off.
+    fn telemetry_level(&self) -> TelemetryLevel {
+        if let Some(level) = self.telemetry {
+            return level;
+        }
+        if self.trace_out.is_some() {
+            TelemetryLevel::Full
+        } else if self.metrics_out.is_some() {
+            TelemetryLevel::Counters
+        } else {
+            TelemetryLevel::Off
+        }
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
@@ -40,6 +70,9 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
         mode: SplitMode::Practical,
         workers: None,
         json: false,
+        telemetry: None,
+        trace_out: None,
+        metrics_out: None,
         rest: BTreeMap::new(),
     };
     let mut it = args.iter();
@@ -63,6 +96,9 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
                 }
             }
             "--json" => out.json = true,
+            "--telemetry" => out.telemetry = Some(take()?.parse()?),
+            "--trace-out" => out.trace_out = Some(take()?),
+            "--metrics-out" => out.metrics_out = Some(take()?),
             other if other.starts_with("--") => {
                 let key = other.trim_start_matches("--").to_string();
                 out.rest.insert(key, take()?);
@@ -134,9 +170,83 @@ fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
         execution,
         ..MatcherConfig::default()
     };
-    let matcher = EvMatcher::new(&dataset.estore, &dataset.video, config);
+    let telemetry = Telemetry::new(args.telemetry_level());
+    if telemetry.counters_on() {
+        names::preregister(telemetry.registry());
+    }
+    let matcher =
+        EvMatcher::new(&dataset.estore, &dataset.video, config).with_telemetry(&telemetry);
     let report = matcher.match_many(&targets).map_err(|e| e.to_string())?;
+    if telemetry.counters_on() {
+        telemetry
+            .registry()
+            .gauge(names::INDEX_BUILD_NS)
+            .set(dataset.estore.index().build_time().as_nanos() as f64);
+    }
+    write_telemetry(args, &telemetry)?;
     Ok((dataset, report))
+}
+
+/// Writes the run profile to the requested `--metrics-out` /
+/// `--trace-out` paths.
+fn write_telemetry(args: &CommonArgs, telemetry: &Telemetry) -> Result<(), String> {
+    if let Some(path) = &args.metrics_out {
+        let text = prometheus::render(&telemetry.registry().snapshot());
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = &args.trace_out {
+        let json = telemetry.tracer().chrome_trace_json();
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Metrics that every exported `match` profile must contain.
+const REQUIRED_METRICS: &[&str] = &[
+    names::STAGE_E_SECONDS,
+    names::STAGE_V_SECONDS,
+    names::SETSPLIT_ROUNDS,
+    names::SETSPLIT_RECORDED,
+    names::RECORDED_SCENARIOS,
+    names::THEOREM_LOWER_BOUND,
+    names::THEOREM_UPPER_BOUND,
+    names::FULLY_SPLIT,
+    names::VFILTER_GALLERY_HIT_RATIO,
+    names::MAPREDUCE_MAP_ATTEMPTS,
+    names::MAPREDUCE_FAILED_ATTEMPTS,
+];
+
+fn cmd_check_metrics(args: &CommonArgs) -> Result<(), String> {
+    let path = args.rest.get("in").ok_or("check-metrics needs --in PATH")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let exposition =
+        prometheus::parse_exposition(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
+    for &name in REQUIRED_METRICS {
+        if exposition.value(name).is_none() {
+            return Err(format!("{path}: required metric {name} is missing"));
+        }
+    }
+    let fully_split = exposition.value(names::FULLY_SPLIT).unwrap_or(0.0);
+    if fully_split == 1.0 {
+        let recorded = exposition.value(names::RECORDED_SCENARIOS).unwrap_or(0.0);
+        let lower = exposition.value(names::THEOREM_LOWER_BOUND).unwrap_or(0.0);
+        let upper = exposition.value(names::THEOREM_UPPER_BOUND).unwrap_or(0.0);
+        if recorded < lower || recorded > upper {
+            return Err(format!(
+                "{path}: theorem bound violation: recorded {recorded} outside [{lower}, {upper}]"
+            ));
+        }
+        println!(
+            "ok: {} metrics, theorem bounds hold ({lower} <= {recorded} <= {upper})",
+            REQUIRED_METRICS.len()
+        );
+    } else {
+        println!(
+            "ok: {} metrics present (first round not fully split; bounds not applicable)",
+            REQUIRED_METRICS.len()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_match(args: &CommonArgs) -> Result<(), String> {
@@ -260,7 +370,7 @@ fn cmd_query(args: &CommonArgs) -> Result<(), String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
-        eprintln!("usage: evmatch <generate|match|query> [flags]");
+        eprintln!("usage: evmatch <generate|match|query|check-metrics> [flags]");
         return ExitCode::from(2);
     };
     let args = match parse_args(rest) {
@@ -274,6 +384,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args),
         "match" => cmd_match(&args),
         "query" => cmd_query(&args),
+        "check-metrics" => cmd_check_metrics(&args),
         other => Err(format!("unknown command {other}")),
     };
     match result {

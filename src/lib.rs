@@ -14,6 +14,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `ev-core` | identities, geometry, scenarios, partitions |
+//! | [`telemetry`] | `ev-telemetry` | tracing spans, metrics registry, run profiles |
 //! | [`mobility`] | `ev-mobility` | random-waypoint world simulation |
 //! | [`sensing`] | `ev-sensing` | EID capture, drift, E-Scenario builders |
 //! | [`vision`] | `ev-vision` | synthetic appearance, detection, re-id, costs |
@@ -57,6 +58,7 @@ pub use ev_matching as matching;
 pub use ev_mobility as mobility;
 pub use ev_sensing as sensing;
 pub use ev_store as store;
+pub use ev_telemetry as telemetry;
 pub use ev_vision as vision;
 
 /// The most common imports in one place.
@@ -69,4 +71,5 @@ pub mod prelude {
     pub use ev_matching::refine::SplitMode;
     pub use ev_matching::{EvMatcher, MatchReport, MatcherConfig};
     pub use ev_store::{EScenarioStore, VideoStore};
+    pub use ev_telemetry::{Telemetry, TelemetryLevel};
 }
