@@ -1,0 +1,190 @@
+//! Benchmarks the `ev-disk` persistent backend against the in-memory
+//! build path and writes the measurements to `results/BENCH_disk.json`.
+//!
+//! Three questions, on the paper's 400-person density regime:
+//!
+//! * **cold open** — manifest replay + sequential segment reads +
+//!   store construction, versus building the same stores from records
+//!   already in RAM (the `from_scenarios` floor the disk path pays on
+//!   top of);
+//! * **pruned open** — how much of a cold E-load the manifest-bounds
+//!   pruning skips when the query wants one narrow time slice;
+//! * **append** — the durable-commit cost of one day-sized batch
+//!   (two fsynced segments plus two manifest entries).
+//!
+//! Custom main (no criterion harness): the results must land in a JSON
+//! record, so we drain [`Criterion::take_results`] ourselves.
+
+use criterion::{BenchResult, Criterion};
+use ev_core::time::{TimeRange, Timestamp};
+use ev_datagen::{DatasetConfig, EvDataset};
+use ev_disk::{DiskBackend, DiskStore};
+use ev_store::{EScenarioStore, StoreBackend, VideoStore};
+use serde::Serialize;
+use std::path::Path;
+
+/// One exported measurement.
+#[derive(Debug, Serialize)]
+struct Entry {
+    id: String,
+    per_iter_ns: u64,
+    iterations: u64,
+}
+
+impl From<BenchResult> for Entry {
+    fn from(r: BenchResult) -> Self {
+        Entry {
+            id: r.id,
+            per_iter_ns: u64::try_from(r.per_iter.as_nanos()).unwrap_or(u64::MAX),
+            iterations: r.iterations,
+        }
+    }
+}
+
+/// The full `BENCH_disk.json` record.
+#[derive(Debug, Serialize)]
+struct Record {
+    population: u64,
+    duration: u64,
+    e_records: usize,
+    v_records: usize,
+    segments: usize,
+    corpus_bytes: u64,
+    /// cold-open time / in-memory build time: the pure disk overhead
+    /// multiplier (decode + checksum + I/O over `from_scenarios`).
+    cold_open_vs_memory: f64,
+    /// full E-load time / pruned E-load time for a 1/6 time slice.
+    prune_speedup: f64,
+    results: Vec<Entry>,
+}
+
+fn per_iter_ns(results: &[Entry], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|e| e.id == id)
+        .map(|e| e.per_iter_ns as f64)
+        .expect("benchmark id present")
+}
+
+fn main() {
+    let population = 400;
+    let duration = 300;
+    let data = EvDataset::generate(&DatasetConfig {
+        population,
+        duration,
+        ..DatasetConfig::default()
+    })
+    .expect("valid config");
+    let e: Vec<_> = data.estore.iter().cloned().collect();
+    let v: Vec<_> = data.video.scenarios().cloned().collect();
+    let cost = data.video.cost_model();
+
+    // Persist the corpus in day-sized thirds so the on-disk shape (six
+    // segments, interleaved kinds) matches an incremental deployment
+    // rather than one monolithic append.
+    let dir = std::env::temp_dir().join(format!("ev-bench-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = DiskStore::create(&dir).expect("fresh corpus");
+    for third in 0..3 {
+        let es: Vec<_> = e
+            .iter()
+            .filter(|s| s.time().tick() as usize / (duration as usize / 3 + 1) == third)
+            .cloned()
+            .collect();
+        let vs: Vec<_> = v
+            .iter()
+            .filter(|s| s.time().tick() as usize / (duration as usize / 3 + 1) == third)
+            .cloned()
+            .collect();
+        store.append(&es, &vs).expect("durable append");
+    }
+    let segments = store.segments().len();
+    let corpus_bytes: u64 = store.segments().iter().map(|s| s.file_len).sum();
+    drop(store);
+
+    let mut c = Criterion::default();
+
+    let mut group = c.benchmark_group("disk");
+    group.sample_size(10);
+    group.bench_function("cold_open", |b| {
+        b.iter(|| {
+            let backend = DiskBackend::open(&dir, cost).expect("open corpus");
+            backend.estore().len() + backend.video().len()
+        });
+    });
+    group.bench_function("memory_build", |b| {
+        b.iter(|| {
+            let estore = EScenarioStore::from_scenarios(e.clone());
+            let video = VideoStore::new(v.clone(), cost);
+            estore.len() + video.len()
+        });
+    });
+
+    // Pruning: a narrow query slice against the manifest bounds. The
+    // thirds give the bounds their selectivity; a 1/6 window overlaps
+    // exactly one of them.
+    let slice = TimeRange::new(Timestamp::new(0), Timestamp::new(duration / 6));
+    let cells: Vec<_> = data.region.cells().collect();
+    let opened = DiskStore::open(&dir).expect("reopen");
+    group.bench_function("e_load_full", |b| {
+        b.iter(|| opened.load_estore().expect("load").len());
+    });
+    group.bench_function("e_load_pruned", |b| {
+        b.iter(|| {
+            opened
+                .load_estore_pruned(&cells, slice)
+                .expect("load")
+                .len()
+        });
+    });
+    drop(opened);
+
+    // Append: durable commit of one day-sized batch into a scratch
+    // corpus (created outside the timed body, appended inside it).
+    group.bench_function("append_batch", |b| {
+        let scratch = dir.with_extension("scratch");
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&scratch);
+            let mut s = DiskStore::create(&scratch).expect("scratch corpus");
+            s.append(&e, &v).expect("durable append");
+            s.segments().len()
+        });
+        let _ = std::fs::remove_dir_all(&scratch);
+    });
+    group.finish();
+
+    let results: Vec<Entry> = c.take_results().into_iter().map(Entry::from).collect();
+    let record = Record {
+        population,
+        duration,
+        e_records: e.len(),
+        v_records: v.len(),
+        segments,
+        corpus_bytes,
+        cold_open_vs_memory: per_iter_ns(&results, "disk/cold_open")
+            / per_iter_ns(&results, "disk/memory_build"),
+        prune_speedup: per_iter_ns(&results, "disk/e_load_full")
+            / per_iter_ns(&results, "disk/e_load_pruned"),
+        results,
+    };
+
+    for entry in &record.results {
+        println!(
+            "{:<40} {:>12} ns/iter  ({} iters)",
+            entry.id, entry.per_iter_ns, entry.iterations
+        );
+    }
+    println!(
+        "cold open vs memory build: {:.2}x   prune speedup: {:.1}x",
+        record.cold_open_vs_memory, record.prune_speedup
+    );
+
+    // Anchor to the workspace-root results directory regardless of the
+    // CWD cargo picked for the bench binary.
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    let json = serde_json::to_string_pretty(&record).expect("serialize record");
+    std::fs::write(out.join("BENCH_disk.json"), json).expect("write BENCH_disk.json");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,7 +5,7 @@ use ev_core::ids::{Eid, PersonId, Vid};
 use ev_core::region::GridRegion;
 use ev_mobility::World;
 use ev_sensing::{EScenarioBuilder, EidRoster};
-use ev_store::{EScenarioStore, VideoStore};
+use ev_store::{EScenarioStore, StoreBackend, VideoStore};
 use ev_vision::{AppearanceGallery, VScenarioBuilder};
 use std::collections::BTreeMap;
 
@@ -134,6 +134,19 @@ impl EvDataset {
     #[must_use]
     pub fn person_of(&self, eid: Eid) -> Option<PersonId> {
         self.roster.owner_of(eid)
+    }
+}
+
+/// A generated dataset is itself a corpus backend, so the
+/// backend-generic pipelines (`match_with_refinement_on`,
+/// `update_matches_on`, `parallel_match_on`) run directly against it.
+impl StoreBackend for EvDataset {
+    fn estore(&self) -> &EScenarioStore {
+        &self.estore
+    }
+
+    fn video(&self) -> &VideoStore {
+        &self.video
     }
 }
 

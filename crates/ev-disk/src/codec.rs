@@ -1,0 +1,312 @@
+//! The fixed little-endian record codec.
+//!
+//! Every multi-byte integer is little-endian; floats are stored as the
+//! little-endian bytes of their IEEE-754 `to_bits` representation, so a
+//! round trip is bit-exact (NaN payloads included). The byte-for-byte
+//! layout is specified in `DESIGN.md` §6 and pinned by
+//! [`format`](crate::format); this module is the only place that reads
+//! or writes record payloads.
+//!
+//! # Record payloads
+//!
+//! An **E-record** serialises one [`EScenario`]:
+//!
+//! ```text
+//! time   u64    snapshot tick
+//! cell   u64    grid-cell index
+//! count  u32    number of (EID, attr) memberships
+//! count × { eid u64, attr u8 }      in ascending EID order
+//! ```
+//!
+//! `attr` is `0` for [`ZoneAttr::Inclusive`], `1` for
+//! [`ZoneAttr::Vague`]; any other value is corruption.
+//!
+//! A **V-record** serialises one [`VScenario`]:
+//!
+//! ```text
+//! time   u64    snapshot tick
+//! cell   u64    grid-cell index
+//! count  u32    number of detections
+//! count × { vid u64, dim u32, dim × f64 }   in detection order
+//! ```
+
+use crate::error::{DiskError, DiskResult};
+use ev_core::feature::FeatureVector;
+use ev_core::ids::{Eid, Vid};
+use ev_core::region::CellId;
+use ev_core::scenario::{Detection, EScenario, VScenario, ZoneAttr};
+use ev_core::time::Timestamp;
+
+/// Appends little-endian primitives to a byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as the little-endian bytes of its bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// The accumulated bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads little-endian primitives from a byte slice, tracking position.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> DiskResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DiskError::corrupt(format!(
+                "record truncated: need {n} bytes for {what}, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self, what: &'static str) -> DiskResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self, what: &'static str) -> DiskResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self, what: &'static str) -> DiskResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its little-endian bit pattern.
+    pub fn get_f64(&mut self, what: &'static str) -> DiskResult<f64> {
+        Ok(f64::from_bits(self.get_u64(what)?))
+    }
+}
+
+/// Encodes one E-Scenario into a record payload.
+#[must_use]
+pub fn encode_escenario(s: &EScenario) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(s.time().tick());
+    w.put_u64(s.cell().index() as u64);
+    w.put_u32(s.len() as u32);
+    for (eid, attr) in s.iter() {
+        w.put_u64(eid.as_u64());
+        w.put_u8(match attr {
+            ZoneAttr::Inclusive => 0,
+            ZoneAttr::Vague => 1,
+        });
+    }
+    w.into_bytes()
+}
+
+/// Decodes one E-Scenario record payload.
+///
+/// # Errors
+///
+/// [`DiskError::Corrupt`] on a truncated payload, an unknown zone
+/// attribute, or trailing garbage after the declared memberships.
+pub fn decode_escenario(payload: &[u8]) -> DiskResult<EScenario> {
+    let mut r = ByteReader::new(payload);
+    let time = Timestamp::new(r.get_u64("e-record time")?);
+    let cell = CellId::new(r.get_u64("e-record cell")? as usize);
+    let count = r.get_u32("e-record membership count")?;
+    let mut s = EScenario::new(cell, time);
+    for _ in 0..count {
+        let eid = Eid::from_u64(r.get_u64("e-record eid")?);
+        let attr = match r.get_u8("e-record zone attr")? {
+            0 => ZoneAttr::Inclusive,
+            1 => ZoneAttr::Vague,
+            other => {
+                return Err(DiskError::corrupt(format!(
+                    "unknown zone attribute byte {other:#04x}"
+                )))
+            }
+        };
+        s.insert(eid, attr);
+    }
+    if r.remaining() != 0 {
+        return Err(DiskError::corrupt(format!(
+            "{} trailing bytes after e-record payload",
+            r.remaining()
+        )));
+    }
+    Ok(s)
+}
+
+/// Encodes one V-Scenario into a record payload.
+#[must_use]
+pub fn encode_vscenario(s: &VScenario) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(s.time().tick());
+    w.put_u64(s.cell().index() as u64);
+    w.put_u32(s.len() as u32);
+    for d in s.detections() {
+        w.put_u64(d.vid.as_u64());
+        w.put_u32(d.feature.dim() as u32);
+        for &c in d.feature.components() {
+            w.put_f64(c);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes one V-Scenario record payload.
+///
+/// # Errors
+///
+/// [`DiskError::Corrupt`] on a truncated payload, a feature vector the
+/// domain model rejects, or trailing garbage.
+pub fn decode_vscenario(payload: &[u8]) -> DiskResult<VScenario> {
+    let mut r = ByteReader::new(payload);
+    let time = Timestamp::new(r.get_u64("v-record time")?);
+    let cell = CellId::new(r.get_u64("v-record cell")? as usize);
+    let count = r.get_u32("v-record detection count")?;
+    let mut s = VScenario::new(cell, time);
+    for _ in 0..count {
+        let vid = Vid::new(r.get_u64("v-record vid")?);
+        let dim = r.get_u32("v-record feature dim")? as usize;
+        let mut components = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            components.push(r.get_f64("v-record feature component")?);
+        }
+        let feature = FeatureVector::new(components)
+            .map_err(|e| DiskError::corrupt(format!("invalid stored feature vector: {e}")))?;
+        s.push(Detection { vid, feature });
+    }
+    if r.remaining() != 0 {
+        return Err(DiskError::corrupt(format!(
+            "{} trailing bytes after v-record payload",
+            r.remaining()
+        )));
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escenario() -> EScenario {
+        let mut s = EScenario::new(CellId::new(7), Timestamp::new(42));
+        s.insert(Eid::from_u64(0xaabb_cc00_0102), ZoneAttr::Inclusive);
+        s.insert(Eid::from_u64(3), ZoneAttr::Vague);
+        s
+    }
+
+    fn vscenario() -> VScenario {
+        let mut s = VScenario::new(CellId::new(7), Timestamp::new(42));
+        s.push(Detection {
+            vid: Vid::new(9),
+            feature: FeatureVector::new(vec![0.25, 0.5, 1.0]).unwrap(),
+        });
+        s.push(Detection {
+            vid: Vid::new(11),
+            feature: FeatureVector::new(vec![0.0]).unwrap(),
+        });
+        s
+    }
+
+    #[test]
+    fn escenario_round_trips() {
+        let s = escenario();
+        assert_eq!(decode_escenario(&encode_escenario(&s)).unwrap(), s);
+        let empty = EScenario::new(CellId::new(0), Timestamp::new(0));
+        assert_eq!(decode_escenario(&encode_escenario(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn vscenario_round_trips_bit_exact() {
+        let s = vscenario();
+        assert_eq!(decode_vscenario(&encode_vscenario(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn e_record_layout_is_the_documented_bytes() {
+        let mut s = EScenario::new(CellId::new(2), Timestamp::new(1));
+        s.insert(Eid::from_u64(5), ZoneAttr::Vague);
+        let bytes = encode_escenario(&s);
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&1u64.to_le_bytes()); // time
+        expect.extend_from_slice(&2u64.to_le_bytes()); // cell
+        expect.extend_from_slice(&1u32.to_le_bytes()); // count
+        expect.extend_from_slice(&5u64.to_le_bytes()); // eid
+        expect.push(1); // vague
+        assert_eq!(bytes, expect);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_corruption_not_panics() {
+        let bytes = encode_escenario(&escenario());
+        for cut in 0..bytes.len() {
+            assert!(decode_escenario(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_escenario(&padded).is_err(), "trailing byte");
+        let mut bad_attr = bytes;
+        let last = bad_attr.len() - 1;
+        bad_attr[last] = 9;
+        assert!(decode_escenario(&bad_attr).is_err(), "unknown attr");
+    }
+
+    #[test]
+    fn v_record_truncation_is_corruption() {
+        let bytes = encode_vscenario(&vscenario());
+        for cut in 0..bytes.len() {
+            assert!(decode_vscenario(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3) over byte slices.
+//!
+//! The reflected polynomial `0xEDB88320` with initial value and final
+//! XOR of `0xFFFF_FFFF` — the same parametrisation as zlib, PNG and
+//! Ethernet, so segment files can be checked with any standard CRC-32
+//! tool. The 256-entry table is computed at compile time; no external
+//! crate is involved.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The byte-indexed lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Computes the CRC-32 of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"segment payload");
+        let mut flipped = b"segment payload".to_vec();
+        for i in 0..flipped.len() * 8 {
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), base, "bit {i} flip must change the CRC");
+            flipped[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

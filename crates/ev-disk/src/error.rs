@@ -1,0 +1,73 @@
+//! Error type of the persistent backend.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Result alias for disk operations.
+pub type DiskResult<T> = Result<T, DiskError>;
+
+/// What went wrong while reading or writing a persistent corpus.
+///
+/// Corruption is always an `Err`, never a panic: a damaged disk must
+/// not take the process down, and the recovery paths in
+/// [`DiskStore::open_with`](crate::DiskStore::open_with) rely on being
+/// able to inspect the failure.
+#[derive(Debug)]
+pub enum DiskError {
+    /// An operating-system I/O failure, with the operation that hit it.
+    Io {
+        /// What the store was doing (`"writing segment seg-000001-e.seg"`).
+        context: String,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// The bytes on disk do not parse as the documented format.
+    Corrupt {
+        /// What was malformed and where.
+        context: String,
+    },
+}
+
+impl DiskError {
+    /// A corruption error with the given description.
+    #[must_use]
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        DiskError::Corrupt {
+            context: context.into(),
+        }
+    }
+
+    /// Wraps an I/O error with the operation and path it interrupted.
+    #[must_use]
+    pub fn io(action: &str, path: &Path, source: io::Error) -> Self {
+        DiskError::Io {
+            context: format!("{action} {}", path.display()),
+            source,
+        }
+    }
+
+    /// Whether this is a corruption (vs. operating-system) failure.
+    #[must_use]
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, DiskError::Corrupt { .. })
+    }
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Io { context, source } => write!(f, "i/o error {context}: {source}"),
+            DiskError::Corrupt { context } => write!(f, "corrupt store: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskError::Io { source, .. } => Some(source),
+            DiskError::Corrupt { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The pinned on-disk format constants.
+//!
+//! These values are the normative companion to the byte-level
+//! specification in `DESIGN.md` §6 ("Persistence"): the spec quotes
+//! them, and the doctest below asserts the quoted bytes so the document
+//! and the code cannot drift apart silently. Bump
+//! [`FORMAT_VERSION`] whenever the layout changes; readers reject
+//! versions they do not know.
+//!
+//! ```
+//! // DESIGN.md §6 quotes exactly these values; this doctest pins them.
+//! assert_eq!(ev_disk::format::SEGMENT_MAGIC, *b"EVSG");
+//! assert_eq!(ev_disk::format::MANIFEST_MAGIC, *b"EVMF");
+//! assert_eq!(ev_disk::format::FORMAT_VERSION, 1);
+//! assert_eq!(ev_disk::format::KIND_E, 0);
+//! assert_eq!(ev_disk::format::KIND_V, 1);
+//! assert_eq!(ev_disk::format::HEADER_LEN, 8);
+//! assert_eq!(ev_disk::format::FRAME_OVERHEAD, 8);
+//! assert_eq!(ev_disk::format::MANIFEST_ENTRY_PAYLOAD_LEN, 57);
+//! ```
+
+/// First four bytes of every segment file: ASCII `EVSG`.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"EVSG";
+
+/// First four bytes of the manifest file: ASCII `EVMF`.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"EVMF";
+
+/// On-disk format version, little-endian `u16` at byte offset 4 of both
+/// file kinds. Version 1 is the initial layout.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Segment-kind byte for E-Scenario segments.
+pub const KIND_E: u8 = 0;
+
+/// Segment-kind byte for V-Scenario segments.
+pub const KIND_V: u8 = 1;
+
+/// Length of both file headers:
+/// `magic[4] | version u16 | kind u8 | reserved u8` for segments,
+/// `magic[4] | version u16 | reserved u16` for the manifest.
+pub const HEADER_LEN: usize = 8;
+
+/// Bytes a frame adds around its payload: `len u32` before, `crc u32`
+/// (CRC-32/ISO-HDLC of the payload only) after.
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Largest payload a frame may declare. Present only to stop a
+/// corrupted length field from driving a multi-gigabyte allocation;
+/// real records are kilobytes.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 28;
+
+/// Fixed size of a manifest entry payload:
+/// `seq u64 | kind u8 | records u64 | min_time u64 | max_time u64 |
+/// min_cell u64 | max_cell u64 | file_len u64` = 8+1+8·6.
+pub const MANIFEST_ENTRY_PAYLOAD_LEN: usize = 57;

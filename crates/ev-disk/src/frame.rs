@@ -1,0 +1,204 @@
+//! Length-prefixed, CRC-guarded frames — the shared envelope of segment
+//! records and manifest entries.
+//!
+//! A frame is `len u32 (LE) | payload[len] | crc u32 (LE)` where `crc`
+//! is the CRC-32 of the payload only. Zero-length payloads are illegal
+//! (no record or manifest entry is empty), which makes a zero-filled
+//! tail — the one way a crash can *extend* a file on some filesystems —
+//! unambiguously invalid rather than an infinite run of empty frames.
+//!
+//! [`next_frame`] classifies what it finds so callers can implement the
+//! recovery state machine of `DESIGN.md` §6: a frame that cannot be
+//! completed before end-of-file is a **torn tail** (the expected residue
+//! of a crash mid-append — truncate and continue), while a damaged frame
+//! *followed by more bytes* is **corruption** (a crash cannot rewrite
+//! the middle of an append-only file).
+
+use crate::crc::crc32;
+use crate::format::MAX_FRAME_PAYLOAD;
+
+/// What the parser found at a file position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete, checksum-valid frame.
+    Frame {
+        /// Byte offset of the payload within the scanned slice.
+        payload_start: usize,
+        /// Payload length in bytes.
+        payload_len: usize,
+        /// Offset of the byte after the frame's trailing CRC.
+        next_pos: usize,
+    },
+    /// Clean end of input exactly on a frame boundary.
+    End,
+    /// The bytes from `at` onwards cannot hold a complete frame, or hold
+    /// exactly one checksum-damaged frame that runs to end-of-file:
+    /// the signature of an append interrupted by a crash.
+    Torn {
+        /// Offset of the last good frame boundary.
+        at: usize,
+    },
+    /// A damaged frame with more data behind it — not explicable by a
+    /// crashed append; the file was corrupted in place.
+    Damaged {
+        /// Offset of the last good frame boundary.
+        at: usize,
+        /// Human-readable description of the damage.
+        reason: &'static str,
+    },
+}
+
+/// Appends one frame around `payload` to `out`.
+///
+/// # Panics
+///
+/// Panics if `payload` is empty or longer than
+/// [`MAX_FRAME_PAYLOAD`] — both are programming errors, not data
+/// conditions (the codec never produces them).
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(
+        !payload.is_empty() && payload.len() <= MAX_FRAME_PAYLOAD,
+        "frame payloads are 1..=MAX_FRAME_PAYLOAD bytes"
+    );
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// Classifies the bytes at `pos` (a frame boundary) of `bytes`.
+#[must_use]
+pub fn next_frame(bytes: &[u8], pos: usize) -> FrameEvent {
+    let remaining = bytes.len() - pos;
+    if remaining == 0 {
+        return FrameEvent::End;
+    }
+    if remaining < 4 {
+        return FrameEvent::Torn { at: pos };
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    if len == 0 || len > MAX_FRAME_PAYLOAD {
+        // An impossible length destroys all framing behind it, so there
+        // is no way to tell a partially persisted (or zero-extended)
+        // tail from deeper damage; treat it as the crash-shaped case
+        // and end the frame stream here.
+        return FrameEvent::Torn { at: pos };
+    }
+    if remaining < 4 + len + 4 {
+        return FrameEvent::Torn { at: pos };
+    }
+    let payload_start = pos + 4;
+    let stored = u32::from_le_bytes(
+        bytes[payload_start + len..payload_start + len + 4]
+            .try_into()
+            .unwrap(),
+    );
+    if stored != crc32(&bytes[payload_start..payload_start + len]) {
+        let next_pos = payload_start + len + 4;
+        return if next_pos == bytes.len() {
+            // The final frame: a torn write can persist the length and
+            // part of the payload, leaving stale bytes under the CRC.
+            FrameEvent::Torn { at: pos }
+        } else {
+            FrameEvent::Damaged {
+                at: pos,
+                reason: "frame checksum mismatch",
+            }
+        };
+    }
+    FrameEvent::Frame {
+        payload_start,
+        payload_len: len,
+        next_pos: payload_start + len + 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_frames() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first payload");
+        write_frame(&mut buf, b"second");
+        buf
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let buf = two_frames();
+        let FrameEvent::Frame {
+            payload_start,
+            payload_len,
+            next_pos,
+        } = next_frame(&buf, 0)
+        else {
+            panic!("first frame");
+        };
+        assert_eq!(
+            &buf[payload_start..payload_start + payload_len],
+            b"first payload"
+        );
+        let FrameEvent::Frame { next_pos: end, .. } = next_frame(&buf, next_pos) else {
+            panic!("second frame");
+        };
+        assert_eq!(next_frame(&buf, end), FrameEvent::End);
+    }
+
+    #[test]
+    fn every_truncation_is_torn_at_the_right_boundary() {
+        let buf = two_frames();
+        let first_end = 4 + b"first payload".len() + 4;
+        for cut in 0..buf.len() {
+            if cut == 0 || cut == first_end {
+                continue; // clean boundaries: End, not Torn
+            }
+            let pos = if cut < first_end { 0 } else { first_end };
+            assert_eq!(
+                next_frame(&buf[..cut], pos),
+                FrameEvent::Torn { at: pos },
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_file_damage_is_corruption_tail_damage_is_torn() {
+        let mut buf = two_frames();
+        let first_end = 4 + b"first payload".len() + 4;
+        // Flip a payload byte of the *first* frame: damaged, more data behind.
+        buf[5] ^= 0xFF;
+        assert!(matches!(
+            next_frame(&buf, 0),
+            FrameEvent::Damaged { at: 0, .. }
+        ));
+        buf[5] ^= 0xFF;
+        // Flip a payload byte of the *last* frame: torn tail.
+        let n = buf.len();
+        buf[n - 6] ^= 0xFF;
+        assert_eq!(
+            next_frame(&buf, first_end),
+            FrameEvent::Torn { at: first_end }
+        );
+    }
+
+    #[test]
+    fn zero_extension_is_torn() {
+        let mut buf = two_frames();
+        let first_end = 4 + b"first payload".len() + 4;
+        let second_end = buf.len();
+        buf.extend_from_slice(&[0u8; 6]);
+        assert_eq!(
+            next_frame(&buf, 0),
+            FrameEvent::Frame {
+                payload_start: 4,
+                payload_len: 13,
+                next_pos: first_end,
+            }
+        );
+        // The zero tail declares a zero-length frame: invalid, torn.
+        assert_eq!(
+            next_frame(&buf, second_end),
+            FrameEvent::Torn { at: second_end }
+        );
+    }
+}

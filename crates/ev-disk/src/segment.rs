@@ -1,0 +1,393 @@
+//! Immutable segment files: a header followed by framed, checksummed
+//! records.
+//!
+//! A segment is written once, fsync'd, and never modified (recovery may
+//! *truncate* one in salvage mode, nothing else). Layout:
+//!
+//! ```text
+//! magic   [4]  "EVSG"
+//! version u16  1
+//! kind    u8   0 = E-Scenario records, 1 = V-Scenario records
+//! reserved u8  0
+//! frames…      len u32 | payload | crc32(payload) u32, one per record
+//! ```
+//!
+//! Record payloads use the [`codec`] layouts. The writer
+//! also computes the segment's cell/time bounds, which the manifest
+//! stores so loads can skip segments that cannot intersect a query.
+
+use crate::codec;
+use crate::error::{DiskError, DiskResult};
+use crate::format::{FORMAT_VERSION, HEADER_LEN, KIND_E, KIND_V, SEGMENT_MAGIC};
+use crate::frame::{next_frame, write_frame, FrameEvent};
+use ev_core::scenario::{EScenario, VScenario};
+
+/// Which record codec a segment holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SegmentKind {
+    /// E-Scenario records.
+    EScenario,
+    /// V-Scenario records.
+    VScenario,
+}
+
+impl SegmentKind {
+    /// The on-disk kind byte.
+    #[must_use]
+    pub fn byte(self) -> u8 {
+        match self {
+            SegmentKind::EScenario => KIND_E,
+            SegmentKind::VScenario => KIND_V,
+        }
+    }
+
+    /// Parses the on-disk kind byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Corrupt`] on an unknown byte.
+    pub fn from_byte(b: u8) -> DiskResult<Self> {
+        match b {
+            KIND_E => Ok(SegmentKind::EScenario),
+            KIND_V => Ok(SegmentKind::VScenario),
+            other => Err(DiskError::corrupt(format!(
+                "unknown segment kind byte {other:#04x}"
+            ))),
+        }
+    }
+
+    /// Single-letter tag used in segment file names (`e` / `v`).
+    #[must_use]
+    pub fn tag(self) -> char {
+        match self {
+            SegmentKind::EScenario => 'e',
+            SegmentKind::VScenario => 'v',
+        }
+    }
+}
+
+/// Spatiotemporal bounds of the records inside one segment, tracked by
+/// the writer and persisted in the manifest for load-time pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentBounds {
+    /// Smallest record timestamp (tick).
+    pub min_time: u64,
+    /// Largest record timestamp (tick).
+    pub max_time: u64,
+    /// Smallest record cell index.
+    pub min_cell: u64,
+    /// Largest record cell index.
+    pub max_cell: u64,
+}
+
+impl SegmentBounds {
+    fn empty() -> Self {
+        SegmentBounds {
+            min_time: u64::MAX,
+            max_time: 0,
+            min_cell: u64::MAX,
+            max_cell: 0,
+        }
+    }
+
+    fn absorb(&mut self, time: u64, cell: u64) {
+        self.min_time = self.min_time.min(time);
+        self.max_time = self.max_time.max(time);
+        self.min_cell = self.min_cell.min(cell);
+        self.max_cell = self.max_cell.max(cell);
+    }
+
+    /// Whether `[min_time, max_time]` intersects the half-open tick
+    /// range `[start, end)`.
+    #[must_use]
+    pub fn intersects_time(&self, start: u64, end: u64) -> bool {
+        self.min_time < end && self.max_time >= start
+    }
+
+    /// Whether any of `cells` (raw indices) falls inside
+    /// `[min_cell, max_cell]`.
+    #[must_use]
+    pub fn intersects_cells(&self, cells: &[u64]) -> bool {
+        cells
+            .iter()
+            .any(|&c| c >= self.min_cell && c <= self.max_cell)
+    }
+}
+
+/// The in-memory result of encoding a segment: its bytes plus the
+/// metadata the manifest entry needs.
+#[derive(Debug)]
+pub struct EncodedSegment {
+    /// Complete file contents (header + frames).
+    pub bytes: Vec<u8>,
+    /// Record kind.
+    pub kind: SegmentKind,
+    /// Number of records framed.
+    pub records: u64,
+    /// Cell/time bounds over all records.
+    pub bounds: SegmentBounds,
+}
+
+fn header(kind: SegmentKind) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN);
+    bytes.extend_from_slice(&SEGMENT_MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.push(kind.byte());
+    bytes.push(0);
+    bytes
+}
+
+/// Encodes an E-Scenario batch as one segment.
+#[must_use]
+pub fn encode_e_segment(scenarios: &[EScenario]) -> EncodedSegment {
+    let mut bytes = header(SegmentKind::EScenario);
+    let mut bounds = SegmentBounds::empty();
+    for s in scenarios {
+        bounds.absorb(s.time().tick(), s.cell().index() as u64);
+        write_frame(&mut bytes, &codec::encode_escenario(s));
+    }
+    EncodedSegment {
+        bytes,
+        kind: SegmentKind::EScenario,
+        records: scenarios.len() as u64,
+        bounds,
+    }
+}
+
+/// Encodes a V-Scenario batch as one segment.
+#[must_use]
+pub fn encode_v_segment(scenarios: &[VScenario]) -> EncodedSegment {
+    let mut bytes = header(SegmentKind::VScenario);
+    let mut bounds = SegmentBounds::empty();
+    for s in scenarios {
+        bounds.absorb(s.time().tick(), s.cell().index() as u64);
+        write_frame(&mut bytes, &codec::encode_vscenario(s));
+    }
+    EncodedSegment {
+        bytes,
+        kind: SegmentKind::VScenario,
+        records: scenarios.len() as u64,
+        bounds,
+    }
+}
+
+/// Validates a segment header and returns its kind.
+///
+/// # Errors
+///
+/// [`DiskError::Corrupt`] on a short file, wrong magic, unknown version
+/// or unknown kind byte.
+pub fn parse_header(bytes: &[u8]) -> DiskResult<SegmentKind> {
+    if bytes.len() < HEADER_LEN {
+        return Err(DiskError::corrupt(format!(
+            "segment shorter than its {HEADER_LEN}-byte header ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != SEGMENT_MAGIC {
+        return Err(DiskError::corrupt("segment magic is not EVSG"));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(DiskError::corrupt(format!(
+            "unknown segment format version {version}"
+        )));
+    }
+    SegmentKind::from_byte(bytes[6])
+}
+
+/// Result of a tolerant scan over a segment's frames.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// Byte offsets `(payload_start, payload_len)` of every valid frame,
+    /// in file order.
+    pub payloads: Vec<(usize, usize)>,
+    /// The byte length of the valid prefix (header + whole frames).
+    pub valid_len: usize,
+    /// `Some(reason)` when the scan stopped at a damaged frame that more
+    /// data follows (true corruption); `None` when it ended cleanly or
+    /// at a crash-shaped torn tail.
+    pub damage: Option<&'static str>,
+    /// Whether a torn tail was truncated away by the scan.
+    pub torn: bool,
+}
+
+/// Walks a segment's frames, stopping at the first torn or damaged one.
+///
+/// # Errors
+///
+/// [`DiskError::Corrupt`] if the header itself is invalid (there is no
+/// usable prefix to salvage).
+pub fn scan(bytes: &[u8]) -> DiskResult<(SegmentKind, SegmentScan)> {
+    let kind = parse_header(bytes)?;
+    let mut payloads = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        match next_frame(bytes, pos) {
+            FrameEvent::Frame {
+                payload_start,
+                payload_len,
+                next_pos,
+            } => {
+                payloads.push((payload_start, payload_len));
+                pos = next_pos;
+            }
+            FrameEvent::End => {
+                return Ok((
+                    kind,
+                    SegmentScan {
+                        payloads,
+                        valid_len: pos,
+                        damage: None,
+                        torn: false,
+                    },
+                ))
+            }
+            FrameEvent::Torn { at } => {
+                return Ok((
+                    kind,
+                    SegmentScan {
+                        payloads,
+                        valid_len: at,
+                        damage: None,
+                        torn: true,
+                    },
+                ))
+            }
+            FrameEvent::Damaged { at, reason } => {
+                return Ok((
+                    kind,
+                    SegmentScan {
+                        payloads,
+                        valid_len: at,
+                        damage: Some(reason),
+                        torn: false,
+                    },
+                ))
+            }
+        }
+    }
+}
+
+/// Decodes every E-record of a fully valid segment.
+///
+/// # Errors
+///
+/// [`DiskError::Corrupt`] when the segment is not an E segment, has a
+/// torn or damaged frame, or a payload fails the record codec.
+pub fn decode_e_segment(bytes: &[u8]) -> DiskResult<Vec<EScenario>> {
+    let (kind, scan) = scan(bytes)?;
+    if kind != SegmentKind::EScenario {
+        return Err(DiskError::corrupt("expected an E segment, found kind V"));
+    }
+    if scan.torn || scan.damage.is_some() || scan.valid_len != bytes.len() {
+        return Err(DiskError::corrupt(
+            scan.damage.unwrap_or("segment has a torn tail"),
+        ));
+    }
+    scan.payloads
+        .iter()
+        .map(|&(start, len)| codec::decode_escenario(&bytes[start..start + len]))
+        .collect()
+}
+
+/// Decodes every V-record of a fully valid segment.
+///
+/// # Errors
+///
+/// As [`decode_e_segment`], for V segments.
+pub fn decode_v_segment(bytes: &[u8]) -> DiskResult<Vec<VScenario>> {
+    let (kind, scan) = scan(bytes)?;
+    if kind != SegmentKind::VScenario {
+        return Err(DiskError::corrupt("expected a V segment, found kind E"));
+    }
+    if scan.torn || scan.damage.is_some() || scan.valid_len != bytes.len() {
+        return Err(DiskError::corrupt(
+            scan.damage.unwrap_or("segment has a torn tail"),
+        ));
+    }
+    scan.payloads
+        .iter()
+        .map(|&(start, len)| codec::decode_vscenario(&bytes[start..start + len]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::ids::Eid;
+    use ev_core::region::CellId;
+    use ev_core::scenario::ZoneAttr;
+    use ev_core::time::Timestamp;
+
+    fn scenarios() -> Vec<EScenario> {
+        (0..5u64)
+            .map(|i| {
+                let mut s = EScenario::new(CellId::new(3 + i as usize), Timestamp::new(10 * i));
+                s.insert(Eid::from_u64(i), ZoneAttr::Inclusive);
+                s.insert(Eid::from_u64(100 + i), ZoneAttr::Vague);
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn e_segment_round_trips() {
+        let original = scenarios();
+        let seg = encode_e_segment(&original);
+        assert_eq!(seg.records, 5);
+        assert_eq!(seg.bounds.min_time, 0);
+        assert_eq!(seg.bounds.max_time, 40);
+        assert_eq!(seg.bounds.min_cell, 3);
+        assert_eq!(seg.bounds.max_cell, 7);
+        assert_eq!(decode_e_segment(&seg.bytes).unwrap(), original);
+    }
+
+    #[test]
+    fn truncated_tail_is_salvageable_prefix() {
+        let seg = encode_e_segment(&scenarios());
+        for cut in HEADER_LEN..seg.bytes.len() {
+            let (_, scan) = scan(&seg.bytes[..cut]).unwrap();
+            assert!(scan.valid_len <= cut);
+            assert!(scan.damage.is_none(), "truncation is torn, not damaged");
+            // Every surviving payload still decodes.
+            for &(start, len) in &scan.payloads {
+                codec::decode_escenario(&seg.bytes[start..start + len]).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn header_damage_is_unrecoverable_corruption() {
+        let seg = encode_e_segment(&scenarios());
+        let mut bad = seg.bytes.clone();
+        bad[0] = b'X';
+        assert!(scan(&bad).is_err());
+        let mut wrong_version = seg.bytes.clone();
+        wrong_version[4] = 0xFF;
+        assert!(scan(&wrong_version).is_err());
+        assert!(decode_e_segment(&seg.bytes[..4]).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_is_corruption() {
+        let seg = encode_e_segment(&scenarios());
+        assert!(decode_v_segment(&seg.bytes).is_err());
+    }
+
+    #[test]
+    fn bounds_pruning_predicates() {
+        let b = SegmentBounds {
+            min_time: 10,
+            max_time: 20,
+            min_cell: 3,
+            max_cell: 5,
+        };
+        assert!(b.intersects_time(0, 11));
+        assert!(b.intersects_time(20, 25));
+        assert!(!b.intersects_time(0, 10));
+        assert!(!b.intersects_time(21, 30));
+        assert!(b.intersects_cells(&[5, 9]));
+        assert!(!b.intersects_cells(&[0, 6]));
+    }
+}

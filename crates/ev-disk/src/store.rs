@@ -1,0 +1,734 @@
+//! [`DiskStore`]: a directory of immutable segments plus an append-only
+//! manifest, with crash-safe appends and self-healing opens.
+//!
+//! # Durability protocol
+//!
+//! An append commits in this order, fsyncing at each arrow:
+//!
+//! ```text
+//! write segment file → fsync(segment) → fsync(dir)
+//!   → append manifest entry → fsync(manifest)
+//! ```
+//!
+//! A crash at any point leaves exactly one of two benign shapes:
+//! an **orphan segment** (file on disk, no manifest entry — the append
+//! never committed; recovery deletes it) or a **torn manifest tail**
+//! (partial final entry — recovery truncates it, which also orphans the
+//! segment it was committing). Neither shape can lose a *committed*
+//! append, and neither is reported as corruption.
+//!
+//! Anything else — a checksum mismatch in the middle of a file, a
+//! committed segment whose length disagrees with its manifest entry —
+//! cannot be produced by a crashed append and is treated per
+//! [`RecoveryMode`]: [`Strict`](RecoveryMode::Strict) refuses to open,
+//! [`Salvage`](RecoveryMode::Salvage) keeps every record up to the
+//! first bad frame and rewrites the manifest to match.
+
+use std::collections::BTreeSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use ev_core::region::CellId;
+use ev_core::scenario::{EScenario, VScenario};
+use ev_core::time::TimeRange;
+use ev_store::{EScenarioStore, VideoStore};
+use ev_telemetry::{names, Telemetry};
+use ev_vision::cost::CostModel;
+
+use crate::codec;
+use crate::error::{DiskError, DiskResult};
+use crate::manifest::{self, ManifestEntry};
+use crate::segment::{self, SegmentBounds, SegmentKind};
+
+/// File name of the manifest inside a corpus directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// How strictly an open treats bytes that a crash cannot explain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Heal crash-shaped residue (torn manifest tails, orphan
+    /// segments), but refuse to open on true corruption. Committed
+    /// segments get a cheap existence/length check; record checksums
+    /// are verified lazily at load time. This is the default.
+    #[default]
+    Strict,
+    /// Additionally CRC-scan every committed segment up front and keep
+    /// the longest valid prefix of every damaged file, rewriting the
+    /// manifest to match. Loses the damaged suffix, never errors on it.
+    Salvage,
+}
+
+/// What recovery found and repaired while opening a corpus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed manifest entries surviving the open.
+    pub manifest_entries_kept: usize,
+    /// Bytes cut off a torn or damaged manifest tail.
+    pub manifest_bytes_truncated: u64,
+    /// Uncommitted segment files deleted.
+    pub orphan_segments_removed: usize,
+    /// Damaged segments truncated to a valid prefix (salvage only).
+    pub segments_salvaged: usize,
+    /// Committed records lost to salvage truncation or dropped entries.
+    pub records_dropped: u64,
+}
+
+impl RecoveryReport {
+    /// Whether the open changed anything on disk.
+    #[must_use]
+    pub fn repaired_anything(&self) -> bool {
+        self.manifest_bytes_truncated > 0
+            || self.orphan_segments_removed > 0
+            || self.segments_salvaged > 0
+            || self.records_dropped > 0
+    }
+}
+
+/// Receipt of one committed append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReceipt {
+    /// Entry committed for the E-Scenario batch, if it was non-empty.
+    pub e_segment: Option<ManifestEntry>,
+    /// Entry committed for the V-Scenario batch, if it was non-empty.
+    pub v_segment: Option<ManifestEntry>,
+}
+
+/// A persistent EV corpus rooted at one directory.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    entries: Vec<ManifestEntry>,
+    next_seq: u64,
+    recovery: RecoveryReport,
+    telemetry: Telemetry,
+}
+
+fn fsync_dir(dir: &Path) -> DiskResult<()> {
+    // Directory fsync makes the new directory entry itself durable;
+    // without it a crash can lose the file name while keeping the data.
+    let d = File::open(dir).map_err(|e| DiskError::io("opening directory", dir, e))?;
+    d.sync_all()
+        .map_err(|e| DiskError::io("fsyncing directory", dir, e))
+}
+
+fn write_durable(path: &Path, bytes: &[u8]) -> DiskResult<()> {
+    let mut f = File::create(path).map_err(|e| DiskError::io("creating", path, e))?;
+    f.write_all(bytes)
+        .map_err(|e| DiskError::io("writing", path, e))?;
+    f.sync_all().map_err(|e| DiskError::io("fsyncing", path, e))
+}
+
+fn parse_segment_file_name(name: &str) -> Option<u64> {
+    // seg-NNNNNN-e.seg / seg-NNNNNN-v.seg
+    let rest = name.strip_prefix("seg-")?;
+    let rest = rest.strip_suffix(".seg")?;
+    let (digits, tag) = rest.split_at(rest.len().checked_sub(2)?);
+    if tag != "-e" && tag != "-v" {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+impl DiskStore {
+    /// Creates a fresh, empty corpus at `dir` (made if missing).
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Io`] if the directory cannot be prepared, or if it
+    /// already holds a manifest (refusing to clobber an existing
+    /// corpus).
+    pub fn create(dir: impl Into<PathBuf>) -> DiskResult<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| DiskError::io("creating directory", &dir, e))?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return Err(DiskError::io(
+                "creating manifest",
+                &manifest_path,
+                std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    "directory already holds a corpus",
+                ),
+            ));
+        }
+        write_durable(&manifest_path, &manifest::manifest_header())?;
+        fsync_dir(&dir)?;
+        Ok(DiskStore {
+            dir,
+            entries: Vec::new(),
+            next_seq: 0,
+            recovery: RecoveryReport::default(),
+            telemetry: Telemetry::disabled().clone(),
+        })
+    }
+
+    /// Opens an existing corpus in [`RecoveryMode::Strict`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DiskStore::open_with`].
+    pub fn open(dir: impl Into<PathBuf>) -> DiskResult<Self> {
+        DiskStore::open_with(dir, RecoveryMode::Strict, Telemetry::disabled())
+    }
+
+    /// Opens `dir` if it holds a corpus, otherwise creates one.
+    ///
+    /// # Errors
+    ///
+    /// As [`DiskStore::create`] / [`DiskStore::open`].
+    pub fn open_or_create(dir: impl Into<PathBuf>) -> DiskResult<Self> {
+        let dir = dir.into();
+        if dir.join(MANIFEST_FILE).exists() {
+            DiskStore::open(dir)
+        } else {
+            DiskStore::create(dir)
+        }
+    }
+
+    /// Opens an existing corpus, running the recovery state machine of
+    /// `DESIGN.md` §6 under `mode` and recording disk telemetry on
+    /// `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Io`] on filesystem failures (including a missing
+    /// manifest), [`DiskError::Corrupt`] on damage that `mode` does not
+    /// permit healing.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        mode: RecoveryMode,
+        telemetry: &Telemetry,
+    ) -> DiskResult<Self> {
+        let started = Instant::now();
+        let dir = dir.into();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let bytes = fs::read(&manifest_path)
+            .map_err(|e| DiskError::io("reading manifest", &manifest_path, e))?;
+        let scan = manifest::scan_manifest(&bytes)?;
+
+        let mut report = RecoveryReport::default();
+        let mut entries = scan.entries;
+        let mut manifest_dirty = false;
+
+        if let Some(reason) = scan.damage {
+            match mode {
+                RecoveryMode::Strict => {
+                    return Err(DiskError::corrupt(format!(
+                        "manifest damaged mid-file ({reason}); reopen with RecoveryMode::Salvage \
+                         to keep the {} committed entries before the damage",
+                        entries.len()
+                    )))
+                }
+                RecoveryMode::Salvage => {
+                    report.manifest_bytes_truncated += (bytes.len() - scan.valid_len) as u64;
+                    manifest_dirty = true;
+                }
+            }
+        } else if scan.torn {
+            // Crash-shaped tail: truncate in both modes.
+            report.manifest_bytes_truncated += (bytes.len() - scan.valid_len) as u64;
+            let f = OpenOptions::new()
+                .write(true)
+                .open(&manifest_path)
+                .map_err(|e| DiskError::io("opening manifest for truncate", &manifest_path, e))?;
+            f.set_len(scan.valid_len as u64)
+                .map_err(|e| DiskError::io("truncating manifest", &manifest_path, e))?;
+            f.sync_all()
+                .map_err(|e| DiskError::io("fsyncing manifest", &manifest_path, e))?;
+        }
+
+        // Validate committed segments against their entries.
+        let mut kept = Vec::with_capacity(entries.len());
+        for entry in entries.drain(..) {
+            let path = dir.join(entry.file_name());
+            match mode {
+                RecoveryMode::Strict => {
+                    let meta = fs::metadata(&path)
+                        .map_err(|e| DiskError::io("stating committed segment", &path, e))?;
+                    if meta.len() != entry.file_len {
+                        return Err(DiskError::corrupt(format!(
+                            "segment {} is {} bytes, manifest committed {}; reopen with \
+                             RecoveryMode::Salvage to keep its valid prefix",
+                            entry.file_name(),
+                            meta.len(),
+                            entry.file_len
+                        )));
+                    }
+                    kept.push(entry);
+                }
+                RecoveryMode::Salvage => match Self::salvage_segment(&path, entry, &mut report)? {
+                    Some(repaired) => {
+                        if repaired != entry {
+                            manifest_dirty = true;
+                        }
+                        kept.push(repaired);
+                    }
+                    None => manifest_dirty = true,
+                },
+            }
+        }
+
+        // Delete uncommitted (orphan) segment files.
+        let live: BTreeSet<u64> = kept.iter().map(|e| e.seq).collect();
+        let mut max_seq_seen = kept.iter().map(|e| e.seq + 1).max().unwrap_or(0);
+        let listing =
+            fs::read_dir(&dir).map_err(|e| DiskError::io("listing directory", &dir, e))?;
+        for item in listing {
+            let item = item.map_err(|e| DiskError::io("listing directory", &dir, e))?;
+            let name = item.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = parse_segment_file_name(name) else {
+                continue;
+            };
+            if !live.contains(&seq) {
+                let path = dir.join(name);
+                fs::remove_file(&path)
+                    .map_err(|e| DiskError::io("removing orphan segment", &path, e))?;
+                report.orphan_segments_removed += 1;
+                max_seq_seen = max_seq_seen.max(seq + 1);
+            }
+        }
+        if report.orphan_segments_removed > 0 {
+            fsync_dir(&dir)?;
+        }
+
+        if manifest_dirty {
+            Self::rewrite_manifest(&dir, &kept)?;
+        }
+
+        report.manifest_entries_kept = kept.len();
+        if telemetry.counters_on() {
+            let registry = telemetry.registry();
+            let truncations = u64::from(report.manifest_bytes_truncated > 0)
+                + report.orphan_segments_removed as u64
+                + report.segments_salvaged as u64;
+            registry
+                .counter(names::DISK_RECOVERY_TRUNCATIONS)
+                .add(truncations);
+            registry
+                .gauge(names::DISK_MANIFEST_ENTRIES)
+                .set(kept.len() as f64);
+            registry
+                .gauge(names::DISK_OPEN_SECONDS)
+                .set(started.elapsed().as_secs_f64());
+        }
+
+        Ok(DiskStore {
+            dir,
+            entries: kept,
+            next_seq: max_seq_seen,
+            recovery: report,
+            telemetry: telemetry.clone(),
+        })
+    }
+
+    /// Re-validates one committed segment in salvage mode. Returns the
+    /// (possibly repaired) entry, or `None` when nothing of the segment
+    /// survives.
+    fn salvage_segment(
+        path: &Path,
+        entry: ManifestEntry,
+        report: &mut RecoveryReport,
+    ) -> DiskResult<Option<ManifestEntry>> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // A committed segment vanished entirely: drop the entry.
+                report.records_dropped += entry.records;
+                report.segments_salvaged += 1;
+                return Ok(None);
+            }
+            Err(e) => return Err(DiskError::io("reading committed segment", path, e)),
+        };
+        let Ok((kind, scan)) = segment::scan(&bytes) else {
+            // Unusable header: nothing salvageable.
+            report.records_dropped += entry.records;
+            report.segments_salvaged += 1;
+            fs::remove_file(path)
+                .map_err(|e| DiskError::io("removing unsalvageable segment", path, e))?;
+            return Ok(None);
+        };
+
+        // Keep frames only up to the first payload the codec rejects:
+        // a checksum-valid frame with a malformed payload is still
+        // corruption, and everything behind it is untrustworthy.
+        let mut valid_len = crate::format::HEADER_LEN;
+        let mut bounds = SegmentBounds {
+            min_time: u64::MAX,
+            max_time: 0,
+            min_cell: u64::MAX,
+            max_cell: 0,
+        };
+        let mut records = 0u64;
+        for &(start, len) in &scan.payloads {
+            let payload = &bytes[start..start + len];
+            let decoded = match kind {
+                SegmentKind::EScenario => codec::decode_escenario(payload)
+                    .map(|s| (s.time().tick(), s.cell().index() as u64)),
+                SegmentKind::VScenario => codec::decode_vscenario(payload)
+                    .map(|s| (s.time().tick(), s.cell().index() as u64)),
+            };
+            match decoded {
+                Ok((time, cell)) => {
+                    bounds.min_time = bounds.min_time.min(time);
+                    bounds.max_time = bounds.max_time.max(time);
+                    bounds.min_cell = bounds.min_cell.min(cell);
+                    bounds.max_cell = bounds.max_cell.max(cell);
+                    records += 1;
+                    valid_len = start + len + 4;
+                }
+                Err(_) => break,
+            }
+        }
+
+        if records == 0 {
+            report.records_dropped += entry.records;
+            report.segments_salvaged += 1;
+            fs::remove_file(path)
+                .map_err(|e| DiskError::io("removing emptied segment", path, e))?;
+            return Ok(None);
+        }
+
+        let intact = valid_len == bytes.len()
+            && valid_len as u64 == entry.file_len
+            && records == entry.records
+            && kind == entry.kind;
+        if intact {
+            return Ok(Some(entry));
+        }
+
+        report.segments_salvaged += 1;
+        report.records_dropped += entry.records.saturating_sub(records);
+        let f = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| DiskError::io("opening segment for truncate", path, e))?;
+        f.set_len(valid_len as u64)
+            .map_err(|e| DiskError::io("truncating segment", path, e))?;
+        f.sync_all()
+            .map_err(|e| DiskError::io("fsyncing segment", path, e))?;
+        Ok(Some(ManifestEntry {
+            seq: entry.seq,
+            kind,
+            records,
+            bounds,
+            file_len: valid_len as u64,
+        }))
+    }
+
+    /// Atomically replaces the manifest with `entries` (salvage only):
+    /// write a sibling temp file, fsync, rename over, fsync the dir.
+    fn rewrite_manifest(dir: &Path, entries: &[ManifestEntry]) -> DiskResult<()> {
+        let tmp = dir.join("MANIFEST.tmp");
+        let mut bytes = manifest::manifest_header();
+        for entry in entries {
+            bytes.extend_from_slice(&manifest::encode_entry_frame(entry));
+        }
+        write_durable(&tmp, &bytes)?;
+        let final_path = dir.join(MANIFEST_FILE);
+        fs::rename(&tmp, &final_path)
+            .map_err(|e| DiskError::io("renaming rewritten manifest", &final_path, e))?;
+        fsync_dir(dir)
+    }
+
+    /// Directs disk telemetry to `telemetry` from now on.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// The corpus directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Live manifest entries, in commit order.
+    #[must_use]
+    pub fn segments(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Total committed records of `kind`.
+    #[must_use]
+    pub fn record_count(&self, kind: SegmentKind) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.records)
+            .sum()
+    }
+
+    /// What the open repaired.
+    #[must_use]
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Durably appends one batch of E- and/or V-Scenarios, each as one
+    /// new immutable segment, committing them to the manifest.
+    ///
+    /// Empty slices are skipped; appending two empty batches is a
+    /// no-op. Records with the same `(cell, time)` as earlier ones
+    /// supersede them at load time (manifest order, later wins).
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Io`] if any write or fsync fails; the corpus stays
+    /// consistent (an interrupted append is healed by the next open).
+    pub fn append(
+        &mut self,
+        e_batch: &[EScenario],
+        v_batch: &[VScenario],
+    ) -> DiskResult<AppendReceipt> {
+        let mut receipt = AppendReceipt {
+            e_segment: None,
+            v_segment: None,
+        };
+        if !e_batch.is_empty() {
+            receipt.e_segment = Some(self.append_segment(segment::encode_e_segment(e_batch))?);
+        }
+        if !v_batch.is_empty() {
+            receipt.v_segment = Some(self.append_segment(segment::encode_v_segment(v_batch))?);
+        }
+        Ok(receipt)
+    }
+
+    fn append_segment(&mut self, encoded: segment::EncodedSegment) -> DiskResult<ManifestEntry> {
+        let entry = ManifestEntry {
+            seq: self.next_seq,
+            kind: encoded.kind,
+            records: encoded.records,
+            bounds: encoded.bounds,
+            file_len: encoded.bytes.len() as u64,
+        };
+        let seg_path = self.dir.join(entry.file_name());
+        write_durable(&seg_path, &encoded.bytes)?;
+        fsync_dir(&self.dir)?;
+
+        let manifest_path = self.dir.join(MANIFEST_FILE);
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(&manifest_path)
+            .map_err(|e| DiskError::io("opening manifest for append", &manifest_path, e))?;
+        f.write_all(&manifest::encode_entry_frame(&entry))
+            .map_err(|e| DiskError::io("appending manifest entry", &manifest_path, e))?;
+        f.sync_all()
+            .map_err(|e| DiskError::io("fsyncing manifest", &manifest_path, e))?;
+
+        self.next_seq += 1;
+        self.entries.push(entry);
+        if self.telemetry.counters_on() {
+            let registry = self.telemetry.registry();
+            registry.counter(names::DISK_SEGMENTS_WRITTEN).inc();
+            registry
+                .gauge(names::DISK_MANIFEST_ENTRIES)
+                .set(self.entries.len() as f64);
+        }
+        Ok(entry)
+    }
+
+    /// Reads, checks and decodes the segments selected by `filter`
+    /// (over the manifest's per-segment bounds), returning the decoded
+    /// record payload groups in commit order.
+    fn load_segments(
+        &self,
+        kind: SegmentKind,
+        mut filter: impl FnMut(&ManifestEntry) -> bool,
+    ) -> DiskResult<Vec<Vec<u8>>> {
+        let mut files = Vec::new();
+        let mut opened = 0u64;
+        let mut pruned = 0u64;
+        let mut bytes_read = 0u64;
+        let mut records = 0u64;
+        for entry in self.entries.iter().filter(|e| e.kind == kind) {
+            if !filter(entry) {
+                pruned += 1;
+                continue;
+            }
+            let path = self.dir.join(entry.file_name());
+            let bytes = fs::read(&path).map_err(|e| DiskError::io("reading segment", &path, e))?;
+            if bytes.len() as u64 != entry.file_len {
+                return Err(DiskError::corrupt(format!(
+                    "segment {} is {} bytes, manifest committed {}",
+                    entry.file_name(),
+                    bytes.len(),
+                    entry.file_len
+                )));
+            }
+            opened += 1;
+            bytes_read += bytes.len() as u64;
+            records += entry.records;
+            files.push(bytes);
+        }
+        if self.telemetry.counters_on() {
+            let registry = self.telemetry.registry();
+            registry.counter(names::DISK_SEGMENTS_OPENED).add(opened);
+            registry.counter(names::DISK_SEGMENTS_PRUNED).add(pruned);
+            registry.counter(names::DISK_BYTES_READ).add(bytes_read);
+            registry.counter(names::DISK_RECORDS_READ).add(records);
+        }
+        Ok(files)
+    }
+
+    /// Loads every committed E-Scenario into an in-memory
+    /// [`EScenarioStore`], later segments superseding earlier ones on
+    /// `(cell, time)` collisions.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError`] on read failures or any frame/record that fails
+    /// its checksum or codec.
+    pub fn load_estore(&self) -> DiskResult<EScenarioStore> {
+        self.load_estore_where(|_| true)
+    }
+
+    /// As [`DiskStore::load_estore`], but skips whole segments whose
+    /// manifest bounds cannot intersect `cells` × `time` — the
+    /// cell-range pruning path. Records inside surviving segments are
+    /// *not* re-filtered; pruning is a coarse, manifest-only fast path
+    /// and the result may still contain out-of-range records.
+    ///
+    /// # Errors
+    ///
+    /// As [`DiskStore::load_estore`].
+    pub fn load_estore_pruned(
+        &self,
+        cells: &[CellId],
+        time: TimeRange,
+    ) -> DiskResult<EScenarioStore> {
+        let raw: Vec<u64> = cells.iter().map(|c| c.index() as u64).collect();
+        let (start, end) = (time.start.tick(), time.end.tick());
+        self.load_estore_where(|entry| {
+            entry.bounds.intersects_time(start, end) && entry.bounds.intersects_cells(&raw)
+        })
+    }
+
+    fn load_estore_where(
+        &self,
+        filter: impl FnMut(&ManifestEntry) -> bool,
+    ) -> DiskResult<EScenarioStore> {
+        let mut span = self.telemetry.span("disk_load_estore", "disk");
+        let files = self.load_segments(SegmentKind::EScenario, filter)?;
+        let mut scenarios = Vec::new();
+        for bytes in &files {
+            scenarios.extend(segment::decode_e_segment(bytes)?);
+        }
+        span.arg("records", serde_json::Value::Int(scenarios.len() as i128));
+        Ok(EScenarioStore::from_scenarios(scenarios))
+    }
+
+    /// Loads every committed V-Scenario into an in-memory
+    /// [`VideoStore`] charging costs against `cost`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DiskStore::load_estore`].
+    pub fn load_video(&self, cost: CostModel) -> DiskResult<VideoStore> {
+        let mut span = self.telemetry.span("disk_load_video", "disk");
+        let files = self.load_segments(SegmentKind::VScenario, |_| true)?;
+        let mut scenarios = Vec::new();
+        for bytes in &files {
+            scenarios.extend(segment::decode_v_segment(bytes)?);
+        }
+        span.arg("records", serde_json::Value::Int(scenarios.len() as i128));
+        Ok(VideoStore::new(scenarios, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::ids::Eid;
+    use ev_core::scenario::ZoneAttr;
+    use ev_core::time::Timestamp;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ev-disk-store-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn e(cell: usize, time: u64, eid: u64) -> EScenario {
+        let mut s = EScenario::new(CellId::new(cell), Timestamp::new(time));
+        s.insert(Eid::from_u64(eid), ZoneAttr::Inclusive);
+        s
+    }
+
+    #[test]
+    fn create_append_reopen_load() {
+        let dir = temp_dir("roundtrip");
+        let mut store = DiskStore::create(&dir).unwrap();
+        store.append(&[e(0, 1, 10), e(1, 2, 11)], &[]).unwrap();
+        store.append(&[e(2, 3, 12)], &[]).unwrap();
+
+        let reopened = DiskStore::open(&dir).unwrap();
+        assert_eq!(reopened.segments().len(), 2);
+        assert!(!reopened.recovery().repaired_anything());
+        let estore = reopened.load_estore().unwrap();
+        assert_eq!(estore.len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn later_segments_supersede_earlier_on_collision() {
+        let dir = temp_dir("supersede");
+        let mut store = DiskStore::create(&dir).unwrap();
+        store.append(&[e(0, 1, 10)], &[]).unwrap();
+        store.append(&[e(0, 1, 99)], &[]).unwrap(); // same (cell, time)
+        let estore = DiskStore::open(&dir).unwrap().load_estore().unwrap();
+        assert_eq!(estore.len(), 1);
+        let only = estore.iter().next().unwrap();
+        assert!(only.contains(Eid::from_u64(99)));
+        assert!(!only.contains(Eid::from_u64(10)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_segment_is_removed_on_open() {
+        let dir = temp_dir("orphan");
+        let mut store = DiskStore::create(&dir).unwrap();
+        store.append(&[e(0, 1, 10)], &[]).unwrap();
+        // Simulate a crash after the segment write but before the
+        // manifest append: a fully written, uncommitted segment.
+        let orphan = segment::encode_e_segment(&[e(5, 5, 5)]);
+        fs::write(dir.join("seg-000007-e.seg"), &orphan.bytes).unwrap();
+
+        let reopened = DiskStore::open(&dir).unwrap();
+        assert_eq!(reopened.recovery().orphan_segments_removed, 1);
+        assert_eq!(reopened.segments().len(), 1);
+        assert!(!dir.join("seg-000007-e.seg").exists());
+        // The orphan's sequence number is never reused for a live file.
+        assert_eq!(reopened.next_seq, 8);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruned_load_skips_disjoint_segments() {
+        let dir = temp_dir("prune");
+        let mut store = DiskStore::create(&dir).unwrap();
+        store.append(&[e(0, 10, 1)], &[]).unwrap();
+        store.append(&[e(9, 500, 2)], &[]).unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        let pruned = store
+            .load_estore_pruned(
+                &[CellId::new(0)],
+                TimeRange::new(Timestamp::new(0), Timestamp::new(100)),
+            )
+            .unwrap();
+        assert_eq!(pruned.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_create_is_refused() {
+        let dir = temp_dir("recreate");
+        DiskStore::create(&dir).unwrap();
+        assert!(DiskStore::create(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the record codec and segment framing.
+//!
+//! The codec is hand-rolled (no serde on the disk path), so the
+//! round-trip and rejection behaviour is pinned by generated evidence:
+//! arbitrary scenarios survive encode → decode byte-identically,
+//! arbitrary junk never panics a decoder, and any prefix cut of a
+//! segment scans to a prefix of its records.
+
+use ev_core::feature::FeatureVector;
+use ev_core::ids::{Eid, Vid};
+use ev_core::region::CellId;
+use ev_core::scenario::{Detection, EScenario, VScenario, ZoneAttr};
+use ev_core::time::Timestamp;
+use ev_disk::codec::{decode_escenario, decode_vscenario, encode_escenario, encode_vscenario};
+use ev_disk::format::HEADER_LEN;
+use ev_disk::segment::{decode_e_segment, encode_e_segment, encode_v_segment, scan};
+use proptest::prelude::*;
+
+/// Raw draw for an E-Scenario: time, cell, `(eid, attr)` entries.
+type ERaw = (u64, usize, Vec<(u64, u8)>);
+
+fn arb_e_raw() -> impl Strategy<Value = ERaw> {
+    (
+        any::<u64>(),
+        0usize..10_000,
+        prop::collection::vec((any::<u64>(), 0u8..2), 0..24),
+    )
+}
+
+fn build_e(raw: &ERaw) -> EScenario {
+    let (t, c, ref entries) = *raw;
+    let mut e = EScenario::new(CellId::new(c), Timestamp::new(t));
+    for &(eid, raw_attr) in entries {
+        let attr = if raw_attr == 0 {
+            ZoneAttr::Inclusive
+        } else {
+            ZoneAttr::Vague
+        };
+        e.insert(Eid::from_u64(eid), attr);
+    }
+    e
+}
+
+/// Raw draw for a V-Scenario: time, cell, feature dimension, and
+/// detections carrying an 8-wide unit draw truncated to the dimension.
+type VRaw = (u64, usize, usize, Vec<(u64, Vec<f64>)>);
+
+fn arb_v_raw() -> impl Strategy<Value = VRaw> {
+    (
+        any::<u64>(),
+        0usize..10_000,
+        1usize..8,
+        prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(0.0f64..=1.0, 8)),
+            0..12,
+        ),
+    )
+}
+
+fn build_v(raw: &VRaw) -> VScenario {
+    let (t, c, dim, ref dets) = *raw;
+    let mut v = VScenario::new(CellId::new(c), Timestamp::new(t));
+    for (vid, wide) in dets {
+        v.push(Detection {
+            vid: Vid::new(*vid),
+            feature: FeatureVector::new(wide[..dim].to_vec()).expect("components in [0, 1]"),
+        });
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// E-Scenarios round-trip byte-identically, whatever the EID set,
+    /// attribute mix, timestamp or cell.
+    #[test]
+    fn escenario_roundtrips(raw in arb_e_raw()) {
+        let s = build_e(&raw);
+        let payload = encode_escenario(&s);
+        let back = decode_escenario(&payload).expect("own encoding decodes");
+        prop_assert_eq!(back, s);
+    }
+
+    /// V-Scenarios round-trip with exact `f64` bit patterns — features
+    /// go through `to_bits`, never a lossy text form.
+    #[test]
+    fn vscenario_roundtrips(raw in arb_v_raw()) {
+        let s = build_v(&raw);
+        let payload = encode_vscenario(&s);
+        let back = decode_vscenario(&payload).expect("own encoding decodes");
+        prop_assert_eq!(back, s);
+    }
+
+    /// Arbitrary junk must be *rejected*, not trusted and not panicked
+    /// on — the decoders guard every length and every enum byte.
+    #[test]
+    fn junk_never_panics_a_decoder(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode_escenario(&bytes);
+        let _ = decode_vscenario(&bytes);
+        let _ = scan(&bytes);
+    }
+
+    /// A decoded payload with trailing garbage is rejected: record
+    /// boundaries come from the frame, so slack bytes mean corruption.
+    #[test]
+    fn trailing_bytes_are_rejected(raw in arb_e_raw(), extra in 1usize..16) {
+        let mut payload = encode_escenario(&build_e(&raw));
+        payload.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert!(decode_escenario(&payload).is_err());
+    }
+
+    /// Whole segments round-trip in order, and the absorbed bounds are
+    /// exactly the min/max of the records' times and cells.
+    #[test]
+    fn e_segment_roundtrips_with_tight_bounds(
+        raws in prop::collection::vec(arb_e_raw(), 1..10)
+    ) {
+        let scenarios: Vec<EScenario> = raws.iter().map(build_e).collect();
+        let seg = encode_e_segment(&scenarios);
+        prop_assert_eq!(seg.records, scenarios.len() as u64);
+        let back = decode_e_segment(&seg.bytes).expect("own segment decodes");
+        prop_assert_eq!(&back, &scenarios);
+        let times: Vec<u64> = scenarios.iter().map(|s| s.time().tick()).collect();
+        let cells: Vec<u64> = scenarios.iter().map(|s| s.cell().index() as u64).collect();
+        prop_assert_eq!(seg.bounds.min_time, *times.iter().min().expect("non-empty"));
+        prop_assert_eq!(seg.bounds.max_time, *times.iter().max().expect("non-empty"));
+        prop_assert_eq!(seg.bounds.min_cell, *cells.iter().min().expect("non-empty"));
+        prop_assert_eq!(seg.bounds.max_cell, *cells.iter().max().expect("non-empty"));
+    }
+
+    /// Cutting a segment at any byte yields a scan whose complete
+    /// frames are a prefix of the original records and whose tail is
+    /// classified torn — the foundation of salvage recovery.
+    #[test]
+    fn any_prefix_cut_scans_to_a_record_prefix(
+        raws in prop::collection::vec(arb_v_raw(), 1..6),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let scenarios: Vec<VScenario> = raws.iter().map(build_v).collect();
+        let seg = encode_v_segment(&scenarios);
+        let len = cut.index(seg.bytes.len() - HEADER_LEN) + HEADER_LEN;
+        let (kind, partial) = scan(&seg.bytes[..len]).expect("header intact");
+        prop_assert_eq!(kind, seg.kind);
+        prop_assert!(partial.payloads.len() <= scenarios.len());
+        // A cut exactly on a frame boundary leaves a shorter *valid*
+        // file; anything else is a torn tail. Never damage.
+        prop_assert_eq!(partial.torn, partial.valid_len < len);
+        prop_assert!(partial.damage.is_none(), "a clean cut is torn, never damaged");
+        for (i, &(start, plen)) in partial.payloads.iter().enumerate() {
+            let record = decode_vscenario(&seg.bytes[start..start + plen])
+                .expect("complete frames decode");
+            prop_assert_eq!(&record, &scenarios[i]);
+        }
+    }
+}

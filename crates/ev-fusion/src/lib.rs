@@ -19,6 +19,12 @@
 //! * [`encounters`](FusedIndex::encounters) — co-location analysis: who
 //!   shared scenarios with a person of interest, how often.
 //!
+//! The paper's evaluation (§VI) stops at matching, so nothing here maps
+//! to a figure; this crate reproduces the *application* layer §I
+//! promises on top of the matched identities (see `DESIGN.md` §9,
+//! "Beyond the paper"). The `crime_scene` and `universal_labeling`
+//! examples drive it end to end.
+//!
 //! Visual evidence only covers footage that has already been extracted
 //! (extraction is the expensive operation the matcher minimizes); the
 //! index never silently triggers new extraction work.

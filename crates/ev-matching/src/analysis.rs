@@ -1,5 +1,26 @@
 //! Instrumentation and checks for the paper's analytical results
 //! (§IV-D: Theorems 4.1–4.4).
+//!
+//! The paper proves properties of EID set splitting, and this module
+//! turns them into something executable:
+//!
+//! * **Theorem 4.1** — the recorded scenarios alone suffice to
+//!   distinguish the cohort: [`audit_split`] replays them against a
+//!   fresh partition and checks it reaches the same granularity
+//!   (`replay_consistent`).
+//! * **Theorem 4.2** — the ideal setting needs between `log2(n)` and
+//!   `n − 1` effective scenarios ([`theorem_4_2_bounds`]); the lower
+//!   bound only binds fully-split runs.
+//! * **Theorem 4.4** — the practical (vague-zone, Theorem 4.3) setting
+//!   pays for drift tolerance with the wider upper bound of
+//!   [`theorem_4_4_bounds`].
+//!
+//! [`audit_split`] backs the `evm_theorem_lower_bound` /
+//! `evm_theorem_upper_bound` telemetry gauges that
+//! `evmatch check-metrics` gates on, and [`list_length_stats`] computes
+//! the per-EID list-length distribution whose mean is paper **Fig. 7**.
+//! The bounds are asserted on real splits in
+//! `crates/ev-matching/tests/index_equivalence.rs`.
 
 use crate::setsplit::SplitOutput;
 use ev_core::ids::Eid;

@@ -1,4 +1,7 @@
-//! The EDP baseline (Teng et al., INFOCOM 2012 \[24\]).
+//! The EDP baseline (Teng et al., INFOCOM 2012 \[24\]) — the
+//! comparison line in every evaluation result: paper Figs. 5–11 and
+//! Tables I–II all plot SS against this module's output
+//! (`experiments fig5` … `table2` regenerate them).
 //!
 //! EDP matches **one EID at a time** with a two-stage E-filtering /
 //! V-identification strategy: scan the E-data for scenarios containing

@@ -20,7 +20,7 @@
 use crate::refine::{match_with_refinement_excluding, RefineConfig};
 use crate::types::{MatchOutcome, MatchReport};
 use ev_core::ids::{Eid, Vid};
-use ev_store::{EScenarioStore, VideoStore};
+use ev_store::{EScenarioStore, StoreBackend, VideoStore};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -35,7 +35,9 @@ pub struct IncrementalUpdate {
     pub rematched: BTreeSet<Eid>,
 }
 
-/// Updates a previous matching result against the (grown) stores.
+/// Updates a previous matching result against the (grown) corpus, read
+/// through any [`StoreBackend`] — in memory or a reopened `ev-disk`
+/// directory, as in a day-over-day ingest.
 ///
 /// * Outcomes of `previous` that are still confident
 ///   ([`MatchOutcome::is_confident`] under the configured margin) are
@@ -43,6 +45,23 @@ pub struct IncrementalUpdate {
 /// * Everything else — ambiguous previous outcomes and the EIDs in
 ///   `new_eids` — runs through the full refinement pipeline on the
 ///   current stores, with the kept VIDs excluded from candidacy.
+#[must_use]
+pub fn update_matches_on<B: StoreBackend>(
+    previous: &MatchReport,
+    new_eids: &BTreeSet<Eid>,
+    backend: &B,
+    config: &RefineConfig,
+) -> IncrementalUpdate {
+    update_matches(
+        previous,
+        new_eids,
+        backend.estore(),
+        backend.video(),
+        config,
+    )
+}
+
+/// See [`update_matches_on`]; this is the concrete-store form.
 #[must_use]
 pub fn update_matches(
     previous: &MatchReport,

@@ -23,7 +23,7 @@ use crate::types::{IndexCounters, MatchReport, StageTimings};
 use crate::vfilter::{filter_one, VFilterConfig};
 use ev_core::ids::Eid;
 use ev_mapreduce::{ClusterConfig, MapReduce};
-use ev_store::{EScenarioStore, VideoStore};
+use ev_store::{EScenarioStore, StoreBackend, VideoStore};
 use ev_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -88,6 +88,14 @@ impl<'a> EvMatcher<'a> {
             config,
             telemetry: Telemetry::disabled().clone(),
         }
+    }
+
+    /// Creates a matcher over any [`StoreBackend`] — the backend owns
+    /// the stores (in memory, or loaded from an `ev-disk` directory)
+    /// and the matcher borrows them for its lifetime.
+    #[must_use]
+    pub fn from_backend<B: StoreBackend>(backend: &'a B, config: MatcherConfig) -> Self {
+        EvMatcher::new(backend.estore(), backend.video(), config)
     }
 
     /// Attaches a telemetry handle; every pipeline the matcher runs —

@@ -29,7 +29,7 @@ use ev_core::ids::{Eid, Vid};
 use ev_core::partition::EidPartition;
 use ev_core::scenario::ScenarioId;
 use ev_mapreduce::{Emitter, JobError, JobMetrics, MapReduce, Mapper, Reducer};
-use ev_store::{EScenarioStore, VideoStore};
+use ev_store::{EScenarioStore, StoreBackend, VideoStore};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -440,6 +440,28 @@ fn resolve_conflicts(
 
 /// Full parallel pipeline: Algorithm 3 splitting, then parallel VID
 /// filtering, assembled into a [`MatchReport`].
+///
+/// # Errors
+///
+/// Propagates [`JobError`] from the engine.
+pub fn parallel_match_on<B: StoreBackend>(
+    engine: &MapReduce,
+    backend: &B,
+    targets: &BTreeSet<Eid>,
+    split_config: &ParallelSplitConfig,
+    vfilter_config: &VFilterConfig,
+) -> Result<MatchReport, JobError> {
+    parallel_match(
+        engine,
+        backend.estore(),
+        backend.video(),
+        targets,
+        split_config,
+        vfilter_config,
+    )
+}
+
+/// See [`parallel_match_on`]; this is the concrete-store form.
 ///
 /// # Errors
 ///

@@ -7,6 +7,14 @@
 //! where the EID was observed *inclusively* — "we should try to avoid
 //! using EV-Scenarios with the target EID in the vague zone to
 //! distinguish that EID".
+//!
+//! This is the splitting semantics behind every noisy-data result:
+//! Tables I–II and the missing-rate robustness of Figs. 10–11 run it
+//! (via [`SplitMode::Practical`](crate::refine::SplitMode), the
+//! default), and the `ablate-vague` experiment sweeps the vague-zone
+//! width it depends on. Its scenario cost relative to the ideal
+//! Algorithm 1 is Theorem 4.4's wider bound
+//! ([`analysis`](crate::analysis)).
 
 use crate::setsplit::{SelectionStrategy, SetSplitConfig};
 use crate::types::ScenarioList;

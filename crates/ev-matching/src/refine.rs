@@ -15,7 +15,7 @@ use crate::setsplit::{split_ideal_instrumented, SelectionStrategy, SetSplitConfi
 use crate::types::{IndexCounters, MatchOutcome, MatchReport, ScenarioList};
 use crate::vfilter::{filter_one_instrumented, GalleryCache, VFilterConfig};
 use ev_core::ids::{Eid, Vid};
-use ev_store::{EScenarioStore, VideoStore};
+use ev_store::{EScenarioStore, StoreBackend, VideoStore};
 use ev_telemetry::{names, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -64,6 +64,18 @@ pub fn match_with_refinement(
     config: &RefineConfig,
 ) -> MatchReport {
     match_with_refinement_excluding(store, video, targets, config, &BTreeSet::new())
+}
+
+/// [`match_with_refinement`] over any [`StoreBackend`] — the corpus may
+/// live in memory or be a loaded `ev-disk` directory; the pipeline and
+/// its results are identical either way.
+#[must_use]
+pub fn match_with_refinement_on<B: StoreBackend>(
+    backend: &B,
+    targets: &BTreeSet<Eid>,
+    config: &RefineConfig,
+) -> MatchReport {
+    match_with_refinement(backend.estore(), backend.video(), targets, config)
 }
 
 /// Like [`match_with_refinement`], with VIDs that are already spoken for

@@ -23,7 +23,7 @@
 //! (gains are non-increasing under refinement, so stale heap entries are
 //! safe to recompute on pop). The selection sequence — and therefore the
 //! whole [`SplitOutput`] — is identical to the scan-based reference
-//! implementation kept in [`reference`].
+//! implementation kept in [`reference`](mod@reference).
 
 use crate::types::ScenarioList;
 use ev_core::ids::Eid;
@@ -571,7 +571,7 @@ pub(crate) fn attach_anchors(
 pub mod reference {
     use super::*;
 
-    /// The pre-index [`split_ideal`](super::split_ideal): linear scans
+    /// The pre-index [`split_ideal`]: linear scans
     /// for candidate intersections and a full re-scan per greedy step.
     #[must_use]
     pub fn split_ideal_scan(

@@ -10,6 +10,12 @@
 //! [`World`] that steps a whole population tick by tick while recording
 //! ground-truth trajectories.
 //!
+//! Every experiment rides on these trajectories: the density sweeps of
+//! paper Figs. 6 and 9 and Table II vary how many simulated people
+//! share a cell, and the `ablate-mobility` experiment swaps the model
+//! (waypoint / walk / Manhattan) to show the paper's conclusions
+//! survive street-constrained movement.
+//!
 //! # Example
 //!
 //! ```

@@ -11,6 +11,17 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
+/// What one [`EScenarioStore::ingest`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Scenarios taken from the batch (collisions still count; the
+    /// colliding newer scenario replaced the stored one).
+    pub appended: usize,
+    /// `true` when the batch forced a full index rebuild; `false` on
+    /// the pure-append splice path, which does `O(batch)` index work.
+    pub rebuilt: bool,
+}
+
 /// An immutable, indexed collection of E-Scenarios.
 ///
 /// Indexes are built once at construction: scenario-id lookup, a
@@ -189,14 +200,77 @@ impl EScenarioStore {
         times.choose(rng).copied()
     }
 
+    /// Appends a batch of scenarios in place, splicing the indexes when
+    /// possible instead of rebuilding them.
+    ///
+    /// The **fast path** applies when every scenario in `batch` has an
+    /// id strictly greater than everything already stored (the common
+    /// shape of an incremental ingest: today's snapshots all sort after
+    /// yesterday's, because scenario ids order time-major). It appends
+    /// to the scenario vector, splices the id/time/cell maps, and — if
+    /// the inverted index was already built — extends its posting lists
+    /// in place, all in `O(batch × log |store|)` work. Posting lists
+    /// stay sorted because every appended id is greater than every id
+    /// already posted.
+    ///
+    /// Batches with collisions, out-of-order ids, or internal duplicates
+    /// fall back to a full rebuild (`rebuilt = true` in the returned
+    /// stats), preserving the later-wins semantics of
+    /// [`EScenarioStore::from_scenarios`].
+    pub fn ingest(&mut self, mut batch: Vec<EScenario>) -> IngestStats {
+        if batch.is_empty() {
+            return IngestStats {
+                appended: 0,
+                rebuilt: false,
+            };
+        }
+        batch.sort_by_key(EScenario::id);
+        let internally_unique = batch.windows(2).all(|w| w[0].id() < w[1].id());
+        let after_existing = match self.scenarios.last() {
+            Some(last) => batch[0].id() > last.id(),
+            None => true,
+        };
+        if !(internally_unique && after_existing) {
+            let mut all = std::mem::take(&mut self.scenarios);
+            let appended = batch.len();
+            all.extend(batch);
+            *self = EScenarioStore::from_scenarios(all);
+            return IngestStats {
+                appended,
+                rebuilt: true,
+            };
+        }
+
+        // Fast path: pure append. Extend the built inverted index (if
+        // any) rather than dropping it; `OnceLock::take` hands it back
+        // for in-place splicing.
+        if let Some(mut index) = self.inverted.take() {
+            index.extend(batch.iter());
+            let _ = self.inverted.set(index);
+        }
+        let appended = batch.len();
+        for s in batch {
+            let i = self.scenarios.len();
+            self.by_id.insert(s.id(), i);
+            self.by_time.entry(s.time()).or_default().push(i);
+            self.by_cell.entry(s.cell()).or_default().push(i);
+            self.scenarios.push(s);
+        }
+        IngestStats {
+            appended,
+            rebuilt: false,
+        }
+    }
+
     /// Combines this store with `newer` scenarios (e.g. the next day's
     /// ingest); on a scenario-id collision the newer scenario wins.
-    /// Indexes are rebuilt.
+    /// Delegates to [`EScenarioStore::ingest`], so strictly-newer
+    /// batches splice instead of rebuilding.
     #[must_use]
     pub fn merged(&self, newer: &EScenarioStore) -> EScenarioStore {
-        let mut all: Vec<EScenario> = self.scenarios.clone();
-        all.extend(newer.scenarios.iter().cloned());
-        EScenarioStore::from_scenarios(all)
+        let mut out = self.clone();
+        out.ingest(newer.scenarios.clone());
+        out
     }
 
     /// Total number of (scenario, EID) membership records — the raw E-data
@@ -337,6 +411,89 @@ mod tests {
     #[test]
     fn record_count_sums_memberships() {
         assert_eq!(store().record_count(), 6);
+    }
+
+    #[test]
+    fn ingest_appends_splice_instead_of_rebuilding() {
+        let mut s = store();
+        // Build the inverted index and leave a fingerprint on its usage
+        // counters; a rebuild would discard them.
+        let _ = s.containing(Eid::from_u64(1)).count();
+        assert_eq!(s.index().stats().postings_probed, 1);
+
+        // Every batch id sorts after everything stored: splice path.
+        let stats = s.ingest(vec![scenario(1, 3, &[1, 9]), scenario(0, 4, &[2])]);
+        assert_eq!(
+            stats,
+            IngestStats {
+                appended: 2,
+                rebuilt: false
+            }
+        );
+        assert_eq!(
+            s.index().stats().postings_probed,
+            1,
+            "the built index survived the ingest (no rebuild)"
+        );
+
+        // Spliced store answers queries exactly like a fresh rebuild.
+        let rebuilt = EScenarioStore::from_scenarios(s.iter().cloned().collect());
+        assert_eq!(s, rebuilt);
+        for e in 0..10 {
+            let eid = Eid::from_u64(e);
+            let spliced: Vec<ScenarioId> = s.containing(eid).map(EScenario::id).collect();
+            let scanned: Vec<ScenarioId> = s.containing_scan(eid).map(EScenario::id).collect();
+            let reference: Vec<ScenarioId> = rebuilt.containing(eid).map(EScenario::id).collect();
+            assert_eq!(spliced, scanned, "EID {e}: index matches scan");
+            assert_eq!(spliced, reference, "EID {e}: splice matches rebuild");
+        }
+        assert_eq!(s.at_time(Timestamp::new(3)).count(), 1);
+        assert_eq!(s.at_cell(CellId::new(0)).count(), 3);
+    }
+
+    #[test]
+    fn repeated_small_ingests_never_rebuild() {
+        // The regression this guards: `merged` used to re-index the
+        // whole store per batch, making N daily ingests O(N²·store).
+        // Appending strictly-newer snapshots must stay on the splice
+        // path every single time.
+        let mut s = store();
+        let _ = s.index();
+        for day in 3..40u64 {
+            let stats = s.ingest(vec![scenario(0, day, &[day]), scenario(1, day, &[1])]);
+            assert!(!stats.rebuilt, "append-only batch for day {day} rebuilt");
+        }
+        assert_eq!(s.len(), 4 + 37 * 2);
+        assert_eq!(s.containing(Eid::from_u64(1)).count(), 2 + 37);
+    }
+
+    #[test]
+    fn colliding_or_out_of_order_ingest_falls_back_to_rebuild() {
+        let mut s = store();
+        let _ = s.index();
+        // Collides with the stored (t0, c0) scenario.
+        let stats = s.ingest(vec![scenario(0, 0, &[7])]);
+        assert!(stats.rebuilt);
+        let id = ScenarioId::new(Timestamp::new(0), CellId::new(0));
+        assert!(s.get(id).unwrap().contains(Eid::from_u64(7)), "later wins");
+        assert!(!s.get(id).unwrap().contains(Eid::from_u64(1)));
+
+        // Internal duplicate: also a rebuild, last duplicate wins.
+        let mut s2 = store();
+        let stats = s2.ingest(vec![scenario(9, 9, &[1]), scenario(9, 9, &[2])]);
+        assert!(stats.rebuilt);
+        let id9 = ScenarioId::new(Timestamp::new(9), CellId::new(9));
+        assert!(s2.get(id9).unwrap().contains(Eid::from_u64(2)));
+
+        // Empty batch is a no-op either way.
+        let stats = s2.ingest(vec![]);
+        assert_eq!(
+            stats,
+            IngestStats {
+                appended: 0,
+                rebuilt: false
+            }
+        );
     }
 
     #[test]

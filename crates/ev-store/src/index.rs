@@ -103,6 +103,26 @@ impl ScenarioIndex {
         self.build_time
     }
 
+    /// Splices scenarios into the index *without* a rebuild.
+    ///
+    /// Every appended posting keeps its list sorted **only if** each new
+    /// scenario id is greater than every id already indexed (scenario
+    /// ids order time-major, so appending strictly-newer snapshots
+    /// qualifies). Callers must guarantee that ordering — the
+    /// append-only ingest path of
+    /// [`EScenarioStore::ingest`](crate::EScenarioStore::ingest) does —
+    /// and fall back to [`ScenarioIndex::build`] otherwise. Usage
+    /// counters and build time are preserved.
+    pub fn extend<'a>(&mut self, scenarios: impl IntoIterator<Item = &'a EScenario>) {
+        for s in scenarios {
+            let id = s.id();
+            self.slots.insert((id.cell, id.time), id);
+            for eid in s.eids() {
+                self.postings.entry(eid).or_default().push(id);
+            }
+        }
+    }
+
     /// The sorted posting list for `eid` (empty when the EID never
     /// appears). Ascending scenario-id order — identical to the order a
     /// full store scan would visit the containing scenarios.

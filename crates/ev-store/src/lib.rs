@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod estore;
 mod index;
 mod video;
 
-pub use estore::EScenarioStore;
+pub use backend::{MemoryBackend, StoreBackend};
+pub use estore::{EScenarioStore, IngestStats};
 pub use index::{IndexStatsSnapshot, ScenarioIndex};
 pub use video::{VideoStore, VideoStoreStats};

@@ -79,6 +79,14 @@ impl VideoStore {
         self.footage.contains_key(&id)
     }
 
+    /// Iterates the raw footage in scenario-id order *without*
+    /// extracting it (no vision cost is charged). This is the
+    /// persistence export path: `ev-disk` walks it to encode
+    /// V-segments.
+    pub fn scenarios(&self) -> impl Iterator<Item = &VScenario> {
+        self.footage.values().map(Arc::as_ref)
+    }
+
     /// Extracts the V-Scenario for `id`, charging extraction cost on the
     /// first call and serving from cache afterwards. Returns `None` when
     /// no footage covers `id` (e.g. nobody was detected there).

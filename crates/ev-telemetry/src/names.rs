@@ -86,6 +86,23 @@ pub const MAJORITY_VOTE_ACCURACY: &str = "evm_majority_vote_accuracy";
 /// Distinct scenarios selected across all target lists.
 pub const SELECTED_SCENARIOS: &str = "evm_selected_scenarios";
 
+/// Segment files committed by `ev-disk` appends.
+pub const DISK_SEGMENTS_WRITTEN: &str = "evm_disk_segments_written";
+/// Segment files opened and decoded during corpus loads.
+pub const DISK_SEGMENTS_OPENED: &str = "evm_disk_segments_opened";
+/// Segment files skipped by cell/time bounds during pruned loads.
+pub const DISK_SEGMENTS_PRUNED: &str = "evm_disk_segments_pruned";
+/// Scenario records decoded from segment files.
+pub const DISK_RECORDS_READ: &str = "evm_disk_records_read";
+/// Segment bytes read from disk during loads.
+pub const DISK_BYTES_READ: &str = "evm_disk_bytes_read";
+/// Torn tails truncated and orphan segments removed during recovery.
+pub const DISK_RECOVERY_TRUNCATIONS: &str = "evm_disk_recovery_truncations";
+/// Wall time of the last `DiskStore` open (recovery included), seconds.
+pub const DISK_OPEN_SECONDS: &str = "evm_disk_open_seconds";
+/// Live manifest entries after the last open or append.
+pub const DISK_MANIFEST_ENTRIES: &str = "evm_disk_manifest_entries";
+
 /// Every canonical counter name.
 pub const ALL_COUNTERS: &[&str] = &[
     SETSPLIT_SCENARIOS_EXAMINED,
@@ -107,6 +124,12 @@ pub const ALL_COUNTERS: &[&str] = &[
     INDEX_CACHE_HITS,
     INDEX_SCANS_AVOIDED,
     REFINE_ROUNDS,
+    DISK_SEGMENTS_WRITTEN,
+    DISK_SEGMENTS_OPENED,
+    DISK_SEGMENTS_PRUNED,
+    DISK_RECORDS_READ,
+    DISK_BYTES_READ,
+    DISK_RECOVERY_TRUNCATIONS,
 ];
 
 /// Every canonical gauge name.
@@ -127,6 +150,8 @@ pub const ALL_GAUGES: &[&str] = &[
     DISTINCT_V_FRAMES,
     MAJORITY_VOTE_ACCURACY,
     SELECTED_SCENARIOS,
+    DISK_OPEN_SECONDS,
+    DISK_MANIFEST_ENTRIES,
 ];
 
 /// Every canonical histogram name.

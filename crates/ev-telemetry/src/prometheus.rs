@@ -1,5 +1,5 @@
 //! Prometheus text exposition: a renderer for
-//! [`MetricsSnapshot`](crate::MetricsSnapshot) and a strict line-format
+//! [`MetricsSnapshot`] and a strict line-format
 //! parser that round-trips the renderer's output (used by tests and by
 //! the `evmatch check-metrics` CI gate).
 

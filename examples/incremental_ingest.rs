@@ -1,21 +1,31 @@
-//! Incremental ingestion: surveillance data arrives day by day; keep the
-//! matches that are still confident and only work on what changed.
+//! Incremental ingestion over a persistent corpus: surveillance data
+//! arrives day by day; persist each batch, survive a crash, and only
+//! re-work what changed.
 //!
-//! Day 1 generates a world and matches a cohort. Day 2 appends a second
-//! batch of scenarios (same people, later time range) and requests a few
-//! additional EIDs; `update_matches` re-runs the pipeline only for the
-//! new and previously ambiguous identities.
+//! Day 1 generates a world, persists it into an `ev-disk` segment
+//! directory and matches a cohort. Day 2 appends a second batch of
+//! scenarios (same people, later time range) and requests a few
+//! additional EIDs. Then a crash mid-append is simulated by tearing the
+//! manifest tail; reopening heals it, and `update_matches_on` re-runs
+//! the pipeline against the recovered corpus only for the new and
+//! previously ambiguous identities.
 //!
 //! ```text
 //! cargo run --release --example incremental_ingest
 //! ```
 
-use evmatch::matching::incremental::update_matches;
-use evmatch::matching::refine::RefineConfig;
+use evmatch::disk::{DiskBackend, DiskStore};
+use evmatch::matching::incremental::update_matches_on;
+use evmatch::matching::refine::{match_with_refinement_on, RefineConfig};
 use evmatch::prelude::*;
+use std::fs::OpenOptions;
+use std::io::Write;
 
 fn main() {
-    // Day 1.
+    let dir = std::env::temp_dir().join(format!("evmatch-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Day 1: generate, persist, match from the persisted corpus.
     let day1 = EvDataset::generate(&DatasetConfig {
         population: 200,
         duration: 300,
@@ -23,37 +33,80 @@ fn main() {
         ..DatasetConfig::default()
     })
     .expect("valid config");
+    let mut store = DiskStore::create(&dir).expect("fresh corpus directory");
+    let e1: Vec<_> = day1.estore.iter().cloned().collect();
+    let v1: Vec<_> = day1.video.scenarios().cloned().collect();
+    store.append(&e1, &v1).expect("durable day-1 append");
+    println!(
+        "day 1: persisted {} E-records / {} V-records into {}",
+        e1.len(),
+        v1.len(),
+        dir.display(),
+    );
+
     let cohort = sample_targets(&day1, 40, 1);
     let config = RefineConfig::default();
-    let report1 = evmatch::matching::refine::match_with_refinement(
-        &day1.estore,
-        &day1.video,
-        &cohort,
-        &config,
-    );
+    let backend = DiskBackend::open(&dir, day1.video.cost_model()).expect("open day-1 corpus");
+    let report1 = match_with_refinement_on(&backend, &cohort, &config);
     let stats1 = score_report(&day1, &report1);
     println!(
-        "day 1: matched {} EIDs, accuracy {:.1}%, {} scenarios extracted",
+        "day 1: matched {} EIDs from disk, accuracy {:.1}%, {} scenarios extracted",
         report1.outcomes.len(),
         stats1.percent(),
         report1.selected_count(),
     );
 
-    // Day 2: the same world keeps running (same seed family, later
-    // window), and three more devices become of interest.
+    // Day 2: the same world keeps running (same seed family, a fresh
+    // batch of movement), and three more devices become of interest.
+    // Append the new batch to the same corpus; scenario ids from
+    // different (time, cell) ranges never collide here because the
+    // generator restarts time — in a deployment the ingest pipeline
+    // carries real timestamps, and colliding snapshots are superseded
+    // later-wins at load.
     let day2 = EvDataset::generate(&DatasetConfig {
         population: 200,
         duration: 300,
-        seed: 43, // a fresh batch of movement
+        seed: 43,
         ..DatasetConfig::default()
     })
     .expect("valid config");
-    // Shift day-2 scenarios to a later time range by merging stores; ids
-    // from different (time, cell) ranges never collide here because the
-    // generator restarts time — in a deployment the ingest pipeline
-    // carries real timestamps.
-    let estore = day1.estore.merged(&day2.estore);
-    let video = day1.video.merged(&day2.video);
+    let mut store = DiskStore::open(&dir).expect("reopen corpus");
+    let e2: Vec<_> = day2.estore.iter().cloned().collect();
+    let v2: Vec<_> = day2.video.scenarios().cloned().collect();
+    store.append(&e2, &v2).expect("durable day-2 append");
+    drop(store);
+
+    // Crash simulation: a third append dies midway through committing
+    // its manifest entry — its segment file is fully on disk but the
+    // entry naming it is only half written. That is byte-for-byte what
+    // an interrupted `DiskStore::append` leaves behind: an uncommitted
+    // orphan segment plus a torn manifest tail.
+    let mut orphan = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(dir.join("seg-000099-e.seg"))
+        .expect("orphan file");
+    orphan.write_all(b"EVSG").expect("partial segment bytes");
+    drop(orphan);
+    let manifest = dir.join(evmatch::disk::MANIFEST_FILE);
+    let mut f = OpenOptions::new()
+        .append(true)
+        .open(&manifest)
+        .expect("open manifest");
+    f.write_all(&[65, 0, 0, 0, 0xde, 0xad, 0xbe])
+        .expect("half an entry frame");
+    drop(f);
+    println!("\ncrash simulated: manifest tail torn, orphan segment left behind");
+
+    // Recovery is the open path: the torn tail is truncated, the orphan
+    // removed, and every *committed* record survives.
+    let backend = DiskBackend::open(&dir, day1.video.cost_model()).expect("recovering open");
+    let rec = backend.recovery();
+    println!(
+        "recovered: {} entries kept, {} manifest bytes truncated, {} orphan(s) removed",
+        rec.manifest_entries_kept, rec.manifest_bytes_truncated, rec.orphan_segments_removed,
+    );
 
     let mut extra = sample_targets(&day1, 43, 1);
     for eid in &cohort {
@@ -61,7 +114,7 @@ fn main() {
     }
     println!("\nday 2: {} new EIDs requested", extra.len());
 
-    let update = update_matches(&report1, &extra, &estore, &video, &config);
+    let update = update_matches_on(&report1, &extra, &backend, &config);
     println!(
         "kept {} confident matches untouched; re-ran {} EIDs",
         update.kept.len(),
@@ -82,4 +135,6 @@ fn main() {
             o.vid.map_or_else(|| "?".into(), |v| v.to_string())
         );
     }
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }

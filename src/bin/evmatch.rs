@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! evmatch generate  [--population N] [--duration T] [--seed S]
+//! evmatch ingest    --data-dir DIR [--population N] [--duration T]
+//!                   [--seed S] [--json]
 //! evmatch match     [--population N] [--duration T] [--seed S]
 //!                   [--targets K] [--mode ideal|practical] [--workers W]
 //!                   [--telemetry off|counters|full] [--trace-out PATH]
 //!                   [--metrics-out PATH] [--json]
+//!                   [--data-dir DIR] [--recovery strict|salvage]
 //! evmatch query     [--population N] [--duration T] [--seed S]
 //!                   [--targets K] --eid HEX|--cell C --from T0 --to T1
 //! evmatch check-metrics --in PATH
@@ -13,7 +16,14 @@
 //!
 //! Datasets are regenerated deterministically from their parameters, so
 //! the CLI needs no dataset files: the same flags always rebuild the
-//! same world.
+//! same world. `ingest` additionally persists the generated corpus into
+//! an `ev-disk` segment directory, and `match`/`query` given
+//! `--data-dir` load the corpus from that directory instead of from
+//! memory — the matching pipeline and its report are identical either
+//! way (ground truth for scoring still comes from the regenerated
+//! dataset). A corpus interrupted mid-append is healed on open; pass
+//! `--recovery salvage` to additionally keep the valid prefix of a
+//! damaged (not merely torn) corpus.
 //!
 //! `--metrics-out` implies the `counters` telemetry level and
 //! `--trace-out` implies `full`; an explicit `--telemetry` wins over
@@ -23,6 +33,7 @@
 //! whenever the run reported a fully split first round.
 
 use ev_telemetry::{names, prometheus, Telemetry, TelemetryLevel};
+use evmatch::disk::{DiskBackend, DiskStore, RecoveryMode};
 use evmatch::fusion::FusedIndex;
 use evmatch::matching::refine::SplitMode;
 use evmatch::prelude::*;
@@ -41,6 +52,8 @@ struct CommonArgs {
     telemetry: Option<TelemetryLevel>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    data_dir: Option<String>,
+    recovery: RecoveryMode,
     rest: BTreeMap<String, String>,
 }
 
@@ -73,6 +86,8 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
         telemetry: None,
         trace_out: None,
         metrics_out: None,
+        data_dir: None,
+        recovery: RecoveryMode::Strict,
         rest: BTreeMap::new(),
     };
     let mut it = args.iter();
@@ -99,6 +114,14 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
             "--telemetry" => out.telemetry = Some(take()?.parse()?),
             "--trace-out" => out.trace_out = Some(take()?),
             "--metrics-out" => out.metrics_out = Some(take()?),
+            "--data-dir" => out.data_dir = Some(take()?),
+            "--recovery" => {
+                out.recovery = match take()?.as_str() {
+                    "strict" => RecoveryMode::Strict,
+                    "salvage" => RecoveryMode::Salvage,
+                    other => return Err(format!("unknown recovery mode {other}")),
+                }
+            }
             other if other.starts_with("--") => {
                 let key = other.trim_start_matches("--").to_string();
                 out.rest.insert(key, take()?);
@@ -174,17 +197,88 @@ fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
     if telemetry.counters_on() {
         names::preregister(telemetry.registry());
     }
-    let matcher =
-        EvMatcher::new(&dataset.estore, &dataset.video, config).with_telemetry(&telemetry);
-    let report = matcher.match_many(&targets).map_err(|e| e.to_string())?;
-    if telemetry.counters_on() {
-        telemetry
-            .registry()
-            .gauge(names::INDEX_BUILD_NS)
-            .set(dataset.estore.index().build_time().as_nanos() as f64);
-    }
+    // With --data-dir the corpus is read back from the persistent
+    // segment store; the regenerated dataset still supplies targets,
+    // the cost model and the scoring ground truth.
+    let report = if let Some(dir) = &args.data_dir {
+        let backend =
+            DiskBackend::open_with(dir, dataset.video.cost_model(), args.recovery, &telemetry)
+                .map_err(|e| format!("opening corpus {dir}: {e}"))?;
+        if backend.recovery().repaired_anything() {
+            eprintln!("recovered corpus {dir}: {:?}", backend.recovery());
+        }
+        let matcher = EvMatcher::from_backend(&backend, config).with_telemetry(&telemetry);
+        let report = matcher.match_many(&targets).map_err(|e| e.to_string())?;
+        if telemetry.counters_on() {
+            telemetry
+                .registry()
+                .gauge(names::INDEX_BUILD_NS)
+                .set(backend.estore().index().build_time().as_nanos() as f64);
+        }
+        report
+    } else {
+        let matcher =
+            EvMatcher::new(&dataset.estore, &dataset.video, config).with_telemetry(&telemetry);
+        let report = matcher.match_many(&targets).map_err(|e| e.to_string())?;
+        if telemetry.counters_on() {
+            telemetry
+                .registry()
+                .gauge(names::INDEX_BUILD_NS)
+                .set(dataset.estore.index().build_time().as_nanos() as f64);
+        }
+        report
+    };
     write_telemetry(args, &telemetry)?;
     Ok((dataset, report))
+}
+
+/// `evmatch ingest`: generates the dataset the flags describe and
+/// persists it into the `--data-dir` segment directory (created on
+/// first use). Each invocation commits one E-segment and one V-segment,
+/// so repeated ingests model daily corpus growth.
+fn cmd_ingest(args: &CommonArgs) -> Result<(), String> {
+    let dir = args
+        .data_dir
+        .as_ref()
+        .ok_or("ingest needs --data-dir DIR")?;
+    let dataset = build_dataset(args)?;
+    let telemetry = Telemetry::new(args.telemetry_level());
+    if telemetry.counters_on() {
+        names::preregister(telemetry.registry());
+    }
+    let mut store = DiskStore::open_or_create(dir)
+        .map_err(|e| format!("opening corpus {dir}: {e}"))?
+        .with_telemetry(&telemetry);
+    if store.recovery().repaired_anything() {
+        eprintln!("recovered corpus {dir}: {:?}", store.recovery());
+    }
+    let e_batch: Vec<_> = dataset.estore.iter().cloned().collect();
+    let v_batch: Vec<_> = dataset.video.scenarios().cloned().collect();
+    let receipt = store
+        .append(&e_batch, &v_batch)
+        .map_err(|e| format!("appending to corpus {dir}: {e}"))?;
+    write_telemetry(args, &telemetry)?;
+    if args.json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "data_dir": dir.as_str(),
+                "e_records": e_batch.len(),
+                "v_records": v_batch.len(),
+                "e_segment": receipt.e_segment.map(|s| s.file_name()),
+                "v_segment": receipt.v_segment.map(|s| s.file_name()),
+                "segments_total": store.segments().len(),
+            })
+        );
+    } else {
+        println!(
+            "ingested {} E-records and {} V-records into {dir} ({} live segments)",
+            e_batch.len(),
+            v_batch.len(),
+            store.segments().len(),
+        );
+    }
+    Ok(())
 }
 
 /// Writes the run profile to the requested `--metrics-out` /
@@ -370,7 +464,7 @@ fn cmd_query(args: &CommonArgs) -> Result<(), String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
-        eprintln!("usage: evmatch <generate|match|query|check-metrics> [flags]");
+        eprintln!("usage: evmatch <generate|ingest|match|query|check-metrics> [flags]");
         return ExitCode::from(2);
     };
     let args = match parse_args(rest) {
@@ -382,6 +476,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "generate" => cmd_generate(&args),
+        "ingest" => cmd_ingest(&args),
         "match" => cmd_match(&args),
         "query" => cmd_query(&args),
         "check-metrics" => cmd_check_metrics(&args),

@@ -19,6 +19,7 @@
 //! | [`sensing`] | `ev-sensing` | EID capture, drift, E-Scenario builders |
 //! | [`vision`] | `ev-vision` | synthetic appearance, detection, re-id, costs |
 //! | [`store`] | `ev-store` | scenario database and lazy video store |
+//! | [`disk`] | `ev-disk` | persistent segmented corpus with crash-safe append |
 //! | [`mapreduce`] | `ev-mapreduce` | the from-scratch MapReduce engine |
 //! | [`matching`] | `ev-matching` | set splitting, VID filtering, EDP, Algorithm 3 |
 //! | [`datagen`] | `ev-datagen` | end-to-end synthetic dataset generation |
@@ -52,6 +53,7 @@
 
 pub use ev_core as core;
 pub use ev_datagen as datagen;
+pub use ev_disk as disk;
 pub use ev_fusion as fusion;
 pub use ev_mapreduce as mapreduce;
 pub use ev_matching as matching;
@@ -65,11 +67,12 @@ pub use ev_vision as vision;
 pub mod prelude {
     pub use ev_core::{Eid, PersonId, Vid};
     pub use ev_datagen::{sample_targets, score_report, DatasetConfig, EvDataset};
+    pub use ev_disk::{DiskBackend, DiskStore, RecoveryMode};
     pub use ev_fusion::FusedIndex;
     pub use ev_mapreduce::ClusterConfig;
     pub use ev_matching::matcher::ExecutionMode;
     pub use ev_matching::refine::SplitMode;
     pub use ev_matching::{EvMatcher, MatchReport, MatcherConfig};
-    pub use ev_store::{EScenarioStore, VideoStore};
+    pub use ev_store::{EScenarioStore, MemoryBackend, StoreBackend, VideoStore};
     pub use ev_telemetry::{Telemetry, TelemetryLevel};
 }
