@@ -1,0 +1,591 @@
+//! Work-stealing thread-pool executor for the EV-Matching pipelines.
+//!
+//! The paper's §V distributes set splitting and VID filtering over a
+//! MapReduce cluster; this crate is the *real-thread* substrate for
+//! that design. `ev-mapreduce` uses it as its
+//! [`WorkStealing`](../ev_mapreduce/enum.Backend.html) backend, so the
+//! engine's straggler/speculation/retry logic drives actual OS threads,
+//! and `ev-matching` runs its cell-sharded matching on it directly. The
+//! crate is intentionally zero-dependency (std only) and `forbid`s
+//! unsafe code.
+//!
+//! # Execution model
+//!
+//! An [`Executor`] is only a thread-count; every
+//! [`session`](Executor::session) (or
+//! [`map_ordered`](Executor::map_ordered)) call spins up that many
+//! scoped workers, so borrowed
+//! closures work without `'static` bounds and nothing outlives the
+//! call.
+//!
+//! * **Per-worker deques.** Each worker owns a `Mutex<VecDeque>` of
+//!   `(task id, payload)` entries. The driver pushes submissions
+//!   round-robin (or pinned via [`SessionHandle::submit_to`], which the
+//!   sharded matcher uses for shard affinity). Owners pop from the
+//!   *front* (oldest first).
+//! * **Steal-half.** An idle worker scans the other deques in ring
+//!   order and, on finding a non-empty victim, takes the newest
+//!   ⌈len/2⌉ entries in one lock acquisition — the victim keeps the
+//!   oldest half it is about to reach anyway. Two queue locks are never
+//!   held at once, so the protocol cannot deadlock.
+//! * **Channel-based collection.** Workers push
+//!   [`Completion`]s into one lock+condvar channel the driver drains
+//!   with [`SessionHandle::recv`]; `recv` returns `None` exactly when
+//!   every submitted task has been delivered, so drivers cannot hang on
+//!   an empty session.
+//! * **Panic isolation.** Each task runs under
+//!   [`std::panic::catch_unwind`]; a panicking task yields an
+//!   `Err(`[`TaskPanic`]`)` completion and its worker keeps serving the
+//!   queue. `ev-mapreduce` maps such completions onto its failed-attempt
+//!   retry path.
+//! * **Deterministic ordered merge.** Results are keyed by the caller's
+//!   task id; [`Executor::map_ordered`] returns them in input order, so
+//!   outputs never depend on which worker ran what when.
+//! * **Shutdown.** When the driver returns (or unwinds), a guard flips
+//!   the shutdown flag and wakes every parked worker; tasks still queued
+//!   are dropped without running (counted in
+//!   [`ExecStats::tasks_dropped`]) and the scope joins all threads
+//!   before the session returns.
+//!
+//! # Example
+//!
+//! ```
+//! use ev_exec::Executor;
+//!
+//! let exec = Executor::new(4);
+//! let (squares, stats) = exec.map_ordered((0u64..64).collect(), |_ctx, x| x * x);
+//! let squares: Vec<u64> = squares.into_iter().map(Result::unwrap).collect();
+//! assert_eq!(squares[7], 49);
+//! assert_eq!(stats.tasks_executed, 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Caller-chosen identifier a completion is keyed by.
+pub type TaskId = u64;
+
+/// Identity of the worker running a task, passed to the work closure
+/// (telemetry consumers label per-worker spans with it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerCtx {
+    /// Worker index in `0..threads`.
+    pub worker: usize,
+    /// The task id the closure is running.
+    pub task: TaskId,
+}
+
+/// A task that panicked; the payload is the panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Best-effort panic payload rendered to text.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// One finished task delivered to the driver.
+#[derive(Debug)]
+pub struct Completion<T> {
+    /// The id the task was submitted under.
+    pub task: TaskId,
+    /// The closure's return value, or the isolated panic.
+    pub result: Result<T, TaskPanic>,
+}
+
+/// Counters describing one session's execution, used by `ev-mapreduce`
+/// and `ev-matching` to export the canonical `evm_exec_*` /
+/// `evm_mapreduce_steal_*` metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Worker threads the session ran with.
+    pub threads: usize,
+    /// Task attempts actually run (including panicked ones).
+    pub tasks_executed: u64,
+    /// Tasks whose closure panicked (isolated, reported as `Err`).
+    pub tasks_panicked: u64,
+    /// Successful steal operations (each moves a batch).
+    pub steal_ops: u64,
+    /// Tasks moved between deques by steals.
+    pub tasks_stolen: u64,
+    /// High-water mark of any single worker deque's depth.
+    pub queue_depth_peak: u64,
+    /// Tasks still queued when the session shut down (never run).
+    pub tasks_dropped: u64,
+    /// Tasks executed per worker, indexed by worker id.
+    pub per_worker_executed: Vec<u64>,
+}
+
+struct Shared<I, T> {
+    queues: Vec<Mutex<VecDeque<(TaskId, I)>>>,
+    /// Guards the park condvar; holds no data — the wait predicate reads
+    /// `pending`/`shutdown` under this lock to avoid lost wake-ups.
+    park: Mutex<()>,
+    park_cv: Condvar,
+    /// Tasks sitting in some deque, not yet claimed for execution.
+    pending: AtomicU64,
+    shutdown: AtomicBool,
+    completions: Mutex<VecDeque<Completion<T>>>,
+    completions_cv: Condvar,
+    /// Submitted minus delivered-to-driver.
+    outstanding: AtomicU64,
+    executed: Vec<AtomicU64>,
+    panicked: AtomicU64,
+    steal_ops: AtomicU64,
+    tasks_stolen: AtomicU64,
+    depth_peak: AtomicU64,
+}
+
+impl<I, T> Shared<I, T> {
+    fn new(threads: usize) -> Self {
+        Shared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            park: Mutex::new(()),
+            park_cv: Condvar::new(),
+            pending: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            completions: Mutex::new(VecDeque::new()),
+            completions_cv: Condvar::new(),
+            outstanding: AtomicU64::new(0),
+            executed: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            panicked: AtomicU64::new(0),
+            steal_ops: AtomicU64::new(0),
+            tasks_stolen: AtomicU64::new(0),
+            depth_peak: AtomicU64::new(0),
+        }
+    }
+
+    fn note_depth(&self, depth: usize) {
+        self.depth_peak.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    fn push_task(&self, worker: usize, id: TaskId, payload: I) {
+        let depth = {
+            let mut q = self.queues[worker].lock().expect("queue lock");
+            q.push_back((id, payload));
+            q.len()
+        };
+        self.note_depth(depth);
+        self.pending.fetch_add(1, Ordering::Release);
+        // Wake-up protocol: workers only wait after re-checking
+        // `pending`/`shutdown` under the park lock, so taking the lock
+        // here (after the increment) guarantees no wake-up is lost.
+        let _guard = self.park.lock().expect("park lock");
+        self.park_cv.notify_all();
+    }
+
+    /// Claims one task for worker `w`: own deque first (oldest entry),
+    /// else steal the newest half of the first non-empty victim.
+    fn find_task(&self, w: usize) -> Option<(TaskId, I)> {
+        if let Some(task) = {
+            let mut own = self.queues[w].lock().expect("queue lock");
+            own.pop_front()
+        } {
+            self.pending.fetch_sub(1, Ordering::Release);
+            return Some(task);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (w + offset) % n;
+            let mut stolen = {
+                let mut vq = self.queues[victim].lock().expect("queue lock");
+                let len = vq.len();
+                if len == 0 {
+                    continue;
+                }
+                vq.split_off(len - len.div_ceil(2))
+            };
+            self.steal_ops.fetch_add(1, Ordering::Relaxed);
+            self.tasks_stolen
+                .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+            let task = stolen.pop_front().expect("stole at least one task");
+            self.pending.fetch_sub(1, Ordering::Release);
+            if !stolen.is_empty() {
+                let depth = {
+                    let mut own = self.queues[w].lock().expect("queue lock");
+                    own.append(&mut stolen);
+                    own.len()
+                };
+                self.note_depth(depth);
+            }
+            return Some(task);
+        }
+        None
+    }
+
+    fn park(&self) {
+        let guard = self.park.lock().expect("park lock");
+        if self.shutdown.load(Ordering::Acquire) || self.pending.load(Ordering::Acquire) > 0 {
+            return;
+        }
+        // Condvars may wake spuriously; the worker loop re-scans and
+        // parks again, so a single wait (no loop) is sufficient here.
+        drop(self.park_cv.wait(guard).expect("park wait"));
+    }
+
+    fn shut_down(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _guard = self.park.lock().expect("park lock");
+        self.park_cv.notify_all();
+    }
+
+    fn deliver(&self, completion: Completion<T>) {
+        let mut q = self.completions.lock().expect("completions lock");
+        q.push_back(completion);
+        self.completions_cv.notify_all();
+    }
+
+    fn worker_loop<F>(&self, w: usize, work: &F)
+    where
+        F: Fn(WorkerCtx, I) -> T + Sync,
+    {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match self.find_task(w) {
+                Some((task, payload)) => {
+                    let ctx = WorkerCtx { worker: w, task };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| work(ctx, payload)));
+                    self.executed[w].fetch_add(1, Ordering::Relaxed);
+                    let result = outcome.map_err(|panic| {
+                        self.panicked.fetch_add(1, Ordering::Relaxed);
+                        TaskPanic {
+                            message: panic_message(&*panic),
+                        }
+                    });
+                    self.deliver(Completion { task, result });
+                }
+                None => self.park(),
+            }
+        }
+    }
+
+    fn into_stats(self, threads: usize) -> ExecStats {
+        let per_worker: Vec<u64> = self
+            .executed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let dropped: u64 = self
+            .queues
+            .iter()
+            .map(|q| q.lock().expect("queue lock").len() as u64)
+            .sum();
+        ExecStats {
+            threads,
+            tasks_executed: per_worker.iter().sum(),
+            tasks_panicked: self.panicked.load(Ordering::Relaxed),
+            steal_ops: self.steal_ops.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            queue_depth_peak: self.depth_peak.load(Ordering::Relaxed),
+            tasks_dropped: dropped,
+            per_worker_executed: per_worker,
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Driver-side handle of a running [`Executor::session`]: submit tasks,
+/// receive completions.
+pub struct SessionHandle<'a, I, T> {
+    shared: &'a Shared<I, T>,
+    round_robin: AtomicUsize,
+}
+
+impl<I, T> std::fmt::Debug for SessionHandle<'_, I, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("threads", &self.shared.queues.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<I: Send, T: Send> SessionHandle<'_, I, T> {
+    /// Submits a task to the next worker in round-robin order.
+    pub fn submit(&self, id: TaskId, payload: I) {
+        let n = self.shared.queues.len();
+        let w = self.round_robin.fetch_add(1, Ordering::Relaxed) % n;
+        self.submit_to(w, id, payload);
+    }
+
+    /// Submits a task pinned to `worker`'s deque (`worker` wraps modulo
+    /// the thread count). Stealing may still migrate it — pinning is an
+    /// affinity hint, not an isolation guarantee.
+    pub fn submit_to(&self, worker: usize, id: TaskId, payload: I) {
+        let n = self.shared.queues.len();
+        self.shared.outstanding.fetch_add(1, Ordering::Release);
+        self.shared.push_task(worker % n, id, payload);
+    }
+
+    /// Blocks for the next completion; `None` once every submitted task
+    /// has already been delivered.
+    pub fn recv(&self) -> Option<Completion<T>> {
+        let mut q = self.shared.completions.lock().expect("completions lock");
+        loop {
+            if let Some(c) = q.pop_front() {
+                self.shared.outstanding.fetch_sub(1, Ordering::Release);
+                return Some(c);
+            }
+            if self.shared.outstanding.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            q = self
+                .shared
+                .completions_cv
+                .wait(q)
+                .expect("completions wait");
+        }
+    }
+}
+
+/// Wakes and joins the workers even when the driver unwinds.
+struct ShutdownGuard<'a, I, T>(&'a Shared<I, T>);
+impl<I, T> Drop for ShutdownGuard<'_, I, T> {
+    fn drop(&mut self) {
+        self.0.shut_down();
+    }
+}
+
+/// A work-stealing thread pool configuration. Cheap to create; threads
+/// are spawned per [`session`](Executor::session) so work closures can
+/// borrow from the caller's stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a dynamic session: `driver` runs on the calling thread and
+    /// submits/receives through the [`SessionHandle`] while the workers
+    /// execute `work`. Used by the MapReduce engine, whose retry and
+    /// speculative-execution logic decides mid-flight what to submit
+    /// next.
+    pub fn session<I, T, R, F, D>(&self, work: F, driver: D) -> (R, ExecStats)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(WorkerCtx, I) -> T + Sync,
+        D: FnOnce(&SessionHandle<'_, I, T>) -> R,
+    {
+        let shared: Shared<I, T> = Shared::new(self.threads);
+        let out = std::thread::scope(|scope| {
+            for w in 0..self.threads {
+                let shared = &shared;
+                let work = &work;
+                scope.spawn(move || shared.worker_loop(w, work));
+            }
+            let _guard = ShutdownGuard(&shared);
+            let handle = SessionHandle {
+                shared: &shared,
+                round_robin: AtomicUsize::new(0),
+            };
+            driver(&handle)
+        });
+        let stats = shared.into_stats(self.threads);
+        (out, stats)
+    }
+
+    /// Static batch fan-out: runs `work` over every item and returns the
+    /// results *in input order* (the deterministic ordered merge), each
+    /// individually `Err` if its task panicked.
+    pub fn map_ordered<I, T, F>(
+        &self,
+        items: Vec<I>,
+        work: F,
+    ) -> (Vec<Result<T, TaskPanic>>, ExecStats)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(WorkerCtx, I) -> T + Sync,
+    {
+        let n = items.len();
+        self.session(work, move |handle| {
+            for (i, item) in items.into_iter().enumerate() {
+                handle.submit(i as TaskId, item);
+            }
+            let mut slots: Vec<Option<Result<T, TaskPanic>>> = (0..n).map(|_| None).collect();
+            let mut filled = 0usize;
+            while filled < n {
+                let c = handle.recv().expect("submitted tasks all complete");
+                let slot = &mut slots[c.task as usize];
+                debug_assert!(slot.is_none(), "map_ordered task ids are unique");
+                if slot.is_none() {
+                    filled += 1;
+                }
+                *slot = Some(c.result);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every slot filled"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_ordered_preserves_input_order() {
+        let exec = Executor::new(4);
+        let (out, stats) = exec.map_ordered((0u64..200).collect(), |_ctx, x| x * 3);
+        let out: Vec<u64> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(out, (0u64..200).map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(stats.tasks_executed, 200);
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.per_worker_executed.iter().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let exec = Executor::new(0);
+        assert_eq!(exec.threads(), 1);
+        let (out, stats) = exec.map_ordered(vec![5u64], |_ctx, x| x + 1);
+        assert_eq!(out[0].as_ref().unwrap(), &6);
+        assert_eq!(stats.per_worker_executed, vec![1]);
+    }
+
+    #[test]
+    fn empty_session_recv_returns_none() {
+        let exec = Executor::new(2);
+        let (got, stats) = exec.session(|_ctx, x: u64| x, |handle| handle.recv().is_none());
+        assert!(got, "no submissions → recv must not block");
+        assert_eq!(stats.tasks_executed, 0);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_task() {
+        let exec = Executor::new(3);
+        let (out, stats) = exec.map_ordered((0u64..30).collect(), |_ctx, x| {
+            assert!(x % 7 != 3, "injected panic on {x}");
+            x
+        });
+        let mut panicked = 0;
+        for (i, r) in out.iter().enumerate() {
+            if i as u64 % 7 == 3 {
+                assert!(r.is_err(), "task {i} must panic");
+                assert!(r.as_ref().unwrap_err().message.contains("injected panic"));
+                panicked += 1;
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u64);
+            }
+        }
+        assert_eq!(stats.tasks_panicked, panicked);
+        assert_eq!(
+            stats.tasks_executed, 30,
+            "panicked tasks still count as executed"
+        );
+    }
+
+    #[test]
+    fn pinned_submissions_get_stolen() {
+        // All tasks land on worker 0's deque; with 4 workers the others
+        // can only make progress by stealing.
+        let exec = Executor::new(4);
+        let (got, stats) = exec.session(
+            |_ctx, x: u64| {
+                // Enough work per task that worker 0 cannot drain the
+                // deque before the thieves wake up.
+                let mut acc = x;
+                for i in 0..20_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+                x
+            },
+            |handle| {
+                for i in 0..256u64 {
+                    handle.submit_to(0, i, i);
+                }
+                let mut seen = 0u64;
+                while handle.recv().is_some() {
+                    seen += 1;
+                }
+                seen
+            },
+        );
+        assert_eq!(got, 256);
+        assert_eq!(stats.tasks_executed, 256);
+        assert!(stats.steal_ops > 0, "thieves must steal from worker 0");
+        assert!(
+            stats.tasks_stolen >= stats.steal_ops,
+            "steal-half moves ≥1 task per op"
+        );
+        assert!(
+            stats.queue_depth_peak >= 128,
+            "deque 0 held the bulk of the backlog"
+        );
+    }
+
+    #[test]
+    fn driver_can_stop_early_and_drop_queued_tasks() {
+        let exec = Executor::new(2);
+        let ((), stats) = exec.session(
+            |_ctx, x: u64| {
+                std::thread::sleep(std::time::Duration::from_millis(u64::from(x == 0)));
+                x
+            },
+            |handle| {
+                for i in 0..64u64 {
+                    handle.submit(i, i);
+                }
+                // Take one completion and walk away.
+                let _ = handle.recv();
+            },
+        );
+        assert!(stats.tasks_executed >= 1);
+        assert_eq!(
+            stats.tasks_executed + stats.tasks_dropped,
+            64,
+            "every task either ran or was dropped at shutdown"
+        );
+    }
+
+    #[test]
+    fn stats_roll_up_per_worker_counts() {
+        let exec = Executor::new(2);
+        let (_, stats) = exec.map_ordered((0u64..50).collect(), |_ctx, x| x);
+        assert_eq!(stats.per_worker_executed.len(), 2);
+        assert_eq!(
+            stats.per_worker_executed.iter().sum::<u64>(),
+            stats.tasks_executed
+        );
+        assert_eq!(stats.tasks_dropped, 0);
+    }
+}

@@ -76,7 +76,26 @@ impl FaultPlan {
     }
 }
 
-/// Shape of the simulated cluster.
+/// How the engine turns scheduled task attempts into executed work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// Real OS threads on the `ev-exec` work-stealing pool: `workers`
+    /// threads with per-worker deques, steal-half balancing and
+    /// per-task panic isolation. Stragglers burn real CPU; speculative
+    /// races resolve by actual wall-clock order.
+    WorkStealing,
+    /// Deterministic single-threaded *virtual-time* simulation of a
+    /// `workers`-node cluster. Attempt costs, completion order,
+    /// failures and speculation races are all pure functions of the
+    /// configuration — no wall clock is read for any scheduling
+    /// decision, so fault/straggler metrics are exactly reproducible.
+    /// Straggler busy-work is not burned, which also makes this the
+    /// cheap backend for fault-injection tests and the
+    /// cluster-scaling model of the paper's Figure 9.
+    Simulated,
+}
+
+/// Shape of the cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
     /// Number of worker threads ("nodes"). The paper's testbed has 14
@@ -92,6 +111,9 @@ pub struct ClusterConfig {
     /// overhead (JVM start-up, scheduling) — lets stragglers and
     /// speculation have something to be slow *at* even for cheap mappers.
     pub task_overhead_units: u64,
+    /// Execution backend: real work-stealing threads or the
+    /// deterministic virtual-time simulation.
+    pub backend: Backend,
 }
 
 impl Default for ClusterConfig {
@@ -106,17 +128,21 @@ impl Default for ClusterConfig {
             reduce_partitions: workers,
             faults: FaultPlan::default(),
             task_overhead_units: 0,
+            backend: Backend::WorkStealing,
         }
     }
 }
 
 impl ClusterConfig {
-    /// The paper's 14-node cluster shape (14 workers).
+    /// The paper's 14-node cluster shape (14 workers). Simulated: a
+    /// laptop cannot *be* 14 machines, but it can schedule like them in
+    /// virtual time.
     #[must_use]
     pub fn paper_cluster() -> Self {
         ClusterConfig {
             workers: 14,
             reduce_partitions: 14,
+            backend: Backend::Simulated,
             ..ClusterConfig::default()
         }
     }
@@ -177,6 +203,23 @@ mod tests {
         let c = ClusterConfig::paper_cluster();
         assert_eq!(c.workers, 14);
         assert_eq!(c.reduce_partitions, 14);
+        assert_eq!(
+            c.backend,
+            Backend::Simulated,
+            "14 nodes only exist in virtual time"
+        );
+    }
+
+    #[test]
+    fn backend_defaults_to_real_threads_and_round_trips() {
+        use serde::{Deserialize, Serialize};
+        assert_eq!(ClusterConfig::default().backend, Backend::WorkStealing);
+        let sim = ClusterConfig {
+            backend: Backend::Simulated,
+            ..ClusterConfig::default()
+        };
+        let back = ClusterConfig::from_value(&sim.to_value()).expect("config round-trips");
+        assert_eq!(back, sim);
     }
 
     #[test]

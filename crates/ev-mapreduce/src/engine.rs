@@ -2,12 +2,12 @@
 //! speculative execution.
 
 use crate::api::{Combiner, Emitter, HashPartitioner, Mapper, Partitioner, Reducer};
-use crate::config::{ClusterConfig, FaultPlan};
+use crate::config::{Backend, ClusterConfig, FaultPlan};
 use crate::metrics::JobMetrics;
-use crossbeam::channel;
 use ev_telemetry::Telemetry;
 use serde::Value;
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 use std::hash::Hash;
 use std::time::Instant;
@@ -27,6 +27,16 @@ pub enum JobError {
         /// Attempts consumed.
         attempts: u32,
     },
+    /// A task panicked on the work-stealing backend and the panic
+    /// exhausted its retry budget. Panics are isolated per task attempt
+    /// and retried like injected failures; this error means every
+    /// allowed attempt panicked.
+    WorkerPanicked {
+        /// Which stage the task belonged to.
+        stage: &'static str,
+        /// The panic payload message of the final attempt.
+        message: String,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -38,6 +48,12 @@ impl fmt::Display for JobError {
                 task,
                 attempts,
             } => write!(f, "{stage} task {task} failed after {attempts} attempts"),
+            JobError::WorkerPanicked { stage, message } => {
+                write!(
+                    f,
+                    "{stage} task panicked on every allowed attempt: {message}"
+                )
+            }
         }
     }
 }
@@ -46,7 +62,7 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JobError::InvalidConfig(e) => Some(e),
-            JobError::TaskExhausted { .. } => None,
+            JobError::TaskExhausted { .. } | JobError::WorkerPanicked { .. } => None,
         }
     }
 }
@@ -94,6 +110,21 @@ fn burn(units: u64) -> u64 {
     std::hint::black_box(acc)
 }
 
+/// Does this attempt fail, per the fault plan? Pure in (plan, stage,
+/// task, attempt) — both backends consult the same draw.
+fn attempt_fails(faults: &FaultPlan, stage_id: u64, task: usize, attempt: u32) -> bool {
+    faults.task_failure_rate > 0.0
+        && fault_draw(faults.seed, stage_id, task as u64, attempt.into()) < faults.task_failure_rate
+}
+
+/// Does this attempt straggle? Same determinism contract as
+/// [`attempt_fails`], drawn from an independent stream.
+fn attempt_straggles(faults: &FaultPlan, stage_id: u64, task: usize, attempt: u32) -> bool {
+    faults.straggler_rate > 0.0
+        && fault_draw(faults.seed ^ 0x5757, stage_id, task as u64, attempt.into())
+            < faults.straggler_rate
+}
+
 /// A map task's payload: the (possibly combined) pairs plus the raw
 /// pre-combine emit count.
 type MapPayload<K, V> = (Vec<(K, V)>, u64);
@@ -103,6 +134,54 @@ type Grouped<K, T> = Vec<(K, Vec<T>)>;
 enum TaskOutcome<T> {
     Done { task: usize, payload: T },
     Failed { task: usize },
+}
+
+/// Schedules the next attempt of `task` through `submit`, plus an
+/// immediate speculative backup when the fault plan marks the attempt
+/// straggling. Shared by both backends so attempt numbering, metrics
+/// and telemetry events are identical regardless of how attempts
+/// actually execute.
+#[allow(clippy::too_many_arguments)]
+fn schedule(
+    task: usize,
+    attempts_next: &mut [u32],
+    metrics: &mut JobMetrics,
+    submit: &mut dyn FnMut(usize, u32),
+    faults: &FaultPlan,
+    stage_id: u64,
+    stage_name: &'static str,
+    tel: &Telemetry,
+) {
+    let attempt = attempts_next[task];
+    attempts_next[task] += 1;
+    metrics.map_attempts += u64::from(stage_id == 0);
+    submit(task, attempt);
+    let straggles = attempt_straggles(faults, stage_id, task, attempt);
+    if straggles {
+        tel.event(
+            "straggler_detected",
+            vec![
+                ("stage".to_string(), Value::Str(stage_name.to_string())),
+                ("task".to_string(), Value::Int(task as i128)),
+                ("attempt".to_string(), Value::Int(i128::from(attempt))),
+            ],
+        );
+    }
+    if straggles && faults.speculative_execution {
+        let backup = attempts_next[task];
+        attempts_next[task] += 1;
+        metrics.speculative_attempts += 1;
+        metrics.map_attempts += u64::from(stage_id == 0);
+        tel.event(
+            "speculative_launched",
+            vec![
+                ("stage".to_string(), Value::Str(stage_name.to_string())),
+                ("task".to_string(), Value::Int(task as i128)),
+                ("attempt".to_string(), Value::Int(i128::from(backup))),
+            ],
+        );
+        submit(task, backup);
+    }
 }
 
 impl MapReduce {
@@ -309,9 +388,10 @@ impl MapReduce {
         })
     }
 
-    /// Runs one stage's tasks on the worker pool with retry, straggler
-    /// simulation and speculative execution. `work` must be safe to run
-    /// multiple times for the same task (pure).
+    /// Runs one stage's tasks with retry, straggler simulation and
+    /// speculative execution, dispatching on the configured
+    /// [`Backend`]. `work` must be safe to run multiple times for the
+    /// same task (pure).
     #[allow(clippy::too_many_arguments)]
     fn run_stage<T, F, S>(
         &self,
@@ -331,197 +411,330 @@ impl MapReduce {
         if task_count == 0 {
             return Ok(Vec::new());
         }
-        let tel = &self.telemetry;
-        let mut stage_span = tel.span(stage_name, "stage");
+        let mut stage_span = self.telemetry.span(stage_name, "stage");
         stage_span.arg("tasks", Value::Int(task_count as i128));
+        let results = match self.config.backend {
+            Backend::WorkStealing => {
+                self.run_stage_stealing(stage_name, stage_id, task_count, metrics, &work)?
+            }
+            Backend::Simulated => {
+                self.run_stage_simulated(stage_name, stage_id, task_count, metrics, &work)?
+            }
+        };
+        let mut out = Vec::with_capacity(task_count);
+        for payload in results {
+            let payload = payload.expect("all tasks completed");
+            on_raw(metrics, size_of(&payload));
+            out.push(payload);
+        }
+        Ok(out)
+    }
+
+    /// The real-thread backend: every scheduled attempt becomes an
+    /// `ev-exec` task on a work-stealing pool of `workers` OS threads.
+    /// The driver loop below runs on the submitting thread and owns all
+    /// retry / speculation bookkeeping; workers only execute attempts.
+    ///
+    /// A worker panic is isolated to its attempt and surfaces here as a
+    /// failed attempt (retried up to the budget, then
+    /// [`JobError::WorkerPanicked`]).
+    fn run_stage_stealing<T, F>(
+        &self,
+        stage_name: &'static str,
+        stage_id: u64,
+        task_count: usize,
+        metrics: &mut JobMetrics,
+        work: &F,
+    ) -> Result<Vec<Option<T>>, JobError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let tel = &self.telemetry;
         let faults = self.config.faults;
         let overhead = self.config.task_overhead_units;
-        let workers = self.config.workers;
+        let exec = ev_exec::Executor::new(self.config.workers);
 
-        let (task_tx, task_rx) = channel::unbounded::<(usize, u32)>();
-        let (done_tx, done_rx) = channel::unbounded::<TaskOutcome<T>>();
-
-        let mut attempts_next: Vec<u32> = vec![0; task_count];
-        let mut failures: Vec<u32> = vec![0; task_count];
-        let mut results: Vec<Option<T>> = (0..task_count).map(|_| None).collect();
-        let mut remaining = task_count;
-
-        // Schedule the first attempt of every task; launch a speculative
-        // backup right away for attempts the fault plan marks straggling.
-        #[allow(clippy::too_many_arguments)]
-        fn schedule(
-            task: usize,
-            attempts_next: &mut [u32],
-            metrics: &mut JobMetrics,
-            tx: &channel::Sender<(usize, u32)>,
-            faults: &FaultPlan,
-            stage_id: u64,
-            stage_name: &'static str,
-            tel: &Telemetry,
-        ) {
-            let attempt = attempts_next[task];
-            attempts_next[task] += 1;
-            metrics.map_attempts += u64::from(stage_id == 0);
-            tx.send((task, attempt)).expect("task channel open");
-            let straggles = faults.straggler_rate > 0.0
-                && fault_draw(faults.seed ^ 0x5757, stage_id, task as u64, attempt.into())
-                    < faults.straggler_rate;
-            if straggles {
+        // One attempt, executed on whichever worker claims it.
+        let attempt_work = |_ctx: ev_exec::WorkerCtx, (task, attempt): (usize, u32)| {
+            let attempt_start = tel.tracing_on().then(Instant::now);
+            let close_span = |outcome: &'static str| {
+                if let Some(start) = attempt_start {
+                    tel.tracer().complete(
+                        format!("{stage_name}[{task}]#{attempt}"),
+                        "task",
+                        start,
+                        vec![("outcome".to_string(), Value::Str(outcome.to_string()))],
+                    );
+                }
+            };
+            if attempt_fails(&faults, stage_id, task, attempt) {
                 tel.event(
-                    "straggler_detected",
+                    "task_failed",
                     vec![
                         ("stage".to_string(), Value::Str(stage_name.to_string())),
                         ("task".to_string(), Value::Int(task as i128)),
                         ("attempt".to_string(), Value::Int(i128::from(attempt))),
                     ],
                 );
+                close_span("failed");
+                return TaskOutcome::Failed { task };
             }
-            if straggles && faults.speculative_execution {
-                let backup = attempts_next[task];
-                attempts_next[task] += 1;
-                metrics.speculative_attempts += 1;
-                metrics.map_attempts += u64::from(stage_id == 0);
-                tel.event(
-                    "speculative_launched",
-                    vec![
-                        ("stage".to_string(), Value::Str(stage_name.to_string())),
-                        ("task".to_string(), Value::Int(task as i128)),
-                        ("attempt".to_string(), Value::Int(i128::from(backup))),
-                    ],
+            // Fixed task overhead; stragglers burn a multiple.
+            if overhead > 0 {
+                let units = if attempt_straggles(&faults, stage_id, task, attempt) {
+                    overhead * faults.straggler_factor
+                } else {
+                    overhead
+                };
+                let _ = burn(units);
+            }
+            let payload = work(task);
+            close_span("done");
+            TaskOutcome::Done { task, payload }
+        };
+
+        let (outcome, stats) = exec.session(attempt_work, |handle| {
+            let mut attempts_next: Vec<u32> = vec![0; task_count];
+            let mut failures: Vec<u32> = vec![0; task_count];
+            let mut results: Vec<Option<T>> = (0..task_count).map(|_| None).collect();
+            let mut remaining = task_count;
+            let mut submit =
+                |task: usize, attempt: u32| handle.submit(task as u64, (task, attempt));
+            for task in 0..task_count {
+                schedule(
+                    task,
+                    &mut attempts_next,
+                    metrics,
+                    &mut submit,
+                    &faults,
+                    stage_id,
+                    stage_name,
+                    tel,
                 );
-                tx.send((task, backup)).expect("task channel open");
             }
-        }
-        for task in 0..task_count {
-            schedule(
-                task,
-                &mut attempts_next,
-                metrics,
-                &task_tx,
-                &faults,
-                stage_id,
-                stage_name,
-                tel,
-            );
-        }
-
-        std::thread::scope(|scope| -> Result<(), JobError> {
-            for _ in 0..workers {
-                let task_rx = task_rx.clone();
-                let done_tx = done_tx.clone();
-                let work = &work;
-                scope.spawn(move || {
-                    while let Ok((task, attempt)) = task_rx.recv() {
-                        let attempt_start = tel.tracing_on().then(Instant::now);
-                        let close_span = |outcome: &'static str| {
-                            if let Some(start) = attempt_start {
-                                tel.tracer().complete(
-                                    format!("{stage_name}[{task}]#{attempt}"),
-                                    "task",
-                                    start,
-                                    vec![("outcome".to_string(), Value::Str(outcome.to_string()))],
-                                );
-                            }
-                        };
-                        // Injected failure?
-                        if faults.task_failure_rate > 0.0
-                            && fault_draw(faults.seed, stage_id, task as u64, attempt.into())
-                                < faults.task_failure_rate
-                        {
-                            tel.event(
-                                "task_failed",
-                                vec![
-                                    ("stage".to_string(), Value::Str(stage_name.to_string())),
-                                    ("task".to_string(), Value::Int(task as i128)),
-                                    ("attempt".to_string(), Value::Int(i128::from(attempt))),
-                                ],
-                            );
-                            close_span("failed");
-                            let _ = done_tx.send(TaskOutcome::Failed { task });
-                            continue;
-                        }
-                        // Fixed task overhead; stragglers burn a multiple.
-                        if overhead > 0 {
-                            let straggles = faults.straggler_rate > 0.0
-                                && fault_draw(
-                                    faults.seed ^ 0x5757,
-                                    stage_id,
-                                    task as u64,
-                                    attempt.into(),
-                                ) < faults.straggler_rate;
-                            let units = if straggles {
-                                overhead * faults.straggler_factor
-                            } else {
-                                overhead
-                            };
-                            let _ = burn(units);
-                        }
-                        let payload = work(task);
-                        close_span("done");
-                        let _ = done_tx.send(TaskOutcome::Done { task, payload });
-                    }
-                });
-            }
-            drop(done_tx);
-
             while remaining > 0 {
-                match done_rx.recv().expect("workers alive while tasks pending") {
-                    TaskOutcome::Done { task, payload } => {
+                // Invariant: every unfinished task has at least one
+                // attempt outstanding (failures resubmit before the next
+                // recv), so the session cannot drain early.
+                let completion = handle
+                    .recv()
+                    .expect("unfinished tasks always have an attempt in flight");
+                let (task, panic_message) = match completion.result {
+                    Ok(TaskOutcome::Done { task, payload }) => {
                         if results[task].is_none() {
-                            on_raw(metrics, size_of(&payload));
                             results[task] = Some(payload);
                             remaining -= 1;
                         }
-                        // Else: a speculative or duplicate attempt lost the
-                        // race; drop its output.
+                        // Else: a speculative or duplicate attempt lost
+                        // the race; drop its output.
+                        continue;
                     }
-                    TaskOutcome::Failed { task } => {
-                        if results[task].is_some() {
-                            continue; // another attempt already won
-                        }
-                        metrics.failed_attempts += 1;
-                        failures[task] += 1;
-                        if failures[task] >= faults.max_attempts {
-                            // Abort: close the queue so workers drain out.
-                            drop(task_tx);
-                            return Err(JobError::TaskExhausted {
-                                stage: stage_name,
-                                task,
-                                attempts: failures[task],
-                            });
-                        }
+                    Ok(TaskOutcome::Failed { task }) => (task, None),
+                    Err(panic) => {
+                        let task = completion.task as usize;
                         tel.event(
-                            "retry_scheduled",
+                            "task_panicked",
                             vec![
                                 ("stage".to_string(), Value::Str(stage_name.to_string())),
                                 ("task".to_string(), Value::Int(task as i128)),
-                                (
-                                    "failures".to_string(),
-                                    Value::Int(i128::from(failures[task])),
-                                ),
+                                ("message".to_string(), Value::Str(panic.message.clone())),
                             ],
                         );
-                        schedule(
-                            task,
-                            &mut attempts_next,
-                            metrics,
-                            &task_tx,
-                            &faults,
-                            stage_id,
-                            stage_name,
-                            tel,
-                        );
+                        (task, Some(panic.message))
                     }
+                };
+                if results[task].is_some() {
+                    continue; // another attempt already won
                 }
+                metrics.failed_attempts += 1;
+                failures[task] += 1;
+                if failures[task] >= faults.max_attempts {
+                    return match panic_message {
+                        Some(message) => Err(JobError::WorkerPanicked {
+                            stage: stage_name,
+                            message,
+                        }),
+                        None => Err(JobError::TaskExhausted {
+                            stage: stage_name,
+                            task,
+                            attempts: failures[task],
+                        }),
+                    };
+                }
+                tel.event(
+                    "retry_scheduled",
+                    vec![
+                        ("stage".to_string(), Value::Str(stage_name.to_string())),
+                        ("task".to_string(), Value::Int(task as i128)),
+                        (
+                            "failures".to_string(),
+                            Value::Int(i128::from(failures[task])),
+                        ),
+                    ],
+                );
+                schedule(
+                    task,
+                    &mut attempts_next,
+                    metrics,
+                    &mut submit,
+                    &faults,
+                    stage_id,
+                    stage_name,
+                    tel,
+                );
             }
-            drop(task_tx);
-            Ok(())
-        })?;
+            Ok(results)
+        });
+        metrics.record_exec_session(&stats);
+        if tel.counters_on() {
+            crate::metrics::record_exec_stats(tel.registry(), &stats);
+        }
+        outcome
+    }
 
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("all tasks completed"))
-            .collect())
+    /// The deterministic backend: a single-threaded discrete-event
+    /// simulation of a `workers`-node cluster running in *virtual
+    /// time*. Each attempt costs `1 + task_overhead_units` virtual
+    /// units (times `straggler_factor` when it straggles); attempts are
+    /// list-scheduled onto the earliest-free simulated worker and
+    /// complete in `(done_at, seq)` order, so failure retries and
+    /// speculation races resolve identically on every run and every
+    /// host. No wall clock is read for any scheduling decision.
+    ///
+    /// Only winning attempts execute `work` (losers are charged virtual
+    /// time, not CPU), which makes this backend cheap enough for dense
+    /// fault-injection sweeps and for the paper's Figure 9
+    /// cluster-scaling model. The stage's virtual makespan accumulates
+    /// into [`JobMetrics::virtual_makespan_units`].
+    fn run_stage_simulated<T, F>(
+        &self,
+        stage_name: &'static str,
+        stage_id: u64,
+        task_count: usize,
+        metrics: &mut JobMetrics,
+        work: &F,
+    ) -> Result<Vec<Option<T>>, JobError>
+    where
+        F: Fn(usize) -> T,
+    {
+        let tel = &self.telemetry;
+        let faults = self.config.faults;
+        let overhead = self.config.task_overhead_units;
+
+        let mut attempts_next: Vec<u32> = vec![0; task_count];
+        let mut failures: Vec<u32> = vec![0; task_count];
+        let mut results: Vec<Option<T>> = (0..task_count).map(|_| None).collect();
+        let mut remaining = task_count;
+
+        // Simulated workers, keyed by the virtual time they free up;
+        // ties break on worker index. Completion events order by
+        // (done_at, seq): seq is the global submission number, so
+        // simultaneous completions resolve in submission order.
+        let mut free: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..self.config.workers).map(|w| Reverse((0, w))).collect();
+        let mut events: BinaryHeap<Reverse<(u64, u64, usize, u32)>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut now: u64 = 0;
+
+        fn assign(
+            task: usize,
+            attempt: u32,
+            cost: u64,
+            now: u64,
+            free: &mut BinaryHeap<Reverse<(u64, usize)>>,
+            events: &mut BinaryHeap<Reverse<(u64, u64, usize, u32)>>,
+            seq: &mut u64,
+        ) {
+            let Reverse((free_at, worker)) = free.pop().expect("worker heap never empties");
+            let start = free_at.max(now);
+            let done = start + cost;
+            free.push(Reverse((done, worker)));
+            *seq += 1;
+            events.push(Reverse((done, *seq, task, attempt)));
+        }
+
+        macro_rules! sim_schedule {
+            ($task:expr) => {
+                schedule(
+                    $task,
+                    &mut attempts_next,
+                    metrics,
+                    &mut |task, attempt| {
+                        let units = if attempt_straggles(&faults, stage_id, task, attempt) {
+                            overhead * faults.straggler_factor
+                        } else {
+                            overhead
+                        };
+                        assign(
+                            task,
+                            attempt,
+                            1 + units,
+                            now,
+                            &mut free,
+                            &mut events,
+                            &mut seq,
+                        );
+                    },
+                    &faults,
+                    stage_id,
+                    stage_name,
+                    tel,
+                )
+            };
+        }
+
+        for task in 0..task_count {
+            sim_schedule!(task);
+        }
+
+        while remaining > 0 {
+            let Reverse((done_at, _seq, task, attempt)) = events
+                .pop()
+                .expect("unfinished tasks always have an attempt in flight");
+            now = done_at;
+            if attempt_fails(&faults, stage_id, task, attempt) {
+                tel.event(
+                    "task_failed",
+                    vec![
+                        ("stage".to_string(), Value::Str(stage_name.to_string())),
+                        ("task".to_string(), Value::Int(task as i128)),
+                        ("attempt".to_string(), Value::Int(i128::from(attempt))),
+                    ],
+                );
+                if results[task].is_some() {
+                    continue; // another attempt already won
+                }
+                metrics.failed_attempts += 1;
+                failures[task] += 1;
+                if failures[task] >= faults.max_attempts {
+                    return Err(JobError::TaskExhausted {
+                        stage: stage_name,
+                        task,
+                        attempts: failures[task],
+                    });
+                }
+                tel.event(
+                    "retry_scheduled",
+                    vec![
+                        ("stage".to_string(), Value::Str(stage_name.to_string())),
+                        ("task".to_string(), Value::Int(task as i128)),
+                        (
+                            "failures".to_string(),
+                            Value::Int(i128::from(failures[task])),
+                        ),
+                    ],
+                );
+                sim_schedule!(task);
+            } else if results[task].is_none() {
+                results[task] = Some(work(task));
+                remaining -= 1;
+            }
+            // Else: a speculative loser — its virtual cost was charged
+            // to its worker, but `work` never runs for it.
+        }
+        metrics.virtual_makespan_units += now;
+        Ok(results)
     }
 }
 
@@ -859,6 +1072,124 @@ mod tests {
             .unwrap();
         assert_eq!(plain.output, traced.output);
         assert!(Telemetry::disabled().tracer().is_empty());
+    }
+
+    #[test]
+    fn simulated_backend_is_deterministic_including_fault_metrics() {
+        let cfg = ClusterConfig {
+            workers: 14,
+            reduce_partitions: 14,
+            split_size: 4,
+            backend: Backend::Simulated,
+            task_overhead_units: 1_000, // virtual units only: never burned
+            faults: FaultPlan {
+                task_failure_rate: 0.25,
+                straggler_rate: 0.3,
+                straggler_factor: 4,
+                speculative_execution: true,
+                max_attempts: 50,
+                seed: 21,
+            },
+        };
+        let a = MapReduce::new(cfg.clone())
+            .run(corpus(200), &Tokenize, &Sum)
+            .unwrap();
+        let b = MapReduce::new(cfg)
+            .run(corpus(200), &Tokenize, &Sum)
+            .unwrap();
+        assert_wordcount_correct(&a.output, 200);
+        assert_eq!(a.output, b.output);
+        // The whole fault story is reproducible, not just the output:
+        assert_eq!(a.metrics.map_attempts, b.metrics.map_attempts);
+        assert_eq!(a.metrics.failed_attempts, b.metrics.failed_attempts);
+        assert_eq!(
+            a.metrics.speculative_attempts,
+            b.metrics.speculative_attempts
+        );
+        assert_eq!(
+            a.metrics.virtual_makespan_units,
+            b.metrics.virtual_makespan_units
+        );
+        assert!(a.metrics.failed_attempts > 0, "25% failure rate must bite");
+        assert!(a.metrics.speculative_attempts > 0);
+        assert!(a.metrics.virtual_makespan_units > 0);
+    }
+
+    #[test]
+    fn simulated_makespan_shrinks_with_more_workers() {
+        // The Figure 9 model: same job, wider virtual cluster, smaller
+        // virtual makespan. Exact values are asserted stable elsewhere;
+        // here we pin the scaling direction.
+        let makespan = |workers: usize| {
+            let cfg = ClusterConfig {
+                workers,
+                reduce_partitions: 4,
+                split_size: 2,
+                backend: Backend::Simulated,
+                task_overhead_units: 5_000,
+                faults: FaultPlan::default(),
+            };
+            MapReduce::new(cfg)
+                .run(corpus(200), &Tokenize, &Sum)
+                .unwrap()
+                .metrics
+                .virtual_makespan_units
+        };
+        let (m1, m4, m14) = (makespan(1), makespan(4), makespan(14));
+        assert!(m1 > m4, "1 worker ({m1}) must be slower than 4 ({m4})");
+        assert!(m4 > m14, "4 workers ({m4}) must be slower than 14 ({m14})");
+        assert!(
+            m1 >= 3 * m4,
+            "100 uniform map tasks should scale near-linearly to 4 workers ({m1} vs {m4})"
+        );
+    }
+
+    #[test]
+    fn work_stealing_backend_records_exec_session_stats() {
+        let cfg = ClusterConfig {
+            workers: 4,
+            split_size: 5,
+            ..ClusterConfig::default()
+        };
+        assert_eq!(cfg.backend, Backend::WorkStealing);
+        let result = MapReduce::new(cfg)
+            .run(corpus(100), &Tokenize, &Sum)
+            .unwrap();
+        assert_wordcount_correct(&result.output, 100);
+        assert_eq!(
+            result.metrics.virtual_makespan_units, 0,
+            "real threads, no virtual time"
+        );
+    }
+
+    #[test]
+    fn panicking_task_is_isolated_and_reported() {
+        struct PanicOnThree;
+        impl Mapper<String> for PanicOnThree {
+            type Key = String;
+            type Value = u64;
+            fn map(&self, line: &String, _out: &mut Emitter<String, u64>) {
+                assert!(!line.contains("w3"), "injected mapper panic");
+            }
+        }
+        let cfg = ClusterConfig {
+            split_size: 1,
+            faults: FaultPlan {
+                max_attempts: 3,
+                ..FaultPlan::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let err = MapReduce::new(cfg)
+            .run(corpus(10), &PanicOnThree, &Sum)
+            .unwrap_err();
+        match err {
+            JobError::WorkerPanicked { stage, message } => {
+                assert_eq!(stage, "map");
+                assert!(message.contains("injected mapper panic"), "got: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
     }
 
     #[test]

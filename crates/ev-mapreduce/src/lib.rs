@@ -8,8 +8,10 @@
 //!
 //! 1. **split** — the input is chunked into fixed-size splits (optionally
 //!    placed on the simulated distributed file system in [`dfs`]);
-//! 2. **map** — map tasks run in parallel across simulated cluster nodes,
-//!    emitting `(key, value)` pairs through an [`Emitter`];
+//! 2. **map** — map tasks run in parallel, emitting `(key, value)` pairs
+//!    through an [`Emitter`]; the [`Backend`] decides whether "in
+//!    parallel" means real work-stealing threads (`ev-exec`) or a
+//!    deterministic virtual-time simulation of the cluster;
 //! 3. **shuffle** — pairs are hash-partitioned by key, routed to their
 //!    reduce partition, sorted and grouped (deterministically, regardless
 //!    of task scheduling);
@@ -66,6 +68,6 @@ mod engine;
 mod metrics;
 
 pub use api::{Combiner, Emitter, HashPartitioner, Mapper, Partitioner, Reducer};
-pub use config::{ClusterConfig, FaultPlan};
+pub use config::{Backend, ClusterConfig, FaultPlan};
 pub use engine::{JobError, JobResult, MapReduce};
-pub use metrics::JobMetrics;
+pub use metrics::{record_exec_stats, JobMetrics};

@@ -24,6 +24,17 @@ pub struct JobMetrics {
     pub pre_combine_pairs: u64,
     /// Distinct keys seen by the reduce stage.
     pub distinct_keys: u64,
+    /// Work-stealing backend: successful steal operations across stages.
+    pub steal_ops: u64,
+    /// Work-stealing backend: tasks migrated between worker deques.
+    pub tasks_stolen: u64,
+    /// Work-stealing backend: per-stage worker-deque high-water marks,
+    /// summed over stages.
+    pub queue_depth_peaks: u64,
+    /// Simulated backend: virtual scheduling units from job start to the
+    /// last attempt completion, summed over stages (the deterministic
+    /// makespan the Figure 9 cluster-scaling model reports).
+    pub virtual_makespan_units: u64,
     /// Wall time of the map stage.
     pub map_time: Duration,
     /// Wall time of the shuffle (partition + sort + group).
@@ -63,6 +74,10 @@ impl JobMetrics {
         self.shuffled_pairs += other.shuffled_pairs;
         self.pre_combine_pairs += other.pre_combine_pairs;
         self.distinct_keys += other.distinct_keys;
+        self.steal_ops += other.steal_ops;
+        self.tasks_stolen += other.tasks_stolen;
+        self.queue_depth_peaks += other.queue_depth_peaks;
+        self.virtual_makespan_units += other.virtual_makespan_units;
         self.map_time += other.map_time;
         self.shuffle_time += other.shuffle_time;
         self.reduce_time += other.reduce_time;
@@ -112,6 +127,18 @@ impl JobMetrics {
             .counter(names::MAPREDUCE_DISTINCT_KEYS)
             .add(self.distinct_keys);
         registry
+            .counter(names::MAPREDUCE_STEAL_OPS)
+            .add(self.steal_ops);
+        registry
+            .counter(names::MAPREDUCE_TASKS_STOLEN)
+            .add(self.tasks_stolen);
+        registry
+            .counter(names::MAPREDUCE_QUEUE_DEPTH_PEAKS)
+            .add(self.queue_depth_peaks);
+        registry
+            .counter(names::MAPREDUCE_VIRTUAL_MAKESPAN_UNITS)
+            .add(self.virtual_makespan_units);
+        registry
             .gauge(names::MAPREDUCE_MAP_TIME_SECONDS)
             .set(self.map_time.as_secs_f64());
         registry
@@ -124,6 +151,41 @@ impl JobMetrics {
             .gauge(names::MAPREDUCE_TOTAL_TIME_SECONDS)
             .set(self.total_time.as_secs_f64());
         self.index.record_to(registry);
+    }
+
+    /// Folds one executor session's counters into the job totals.
+    pub fn record_exec_session(&mut self, stats: &ev_exec::ExecStats) {
+        self.steal_ops += stats.steal_ops;
+        self.tasks_stolen += stats.tasks_stolen;
+        self.queue_depth_peaks += stats.queue_depth_peak;
+    }
+}
+
+/// Exports one `ev-exec` session's counters to the canonical
+/// `evm_exec_*` metrics: aggregate counters, the per-session worker
+/// count and queue-depth peak as gauges, and the per-worker executed
+/// task counts as observations of the `evm_exec_worker_tasks`
+/// histogram (its spread shows how evenly stealing balanced the load).
+pub fn record_exec_stats(registry: &MetricsRegistry, stats: &ev_exec::ExecStats) {
+    registry
+        .counter(names::EXEC_TASKS_EXECUTED)
+        .add(stats.tasks_executed);
+    registry
+        .counter(names::EXEC_TASKS_PANICKED)
+        .add(stats.tasks_panicked);
+    registry.counter(names::EXEC_STEAL_OPS).add(stats.steal_ops);
+    registry
+        .counter(names::EXEC_TASKS_STOLEN)
+        .add(stats.tasks_stolen);
+    registry
+        .gauge(names::EXEC_WORKERS)
+        .set(stats.threads as f64);
+    registry
+        .gauge(names::EXEC_QUEUE_DEPTH_PEAK)
+        .set(stats.queue_depth_peak as f64);
+    let histogram = registry.histogram(names::EXEC_WORKER_TASKS);
+    for &count in &stats.per_worker_executed {
+        histogram.record(count);
     }
 }
 

@@ -2,7 +2,7 @@
 //! reference computes, for any input, any cluster shape, and any
 //! (survivable) fault plan.
 
-use ev_mapreduce::{ClusterConfig, Emitter, FaultPlan, MapReduce, Mapper, Reducer};
+use ev_mapreduce::{Backend, ClusterConfig, Emitter, FaultPlan, MapReduce, Mapper, Reducer};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -81,6 +81,7 @@ proptest! {
         straggler_rate in 0.0f64..0.5,
         speculative in any::<bool>(),
         seed in any::<u64>(),
+        simulated in any::<bool>(),
     ) {
         let engine = MapReduce::new(ClusterConfig {
             workers: 3,
@@ -95,6 +96,7 @@ proptest! {
                 seed,
             },
             task_overhead_units: 100,
+            backend: if simulated { Backend::Simulated } else { Backend::WorkStealing },
         });
         let result = engine
             .run(inputs.clone(), &ModMapper { k }, &StatsReducer)

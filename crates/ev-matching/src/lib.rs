@@ -25,6 +25,9 @@
 //!   MapReduce adaptation (one EID per mapper).
 //! * [`parallel`] — the MapReduce parallelization (paper Algorithm 3) of
 //!   both stages on the [`ev_mapreduce`] engine.
+//! * [`sharded`] — real multi-core execution: the same pipeline sharded
+//!   by cell across the `ev-exec` work-stealing thread pool, with a
+//!   thread-count-independent (byte-identical) [`MatchReport`].
 //! * [`incremental`] — updates over a growing corpus: keep confident
 //!   matches, re-run only new or ambiguous EIDs.
 //! * [`matcher`] — the high-level [`EvMatcher`] API
@@ -47,6 +50,7 @@ pub mod parallel;
 pub mod practical;
 pub mod refine;
 pub mod setsplit;
+pub mod sharded;
 mod types;
 pub mod vfilter;
 

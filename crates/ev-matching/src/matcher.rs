@@ -36,6 +36,10 @@ pub enum ExecutionMode {
     Sequential,
     /// MapReduce pipeline (Algorithm 3) on a simulated cluster.
     Parallel(ClusterConfig),
+    /// Cell-sharded pipeline on this many real threads of the `ev-exec`
+    /// work-stealing pool; the report is byte-identical for every
+    /// thread count (see [`crate::sharded`]).
+    Sharded(usize),
 }
 
 /// Matcher configuration.
@@ -201,22 +205,38 @@ impl<'a> EvMatcher<'a> {
             )),
             ExecutionMode::Parallel(cluster) => {
                 let engine = MapReduce::new(cluster.clone()).with_telemetry(&self.telemetry);
-                let seed = match self.config.split.strategy {
-                    crate::setsplit::SelectionStrategy::RandomTime { seed } => seed,
-                    _ => 0,
-                };
                 parallel_match(
                     &engine,
                     self.estore,
                     self.video,
                     targets,
                     &ParallelSplitConfig {
-                        seed,
+                        seed: self.split_seed(),
                         max_iterations: None,
                     },
                     &self.config.vfilter,
                 )
             }
+            ExecutionMode::Sharded(threads) => crate::sharded::sharded_match(
+                *threads,
+                self.estore,
+                self.video,
+                targets,
+                &ParallelSplitConfig {
+                    seed: self.split_seed(),
+                    max_iterations: None,
+                },
+                &self.config.vfilter,
+                &self.telemetry,
+            ),
+        }
+    }
+
+    /// The splitting seed implied by the selection strategy.
+    fn split_seed(&self) -> u64 {
+        match self.config.split.strategy {
+            crate::setsplit::SelectionStrategy::RandomTime { seed } => seed,
+            _ => 0,
         }
     }
 
@@ -310,6 +330,22 @@ mod tests {
                 reduce_partitions: 2,
                 ..ClusterConfig::default()
             }),
+            ..MatcherConfig::default()
+        };
+        let matcher = EvMatcher::new(&store, &video, config);
+        let targets: BTreeSet<Eid> = (0..4).map(Eid::from_u64).collect();
+        let report = matcher.match_many(&targets).unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+        for o in &report.outcomes {
+            assert_eq!(o.vid.map(Vid::as_u64), Some(o.eid.as_u64()));
+        }
+    }
+
+    #[test]
+    fn match_many_sharded() {
+        let (store, video) = world();
+        let config = MatcherConfig {
+            execution: ExecutionMode::Sharded(3),
             ..MatcherConfig::default()
         };
         let matcher = EvMatcher::new(&store, &video, config);

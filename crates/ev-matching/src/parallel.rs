@@ -160,7 +160,7 @@ pub fn parallel_split_scan(
     )
 }
 
-fn parallel_split_impl(
+pub(crate) fn parallel_split_impl(
     engine: &MapReduce,
     store: &EScenarioStore,
     targets: &BTreeSet<Eid>,
@@ -391,7 +391,7 @@ pub fn parallel_vfilter(
 /// Driver-side exclusion: when several EIDs claim the same VID, the
 /// strongest claim wins and the losers re-filter with the claimed VIDs
 /// ruled out (sequentially — this tail is small).
-fn resolve_conflicts(
+pub(crate) fn resolve_conflicts(
     outcomes: &mut [MatchOutcome],
     lists: &BTreeMap<Eid, ScenarioList>,
     video: &VideoStore,

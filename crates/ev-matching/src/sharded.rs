@@ -1,0 +1,436 @@
+//! Sharded multi-core matching on the `ev-exec` work-stealing pool.
+//!
+//! [`parallel_match`](crate::parallel::parallel_match) runs Algorithm 3
+//! through the MapReduce engine; this module is the *thread-level*
+//! parallelization the paper's cluster experiment implies (§V): real
+//! worker threads share one machine's cores instead of simulated
+//! cluster nodes.
+//!
+//! The pipeline has three parallel phases:
+//!
+//! 1. **E stage** — Algorithm 3 set splitting on a MapReduce engine
+//!    backed by the same work-stealing pool. The job geometry
+//!    (`split_size`, `reduce_partitions`) is pinned so the stage output
+//!    is a pure function of `(store, targets, seed)` — independent of
+//!    the thread count.
+//! 2. **Shard extraction** — the store's cells are dealt round-robin
+//!    into one [`CellShard`](ev_store::CellShard) per worker. Each
+//!    worker builds a *private* inverted index over its shard, walks
+//!    the posting lists of the requested EIDs to find the selected
+//!    scenarios living in its cells, and batch-extracts them into the
+//!    (thread-safe) video store cache. Shard unions are exactly the
+//!    selected set, so the cache ends up identical for every thread
+//!    count.
+//! 3. **Scoring** — one task per EID scores its recorded list with
+//!    [`filter_one`] (exclusion off), merged back in input order;
+//!    exclusion conflicts are then resolved by the same driver-side
+//!    fixup the MapReduce path uses.
+//!
+//! Every phase is deterministic in content and order for a fixed input,
+//! which is what makes `sharded_match(threads = k)` reproduce the
+//! `k = 1` [`MatchReport`] byte-identically (timings aside) — asserted
+//! by the cross-thread equivalence tests.
+
+use crate::parallel::{parallel_split_impl, resolve_conflicts, ParallelSplitConfig};
+use crate::types::{IndexCounters, MatchOutcome, MatchReport, ScenarioList, StageTimings};
+use crate::vfilter::{filter_one, VFilterConfig};
+use ev_core::ids::Eid;
+use ev_core::scenario::ScenarioId;
+use ev_exec::Executor;
+use ev_mapreduce::{record_exec_stats, Backend, ClusterConfig, JobError, JobMetrics, MapReduce};
+use ev_store::{EScenarioStore, StoreBackend, VideoStore};
+use ev_telemetry::Telemetry;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Sharded matching over any [`StoreBackend`].
+///
+/// # Errors
+///
+/// Propagates [`JobError`] from the E-stage engine;
+/// [`JobError::WorkerPanicked`] if a V-stage worker task panics.
+pub fn sharded_match_on<B: StoreBackend>(
+    threads: usize,
+    backend: &B,
+    targets: &BTreeSet<Eid>,
+    split_config: &ParallelSplitConfig,
+    vfilter_config: &VFilterConfig,
+    telemetry: &Telemetry,
+) -> Result<MatchReport, JobError> {
+    sharded_match(
+        threads,
+        backend.estore(),
+        backend.video(),
+        targets,
+        split_config,
+        vfilter_config,
+        telemetry,
+    )
+}
+
+/// Full sharded pipeline: Algorithm 3 splitting on a work-stealing
+/// MapReduce engine, then cell-sharded extraction and per-EID scoring
+/// across `threads` real threads. See the module docs for the phase
+/// breakdown and the determinism argument.
+///
+/// # Errors
+///
+/// Propagates [`JobError`] from the E-stage engine;
+/// [`JobError::WorkerPanicked`] if a V-stage worker task panics.
+pub fn sharded_match(
+    threads: usize,
+    store: &EScenarioStore,
+    video: &VideoStore,
+    targets: &BTreeSet<Eid>,
+    split_config: &ParallelSplitConfig,
+    vfilter_config: &VFilterConfig,
+    telemetry: &Telemetry,
+) -> Result<MatchReport, JobError> {
+    let threads = threads.max(1);
+    let mut pipeline_span = telemetry.span("sharded_match", "pipeline");
+    pipeline_span.arg("threads", serde::Value::Int(threads as i128));
+    let mut metrics = JobMetrics::default();
+    let index_before = store.index().stats();
+    let cache_hits_before = video.stats().cache_hits;
+    let extracted_before = video.stats().extracted_scenarios;
+
+    // ---- E stage: Algorithm 3 on the work-stealing engine ----
+    // The job geometry is pinned (not taken from a caller-supplied
+    // ClusterConfig): the engine's shuffle already makes job output
+    // independent of worker count, so with fixed split_size and
+    // reduce_partitions the whole stage depends only on
+    // (store, targets, seed).
+    let engine = MapReduce::new(ClusterConfig {
+        workers: threads,
+        split_size: 8,
+        reduce_partitions: 4,
+        backend: Backend::WorkStealing,
+        ..ClusterConfig::default()
+    })
+    .with_telemetry(telemetry);
+    let e_start = Instant::now();
+    let split = {
+        let mut e_span = telemetry.span("parallel_split", "stage");
+        let out = parallel_split_impl(&engine, store, targets, split_config, false, &mut metrics)?;
+        e_span.arg(
+            "examined",
+            serde::Value::Int(out.scenarios_examined as i128),
+        );
+        e_span.arg("recorded", serde::Value::Int(out.recorded.len() as i128));
+        out
+    };
+    let e_stage = e_start.elapsed();
+
+    let exec = Executor::new(threads);
+    let v_start = Instant::now();
+    let selected: BTreeSet<ScenarioId> = split
+        .lists
+        .values()
+        .flat_map(|l| l.iter().copied())
+        .collect();
+
+    // ---- shard extraction: one private index + gallery batch per shard ----
+    let mut local_postings_probed = 0u64;
+    {
+        let mut extract_span = telemetry.span("shard_extract", "stage");
+        let shards = store.shard_cells(threads);
+        let (per_shard, stats) = exec.map_ordered(shards, |_ctx, shard| {
+            let index = shard.build_index();
+            let mut batch: BTreeSet<ScenarioId> = BTreeSet::new();
+            for &eid in targets {
+                for &id in index.postings(eid) {
+                    if selected.contains(&id) {
+                        batch.insert(id);
+                    }
+                }
+            }
+            let extracted = batch
+                .iter()
+                .filter(|&&id| video.extract(id).is_some())
+                .count() as u64;
+            (extracted, index.stats().postings_probed)
+        });
+        metrics.record_exec_session(&stats);
+        if telemetry.counters_on() {
+            record_exec_stats(telemetry.registry(), &stats);
+        }
+        let mut batched = 0u64;
+        for result in per_shard {
+            let (extracted, probed) = result.map_err(|panic| JobError::WorkerPanicked {
+                stage: "shard_extract",
+                message: panic.message,
+            })?;
+            batched += extracted;
+            local_postings_probed += probed;
+        }
+        extract_span.arg("extracted", serde::Value::Int(i128::from(batched)));
+    }
+
+    // ---- scoring: one task per EID, merged in input (= EID) order ----
+    let outcomes = {
+        let mut score_span = telemetry.span("sharded_vfilter", "stage");
+        let inputs: Vec<(Eid, ScenarioList)> =
+            split.lists.iter().map(|(&e, l)| (e, l.clone())).collect();
+        score_span.arg("eids", serde::Value::Int(inputs.len() as i128));
+        let score_config = VFilterConfig {
+            exclusion: false,
+            ..*vfilter_config
+        };
+        let (scored, stats) = exec.map_ordered(inputs, |_ctx, (eid, list): (Eid, ScenarioList)| {
+            filter_one(eid, &list, video, &score_config, &BTreeSet::new())
+        });
+        metrics.record_exec_session(&stats);
+        if telemetry.counters_on() {
+            record_exec_stats(telemetry.registry(), &stats);
+        }
+        let mut outcomes: Vec<MatchOutcome> = Vec::with_capacity(scored.len());
+        for result in scored {
+            outcomes.push(result.map_err(|panic| JobError::WorkerPanicked {
+                stage: "sharded_vfilter",
+                message: panic.message,
+            })?);
+        }
+        if vfilter_config.exclusion {
+            resolve_conflicts(&mut outcomes, &split.lists, video, vfilter_config);
+        }
+        outcomes.sort_by_key(|o| o.eid);
+        outcomes
+    };
+    let v_stage = v_start.elapsed();
+
+    // ---- assemble, exactly like the MapReduce path ----
+    let index_delta = store.index().stats().since(&index_before);
+    let cache_hits = video.stats().cache_hits - cache_hits_before;
+    let extracted = video.stats().extracted_scenarios - extracted_before;
+    let index = IndexCounters {
+        // Shard-private index probes are real index work; fold them in
+        // next to the shared store index's own counters.
+        postings_probed: index_delta.postings_probed + local_postings_probed,
+        cache_hits,
+        scans_avoided: index_delta.scans_avoided,
+    };
+    metrics.record_index_counters(&index);
+
+    let examined = split.scenarios_examined;
+    let recorded_len = split.recorded.len();
+    let report = MatchReport {
+        outcomes,
+        selected_scenarios: split.selected(),
+        lists: split.lists,
+        timings: StageTimings {
+            e_stage,
+            v_stage,
+            index,
+        },
+        rounds: 1,
+    };
+    if telemetry.counters_on() {
+        let registry = telemetry.registry();
+        registry
+            .counter(ev_telemetry::names::SETSPLIT_SCENARIOS_EXAMINED)
+            .add(examined as u64);
+        registry
+            .counter(ev_telemetry::names::SETSPLIT_RECORDED)
+            .add(recorded_len as u64);
+        registry
+            .counter(ev_telemetry::names::VFILTER_GALLERY_HITS)
+            .add(cache_hits);
+        registry
+            .counter(ev_telemetry::names::VFILTER_GALLERY_MISSES)
+            .add(extracted as u64);
+        let total = cache_hits + extracted as u64;
+        if total > 0 {
+            registry
+                .gauge(ev_telemetry::names::VFILTER_GALLERY_HIT_RATIO)
+                .set(cache_hits as f64 / total as f64);
+        }
+        report.timings.record_to(registry);
+        // As in `parallel_match`: Algorithm 3 records whole timestamp
+        // snapshots, so the Theorem 4.2/4.4 recorded-count bounds do
+        // not apply and fully_split stays false.
+        crate::refine::record_paper_gauges(
+            registry,
+            targets.len(),
+            recorded_len,
+            false,
+            extracted as u64,
+            &report,
+        );
+    }
+    pipeline_span.arg("outcomes", serde::Value::Int(report.outcomes.len() as i128));
+    drop(pipeline_span);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::parallel_match;
+    use ev_core::feature::FeatureVector;
+    use ev_core::ids::Vid;
+    use ev_core::region::CellId;
+    use ev_core::scenario::{Detection, EScenario, VScenario, ZoneAttr};
+    use ev_core::time::Timestamp;
+    use ev_vision::cost::CostModel;
+
+    fn world() -> (EScenarioStore, VideoStore) {
+        let layout: Vec<(u64, usize, Vec<u64>)> = vec![
+            (0, 0, vec![0, 1, 2, 3]),
+            (0, 1, vec![4, 5, 6, 7]),
+            (1, 0, vec![0, 1, 4, 5]),
+            (1, 1, vec![2, 3, 6, 7]),
+            (2, 0, vec![0, 2, 4, 6]),
+            (2, 1, vec![1, 3, 5, 7]),
+        ];
+        let mut es = Vec::new();
+        let mut vs = Vec::new();
+        for (t, c, people) in &layout {
+            let mut e = EScenario::new(CellId::new(*c), Timestamp::new(*t));
+            let mut v = VScenario::new(CellId::new(*c), Timestamp::new(*t));
+            for &p in people {
+                e.insert(Eid::from_u64(p), ZoneAttr::Inclusive);
+                let mut f = vec![0.05; 8];
+                f[p as usize] = 0.95;
+                v.push(Detection {
+                    vid: Vid::new(p),
+                    feature: FeatureVector::new(f).unwrap(),
+                });
+            }
+            es.push(e);
+            vs.push(v);
+        }
+        (
+            EScenarioStore::from_scenarios(es),
+            VideoStore::new(vs, CostModel::free()),
+        )
+    }
+
+    fn targets() -> BTreeSet<Eid> {
+        (0..8).map(Eid::from_u64).collect()
+    }
+
+    #[test]
+    fn sharded_match_labels_everyone() {
+        let (store, video) = world();
+        let report = sharded_match(
+            2,
+            &store,
+            &video,
+            &targets(),
+            &ParallelSplitConfig::default(),
+            &VFilterConfig::default(),
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(report.outcomes.len(), 8);
+        for o in &report.outcomes {
+            assert_eq!(o.vid.map(Vid::as_u64), Some(o.eid.as_u64()));
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_report() {
+        let (store, video) = world();
+        let run = |threads: usize| {
+            // Fresh video store per run so extraction caching cannot
+            // leak across thread counts.
+            let (_, video_fresh) = world();
+            let _ = &video;
+            sharded_match(
+                threads,
+                &store,
+                &video_fresh,
+                &targets(),
+                &ParallelSplitConfig {
+                    seed: 7,
+                    max_iterations: None,
+                },
+                &VFilterConfig::default(),
+                Telemetry::disabled(),
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            let report = run(threads);
+            assert_eq!(report.outcomes, reference.outcomes, "threads={threads}");
+            assert_eq!(report.lists, reference.lists, "threads={threads}");
+            assert_eq!(
+                report.selected_scenarios, reference.selected_scenarios,
+                "threads={threads}"
+            );
+            assert_eq!(report.rounds, reference.rounds);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_the_mapreduce_path() {
+        // The sharded pipeline must agree with parallel_match run on an
+        // engine with the same pinned job geometry: same split output,
+        // same scoring, same conflict fixup.
+        let (store, video) = world();
+        let split_config = ParallelSplitConfig {
+            seed: 3,
+            max_iterations: None,
+        };
+        let sharded = sharded_match(
+            4,
+            &store,
+            &video,
+            &targets(),
+            &split_config,
+            &VFilterConfig::default(),
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let (store2, video2) = world();
+        let engine = MapReduce::new(ClusterConfig {
+            workers: 1,
+            split_size: 8,
+            reduce_partitions: 4,
+            ..ClusterConfig::default()
+        });
+        let mapreduce = parallel_match(
+            &engine,
+            &store2,
+            &video2,
+            &targets(),
+            &split_config,
+            &VFilterConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(sharded.outcomes, mapreduce.outcomes);
+        assert_eq!(sharded.lists, mapreduce.lists);
+        assert_eq!(sharded.selected_scenarios, mapreduce.selected_scenarios);
+    }
+
+    #[test]
+    fn shard_extraction_warms_the_whole_gallery() {
+        let (store, video) = world();
+        let report = sharded_match(
+            3,
+            &store,
+            &video,
+            &targets(),
+            &ParallelSplitConfig::default(),
+            &VFilterConfig::default(),
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let distinct: BTreeSet<ScenarioId> = report
+            .lists
+            .values()
+            .flat_map(|l| l.iter().copied())
+            .collect();
+        // Scoring may extract list entries the shard batch skipped
+        // (padding scenarios that contain no requested EID), so the
+        // extraction count can only be bounded below by the batch and
+        // above by the distinct list union.
+        let stats = video.stats();
+        assert!(stats.extracted_scenarios <= distinct.len());
+        assert!(
+            stats.cache_hits > 0,
+            "scoring must reuse the shard workers' extractions"
+        );
+    }
+}

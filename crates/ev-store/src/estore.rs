@@ -150,6 +150,11 @@ impl EScenarioStore {
             .map(|&i| &self.scenarios[i])
     }
 
+    /// All distinct cells with at least one scenario, ascending.
+    pub(crate) fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.by_cell.keys().copied()
+    }
+
     /// Scenarios covering `cell`, in time order.
     pub fn at_cell(&self, cell: CellId) -> impl Iterator<Item = &EScenario> {
         self.by_cell

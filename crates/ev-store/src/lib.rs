@@ -33,9 +33,11 @@
 mod backend;
 mod estore;
 mod index;
+mod shard;
 mod video;
 
 pub use backend::{MemoryBackend, StoreBackend};
 pub use estore::{EScenarioStore, IngestStats};
 pub use index::{IndexStatsSnapshot, ScenarioIndex};
+pub use shard::CellShard;
 pub use video::{VideoStore, VideoStoreStats};

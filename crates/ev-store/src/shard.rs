@@ -1,0 +1,172 @@
+//! Cell-sharded views over an [`EScenarioStore`].
+//!
+//! Sharded matching (paper §V) distributes work across workers by
+//! *cell*: every scenario belongs to exactly one cell, so partitioning
+//! the cell set partitions the scenario set with no overlap. A
+//! [`CellShard`] is a borrowed view — it owns only its cell list and
+//! reads scenarios straight out of the parent store, so shards are
+//! cheap to build and safe to hand to worker threads (`EScenarioStore`
+//! is `Sync`; the shards never mutate it).
+//!
+//! [`EScenarioStore::shard_cells`] deals cells round-robin in ascending
+//! cell order, which keeps shard sizes within one cell of each other
+//! *by cell count* (scenario counts may still skew when cells are hot —
+//! exactly the imbalance the work-stealing executor absorbs).
+
+use crate::estore::EScenarioStore;
+use crate::index::ScenarioIndex;
+use ev_core::region::CellId;
+use ev_core::scenario::EScenario;
+
+/// A borrowed, read-only view of the scenarios in one shard's cells.
+#[derive(Debug, Clone)]
+pub struct CellShard<'a> {
+    store: &'a EScenarioStore,
+    cells: Vec<CellId>,
+}
+
+impl<'a> CellShard<'a> {
+    /// The cells this shard owns, ascending.
+    #[must_use]
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Iterates the shard's scenarios: cells ascending, time ascending
+    /// within each cell. Deterministic for a given (store, cell set).
+    pub fn scenarios(&self) -> impl Iterator<Item = &'a EScenario> + '_ {
+        let store = self.store;
+        self.cells.iter().flat_map(move |&c| store.at_cell(c))
+    }
+
+    /// Number of scenarios in the shard.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scenarios().count()
+    }
+
+    /// Whether the shard holds no scenarios.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scenarios().next().is_none()
+    }
+
+    /// Builds a private inverted EID → scenario index over just this
+    /// shard's scenarios. Each worker indexes its own shard, so index
+    /// construction parallelizes with the rest of the shard's work and
+    /// no usage counters are shared across threads.
+    #[must_use]
+    pub fn build_index(&self) -> ScenarioIndex {
+        ScenarioIndex::build(self.scenarios())
+    }
+}
+
+impl EScenarioStore {
+    /// Splits the store's cells into `shards` disjoint [`CellShard`]
+    /// views, dealing cells round-robin in ascending order. The union
+    /// of all shards' scenarios is exactly the store; shards whose turn
+    /// never comes (more shards than cells) are returned empty so the
+    /// caller can zip shards to workers positionally.
+    ///
+    /// The partition depends only on the store contents and `shards`,
+    /// never on thread scheduling.
+    #[must_use]
+    pub fn shard_cells(&self, shards: usize) -> Vec<CellShard<'_>> {
+        let shards = shards.max(1);
+        let mut out: Vec<CellShard<'_>> = (0..shards)
+            .map(|_| CellShard {
+                store: self,
+                cells: Vec::new(),
+            })
+            .collect();
+        for (i, cell) in self.cell_ids().enumerate() {
+            out[i % shards].cells.push(cell);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use ev_core::ids::Eid;
+    use ev_core::scenario::{EScenario, ScenarioId, ZoneAttr};
+    use ev_core::time::Timestamp;
+
+    use super::*;
+
+    fn scenario(cell: usize, time: u64, eids: &[u64]) -> EScenario {
+        let mut s = EScenario::new(CellId::new(cell), Timestamp::new(time));
+        for &e in eids {
+            s.insert(Eid::from_u64(e), ZoneAttr::Inclusive);
+        }
+        s
+    }
+
+    fn store() -> EScenarioStore {
+        EScenarioStore::from_scenarios(vec![
+            scenario(0, 0, &[1, 2]),
+            scenario(1, 0, &[3]),
+            scenario(0, 1, &[1]),
+            scenario(2, 2, &[2, 3]),
+            scenario(3, 2, &[4]),
+            scenario(4, 3, &[1, 4]),
+        ])
+    }
+
+    #[test]
+    fn shards_partition_every_scenario_exactly_once() {
+        let s = store();
+        for k in 1..=7 {
+            let shards = s.shard_cells(k);
+            assert_eq!(shards.len(), k);
+            let mut seen: Vec<ScenarioId> = shards
+                .iter()
+                .flat_map(|sh| sh.scenarios().map(EScenario::id))
+                .collect();
+            seen.sort();
+            let all: Vec<ScenarioId> = s.iter().map(EScenario::id).collect();
+            assert_eq!(seen, all, "k={k}: union of shards is the store");
+        }
+    }
+
+    #[test]
+    fn cells_deal_round_robin_in_ascending_order() {
+        let s = store();
+        let shards = s.shard_cells(2);
+        let cells: Vec<Vec<usize>> = shards
+            .iter()
+            .map(|sh| sh.cells().iter().map(|c| c.index()).collect())
+            .collect();
+        assert_eq!(cells, vec![vec![0, 2, 4], vec![1, 3]]);
+    }
+
+    #[test]
+    fn more_shards_than_cells_yields_empty_tails() {
+        let s = store();
+        let shards = s.shard_cells(9);
+        assert_eq!(shards.len(), 9);
+        assert!(shards[5].is_empty() && shards[8].is_empty());
+        assert_eq!(shards[0].len(), 2, "cell 0 has two scenarios");
+    }
+
+    #[test]
+    fn shard_index_answers_like_the_global_index_restricted_to_the_shard() {
+        let s = store();
+        for shard in s.shard_cells(3) {
+            let index = shard.build_index();
+            for e in 0..6 {
+                let eid = Eid::from_u64(e);
+                let local: Vec<ScenarioId> = index.postings(eid).to_vec();
+                let expected: Vec<ScenarioId> = shard
+                    .scenarios()
+                    .filter(|sc| sc.contains(eid))
+                    .map(EScenario::id)
+                    .collect();
+                // Postings are id-ordered; shard iteration is cell-major.
+                let mut expected_sorted = expected.clone();
+                expected_sorted.sort();
+                assert_eq!(local, expected_sorted, "EID {e}");
+            }
+        }
+    }
+}

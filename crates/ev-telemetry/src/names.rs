@@ -42,6 +42,14 @@ pub const MAPREDUCE_SHUFFLED_PAIRS: &str = "evm_mapreduce_shuffled_pairs";
 pub const MAPREDUCE_PRE_COMBINE_PAIRS: &str = "evm_mapreduce_pre_combine_pairs";
 /// Distinct keys seen by the reduce stage.
 pub const MAPREDUCE_DISTINCT_KEYS: &str = "evm_mapreduce_distinct_keys";
+/// Successful steal operations on the work-stealing backend.
+pub const MAPREDUCE_STEAL_OPS: &str = "evm_mapreduce_steal_ops";
+/// Tasks migrated between worker deques by steals.
+pub const MAPREDUCE_TASKS_STOLEN: &str = "evm_mapreduce_tasks_stolen";
+/// Per-stage worker-deque depth high-water marks, summed over stages.
+pub const MAPREDUCE_QUEUE_DEPTH_PEAKS: &str = "evm_mapreduce_queue_depth_peaks";
+/// Virtual makespan units accumulated by the simulated backend.
+pub const MAPREDUCE_VIRTUAL_MAKESPAN_UNITS: &str = "evm_mapreduce_virtual_makespan_units";
 /// Map-stage wall time, seconds.
 pub const MAPREDUCE_MAP_TIME_SECONDS: &str = "evm_mapreduce_map_time_seconds";
 /// Shuffle wall time, seconds.
@@ -50,6 +58,22 @@ pub const MAPREDUCE_SHUFFLE_TIME_SECONDS: &str = "evm_mapreduce_shuffle_time_sec
 pub const MAPREDUCE_REDUCE_TIME_SECONDS: &str = "evm_mapreduce_reduce_time_seconds";
 /// End-to-end job wall time, seconds.
 pub const MAPREDUCE_TOTAL_TIME_SECONDS: &str = "evm_mapreduce_total_time_seconds";
+
+/// Task attempts executed by `ev-exec` sessions (panicked ones included).
+pub const EXEC_TASKS_EXECUTED: &str = "evm_exec_tasks_executed";
+/// Task attempts isolated after panicking inside an `ev-exec` worker.
+pub const EXEC_TASKS_PANICKED: &str = "evm_exec_tasks_panicked";
+/// Successful steal operations inside `ev-exec` sessions.
+pub const EXEC_STEAL_OPS: &str = "evm_exec_steal_ops";
+/// Tasks moved between `ev-exec` worker deques by steals.
+pub const EXEC_TASKS_STOLEN: &str = "evm_exec_tasks_stolen";
+/// Worker threads of the most recent `ev-exec` session.
+pub const EXEC_WORKERS: &str = "evm_exec_workers";
+/// Deque-depth high-water mark of the most recent `ev-exec` session.
+pub const EXEC_QUEUE_DEPTH_PEAK: &str = "evm_exec_queue_depth_peak";
+/// Histogram of per-worker executed-task counts (one observation per
+/// worker per session) — its spread is the load-balance picture.
+pub const EXEC_WORKER_TASKS: &str = "evm_exec_worker_tasks";
 
 /// Posting lists fetched from the inverted scenario index.
 pub const INDEX_POSTINGS_PROBED: &str = "evm_index_postings_probed";
@@ -120,6 +144,14 @@ pub const ALL_COUNTERS: &[&str] = &[
     MAPREDUCE_SHUFFLED_PAIRS,
     MAPREDUCE_PRE_COMBINE_PAIRS,
     MAPREDUCE_DISTINCT_KEYS,
+    MAPREDUCE_STEAL_OPS,
+    MAPREDUCE_TASKS_STOLEN,
+    MAPREDUCE_QUEUE_DEPTH_PEAKS,
+    MAPREDUCE_VIRTUAL_MAKESPAN_UNITS,
+    EXEC_TASKS_EXECUTED,
+    EXEC_TASKS_PANICKED,
+    EXEC_STEAL_OPS,
+    EXEC_TASKS_STOLEN,
     INDEX_POSTINGS_PROBED,
     INDEX_CACHE_HITS,
     INDEX_SCANS_AVOIDED,
@@ -140,6 +172,8 @@ pub const ALL_GAUGES: &[&str] = &[
     MAPREDUCE_SHUFFLE_TIME_SECONDS,
     MAPREDUCE_REDUCE_TIME_SECONDS,
     MAPREDUCE_TOTAL_TIME_SECONDS,
+    EXEC_WORKERS,
+    EXEC_QUEUE_DEPTH_PEAK,
     INDEX_BUILD_NS,
     STAGE_E_SECONDS,
     STAGE_V_SECONDS,
@@ -155,7 +189,11 @@ pub const ALL_GAUGES: &[&str] = &[
 ];
 
 /// Every canonical histogram name.
-pub const ALL_HISTOGRAMS: &[&str] = &[SETSPLIT_SPLITTER_GAIN, VFILTER_SCORING_NS];
+pub const ALL_HISTOGRAMS: &[&str] = &[
+    SETSPLIT_SPLITTER_GAIN,
+    VFILTER_SCORING_NS,
+    EXEC_WORKER_TASKS,
+];
 
 /// Registers every canonical metric at its zero value, so an exported
 /// profile always contains the full schema even when a run never touched

@@ -5,7 +5,8 @@
 //! evmatch ingest    --data-dir DIR [--population N] [--duration T]
 //!                   [--seed S] [--json]
 //! evmatch match     [--population N] [--duration T] [--seed S]
-//!                   [--targets K] [--mode ideal|practical] [--workers W]
+//!                   [--targets K] [--mode ideal|practical]
+//!                   [--workers W | --threads N]
 //!                   [--telemetry off|counters|full] [--trace-out PATH]
 //!                   [--metrics-out PATH] [--json]
 //!                   [--data-dir DIR] [--recovery strict|salvage]
@@ -24,6 +25,12 @@
 //! dataset). A corpus interrupted mid-append is healed on open; pass
 //! `--recovery salvage` to additionally keep the valid prefix of a
 //! damaged (not merely torn) corpus.
+//!
+//! `--workers W` runs the MapReduce pipeline (Algorithm 3);
+//! `--threads N` runs the cell-sharded pipeline on `N` real threads of
+//! the `ev-exec` work-stealing pool — its report is byte-identical for
+//! every `N`, so the flag only changes wall time. The two flags are
+//! mutually exclusive.
 //!
 //! `--metrics-out` implies the `counters` telemetry level and
 //! `--trace-out` implies `full`; an explicit `--telemetry` wins over
@@ -48,6 +55,7 @@ struct CommonArgs {
     targets: usize,
     mode: SplitMode,
     workers: Option<usize>,
+    threads: Option<usize>,
     json: bool,
     telemetry: Option<TelemetryLevel>,
     trace_out: Option<String>,
@@ -82,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
         targets: 50,
         mode: SplitMode::Practical,
         workers: None,
+        threads: None,
         json: false,
         telemetry: None,
         trace_out: None,
@@ -103,6 +112,7 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
             "--seed" => out.seed = take()?.parse().map_err(|e| format!("{e}"))?,
             "--targets" => out.targets = take()?.parse().map_err(|e| format!("{e}"))?,
             "--workers" => out.workers = Some(take()?.parse().map_err(|e| format!("{e}"))?),
+            "--threads" => out.threads = Some(take()?.parse().map_err(|e| format!("{e}"))?),
             "--mode" => {
                 out.mode = match take()?.as_str() {
                     "ideal" => SplitMode::Ideal,
@@ -180,13 +190,17 @@ fn cmd_generate(args: &CommonArgs) -> Result<(), String> {
 fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
     let dataset = build_dataset(args)?;
     let targets = sample_targets(&dataset, args.targets, args.seed);
-    let execution = match args.workers {
-        None => ExecutionMode::Sequential,
-        Some(w) => ExecutionMode::Parallel(ClusterConfig {
+    let execution = match (args.workers, args.threads) {
+        (Some(_), Some(_)) => {
+            return Err("--workers and --threads are mutually exclusive".into());
+        }
+        (None, Some(n)) => ExecutionMode::Sharded(n.max(1)),
+        (Some(w), None) => ExecutionMode::Parallel(ClusterConfig {
             workers: w.max(1),
             reduce_partitions: w.max(1),
             ..ClusterConfig::default()
         }),
+        (None, None) => ExecutionMode::Sequential,
     };
     let config = MatcherConfig {
         mode: args.mode,

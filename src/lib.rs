@@ -20,6 +20,7 @@
 //! | [`vision`] | `ev-vision` | synthetic appearance, detection, re-id, costs |
 //! | [`store`] | `ev-store` | scenario database and lazy video store |
 //! | [`disk`] | `ev-disk` | persistent segmented corpus with crash-safe append |
+//! | [`exec`] | `ev-exec` | zero-dependency work-stealing thread-pool executor |
 //! | [`mapreduce`] | `ev-mapreduce` | the from-scratch MapReduce engine |
 //! | [`matching`] | `ev-matching` | set splitting, VID filtering, EDP, Algorithm 3 |
 //! | [`datagen`] | `ev-datagen` | end-to-end synthetic dataset generation |
@@ -54,6 +55,7 @@
 pub use ev_core as core;
 pub use ev_datagen as datagen;
 pub use ev_disk as disk;
+pub use ev_exec as exec;
 pub use ev_fusion as fusion;
 pub use ev_mapreduce as mapreduce;
 pub use ev_matching as matching;

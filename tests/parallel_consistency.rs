@@ -128,6 +128,59 @@ fn parallel_match_accuracy_is_comparable_to_sequential() {
 }
 
 #[test]
+fn sharded_report_is_byte_identical_across_thread_counts() {
+    use evmatch::matching::parallel::ParallelSplitConfig;
+    use evmatch::matching::sharded::sharded_match;
+
+    let d = dataset();
+    let targets = sample_targets(&d, 40, 6);
+    let split_config = ParallelSplitConfig {
+        seed: 11,
+        max_iterations: None,
+    };
+    let run = |threads: usize| {
+        d.video.reset_usage();
+        sharded_match(
+            threads,
+            &d.estore,
+            &d.video,
+            &targets,
+            &split_config,
+            &VFilterConfig::default(),
+            Telemetry::disabled(),
+        )
+        .unwrap()
+    };
+    let reference = run(1);
+    let ncpu = std::thread::available_parallelism().map_or(4, |n| n.get().max(2));
+    for threads in [2, ncpu] {
+        let report = run(threads);
+        assert_eq!(report.outcomes, reference.outcomes, "threads={threads}");
+        assert_eq!(report.lists, reference.lists, "threads={threads}");
+        assert_eq!(
+            report.selected_scenarios, reference.selected_scenarios,
+            "threads={threads}"
+        );
+        assert_eq!(report.rounds, reference.rounds, "threads={threads}");
+    }
+}
+
+#[test]
+fn matcher_facade_runs_sharded_mode() {
+    let d = dataset();
+    let targets = sample_targets(&d, 25, 7);
+    let config = MatcherConfig {
+        execution: ExecutionMode::Sharded(2),
+        ..MatcherConfig::default()
+    };
+    let matcher = EvMatcher::new(&d.estore, &d.video, config);
+    let report = matcher.match_many(&targets).unwrap();
+    assert_eq!(report.outcomes.len(), 25);
+    let stats = score_report(&d, &report);
+    assert!(stats.accuracy > 0.7, "{:.1}%", stats.percent());
+}
+
+#[test]
 fn matcher_facade_runs_parallel_mode() {
     let d = dataset();
     let targets = sample_targets(&d, 25, 5);
