@@ -1,0 +1,225 @@
+//! Benchmarks the anytime VID filter against the exhaustive one and
+//! writes the record to `results/BENCH_anytime.json`.
+//!
+//! Workload: EDP-style *full* recorded lists (every scenario whose
+//! E-snapshot contains the EID) over a dense, high-churn crowd — the
+//! regime the anytime scorer exists for. Galleries are deep (~25
+//! detections per scenario, so an exact membership max is ~25
+//! similarity evaluations per pair) and trajectories churn, so most
+//! candidates hover near the presence quorum and the leader separates
+//! after few — often zero — exact refinements. Both paths share one
+//! warm [`GalleryCache`], exactly like the batch matcher: extraction,
+//! grouping and the per-scenario bound boxes amortize across EIDs, and
+//! what is timed is the per-EID scoring work. Per EID we time
+//! [`filter_one_cached`] (exact) and [`partial_filter_one_instrumented`]
+//! at `--confidence 0.95`, take the best of `REPS` runs each, and
+//! report the medians across EIDs.
+//!
+//! Acceptance (`ISSUE` / CI): median anytime latency at confidence
+//! 0.95 must be at least 2× below the exact median, with **zero**
+//! accuracy loss on converged EIDs — a converged anytime VID that
+//! differs from the exhaustive VID is a hard failure, not a statistic.
+//!
+//! Custom main (no criterion harness): the record must land in JSON.
+
+use ev_datagen::{sample_targets, DatasetConfig, EvDataset};
+use ev_matching::anytime::{partial_filter_one_instrumented, AnytimeConfig};
+use ev_matching::vfilter::{filter_one_cached, GalleryCache, VFilterConfig};
+use ev_telemetry::Telemetry;
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::time::Instant;
+
+const CONFIDENCE: f64 = 0.95;
+const REPS: usize = 5;
+
+#[derive(Debug, Serialize)]
+struct PerEid {
+    eid: String,
+    list_len: usize,
+    exact_ns: u64,
+    anytime_ns: u64,
+    scenarios_scored: usize,
+    converged: bool,
+    agrees_with_exact: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Record {
+    population: u64,
+    cell_size: f64,
+    duration: u64,
+    seed: u64,
+    confidence: f64,
+    eids: usize,
+    median_list_len: usize,
+    median_exact_ns: u64,
+    median_anytime_ns: u64,
+    /// `median_exact_ns / median_anytime_ns`; the acceptance bar is ≥ 2.
+    median_speedup: f64,
+    converged_fraction: f64,
+    /// Converged EIDs whose VID equals the exhaustive VID, over all
+    /// converged EIDs. Must be exactly 1.0.
+    accuracy_at_convergence: f64,
+    /// Scenarios settled (proven equal to the exact vote) by the
+    /// anytime path at its stopping point, over the total.
+    scored_fraction: f64,
+    per_eid: Vec<PerEid>,
+    note: &'static str,
+}
+
+fn median<T: Copy + Ord>(xs: &mut [T]) -> T {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (u64, R) {
+    let mut best = u64::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if ns < best {
+            best = ns;
+        }
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn main() {
+    let config = DatasetConfig {
+        population: 2000,
+        cell_size: 150.0,
+        duration: 900,
+        appearance_clusters: 0,
+        seed: 42,
+        ..DatasetConfig::default()
+    };
+    let dataset = EvDataset::generate(&config).expect("generate dataset");
+    let targets = sample_targets(&dataset, 40, config.seed);
+    let none = BTreeSet::new();
+    let exact_cfg = VFilterConfig::default();
+    let anytime_cfg = VFilterConfig {
+        anytime: Some(AnytimeConfig::with_confidence(CONFIDENCE)),
+        ..VFilterConfig::default()
+    };
+    let tel = Telemetry::disabled();
+    // One cache for the whole batch, like the production matcher: both
+    // paths score against pre-extracted, pre-grouped galleries.
+    let mut cache = GalleryCache::new();
+
+    let mut per_eid = Vec::new();
+    for &eid in &targets {
+        // The EDP-style full recorded list for this EID.
+        let list: Vec<_> = dataset
+            .estore
+            .iter()
+            .filter(|s| s.contains(eid))
+            .map(|s| s.id())
+            .collect();
+        if list.len() < 2 {
+            continue;
+        }
+        // Warm both scorers once so extraction and bound-box misses are
+        // paid outside the timed region for either path.
+        let _ = filter_one_cached(eid, &list, &dataset.video, &exact_cfg, &none, &mut cache);
+        let _ = partial_filter_one_instrumented(
+            eid,
+            &list,
+            &dataset.video,
+            &anytime_cfg,
+            &none,
+            &mut cache,
+            tel,
+        );
+
+        let (exact_ns, exact) = best_of(REPS, || {
+            filter_one_cached(eid, &list, &dataset.video, &exact_cfg, &none, &mut cache)
+        });
+        let (anytime_ns, partial) = best_of(REPS, || {
+            partial_filter_one_instrumented(
+                eid,
+                &list,
+                &dataset.video,
+                &anytime_cfg,
+                &none,
+                &mut cache,
+                tel,
+            )
+        });
+        per_eid.push(PerEid {
+            eid: eid.to_string(),
+            list_len: list.len(),
+            exact_ns,
+            anytime_ns,
+            scenarios_scored: partial.scenarios_scored,
+            converged: partial.converged,
+            agrees_with_exact: partial.vid == exact.vid,
+        });
+    }
+    assert!(!per_eid.is_empty(), "no EID had a non-trivial list");
+
+    let converged: Vec<_> = per_eid.iter().filter(|p| p.converged).collect();
+    for p in &converged {
+        assert!(
+            p.agrees_with_exact,
+            "{}: converged anytime VID differs from the exhaustive VID",
+            p.eid
+        );
+    }
+    let record = Record {
+        population: config.population,
+        cell_size: config.cell_size,
+        duration: config.duration,
+        seed: config.seed,
+        confidence: CONFIDENCE,
+        eids: per_eid.len(),
+        median_list_len: median(&mut per_eid.iter().map(|p| p.list_len).collect::<Vec<_>>()),
+        median_exact_ns: median(&mut per_eid.iter().map(|p| p.exact_ns).collect::<Vec<_>>()),
+        median_anytime_ns: median(&mut per_eid.iter().map(|p| p.anytime_ns).collect::<Vec<_>>()),
+        median_speedup: 0.0,
+        converged_fraction: converged.len() as f64 / per_eid.len() as f64,
+        // 1.0 by construction: the loop above hard-asserts agreement
+        // for every converged EID before the record is built.
+        accuracy_at_convergence: 1.0,
+        scored_fraction: per_eid.iter().map(|p| p.scenarios_scored).sum::<usize>() as f64
+            / per_eid.iter().map(|p| p.list_len).sum::<usize>() as f64,
+        per_eid,
+        note: "EDP-style full recorded lists on a shared warm gallery cache; \
+               best-of-5 per EID; accuracy_at_convergence is asserted to be \
+               1.0, not just reported",
+    };
+    let record = Record {
+        median_speedup: record.median_exact_ns as f64 / record.median_anytime_ns as f64,
+        ..record
+    };
+
+    println!(
+        "{} EIDs, median list {} scenarios: exact {} ns, anytime({}) {} ns -> {:.2}x",
+        record.eids,
+        record.median_list_len,
+        record.median_exact_ns,
+        record.confidence,
+        record.median_anytime_ns,
+        record.median_speedup
+    );
+    println!(
+        "converged {:.0}% of EIDs, settled {:.0}% of scenarios, accuracy at convergence {:.0}%",
+        record.converged_fraction * 100.0,
+        record.scored_fraction * 100.0,
+        record.accuracy_at_convergence * 100.0
+    );
+    assert!(
+        record.median_speedup >= 2.0,
+        "anytime must halve the median latency (got {:.2}x)",
+        record.median_speedup
+    );
+
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let json = serde_json::to_string_pretty(&record).expect("serialize record");
+    std::fs::write(dir.join("BENCH_anytime.json"), json).expect("write BENCH_anytime.json");
+}

@@ -66,7 +66,7 @@ pub mod segment;
 pub mod store;
 
 pub use backend::DiskBackend;
-pub use error::{DiskError, DiskResult};
+pub use error::{DiskError, DiskResult, RecoveryError};
 pub use manifest::ManifestEntry;
 pub use segment::{SegmentBounds, SegmentKind};
 pub use store::{AppendReceipt, DiskStore, RecoveryMode, RecoveryReport, MANIFEST_FILE};

@@ -38,7 +38,7 @@ use ev_telemetry::{names, Telemetry};
 use ev_vision::cost::CostModel;
 
 use crate::codec;
-use crate::error::{DiskError, DiskResult};
+use crate::error::{DiskError, DiskResult, RecoveryError};
 use crate::manifest::{self, ManifestEntry};
 use crate::segment::{self, SegmentBounds, SegmentKind};
 
@@ -215,11 +215,11 @@ impl DiskStore {
         if let Some(reason) = scan.damage {
             match mode {
                 RecoveryMode::Strict => {
-                    return Err(DiskError::corrupt(format!(
-                        "manifest damaged mid-file ({reason}); reopen with RecoveryMode::Salvage \
-                         to keep the {} committed entries before the damage",
-                        entries.len()
-                    )))
+                    return Err(RecoveryError::ManifestDamaged {
+                        reason: reason.to_string(),
+                        entries_kept: entries.len(),
+                    }
+                    .into())
                 }
                 RecoveryMode::Salvage => {
                     report.manifest_bytes_truncated += (bytes.len() - scan.valid_len) as u64;
@@ -248,13 +248,12 @@ impl DiskStore {
                     let meta = fs::metadata(&path)
                         .map_err(|e| DiskError::io("stating committed segment", &path, e))?;
                     if meta.len() != entry.file_len {
-                        return Err(DiskError::corrupt(format!(
-                            "segment {} is {} bytes, manifest committed {}; reopen with \
-                             RecoveryMode::Salvage to keep its valid prefix",
-                            entry.file_name(),
-                            meta.len(),
-                            entry.file_len
-                        )));
+                        return Err(RecoveryError::SegmentLengthMismatch {
+                            segment: entry.file_name(),
+                            committed: entry.file_len,
+                            actual: meta.len(),
+                        }
+                        .into());
                     }
                     kept.push(entry);
                 }
@@ -552,12 +551,12 @@ impl DiskStore {
             let path = self.dir.join(entry.file_name());
             let bytes = fs::read(&path).map_err(|e| DiskError::io("reading segment", &path, e))?;
             if bytes.len() as u64 != entry.file_len {
-                return Err(DiskError::corrupt(format!(
-                    "segment {} is {} bytes, manifest committed {}",
-                    entry.file_name(),
-                    bytes.len(),
-                    entry.file_len
-                )));
+                return Err(RecoveryError::SegmentLengthMismatch {
+                    segment: entry.file_name(),
+                    committed: entry.file_len,
+                    actual: bytes.len() as u64,
+                }
+                .into());
             }
             opened += 1;
             bytes_read += bytes.len() as u64;

@@ -23,7 +23,9 @@ use ev_core::region::CellId;
 use ev_core::scenario::{Detection, EScenario, VScenario, ZoneAttr};
 use ev_core::time::Timestamp;
 use ev_disk::format::{FRAME_OVERHEAD, HEADER_LEN, MANIFEST_ENTRY_PAYLOAD_LEN};
-use ev_disk::{DiskStore, ManifestEntry, RecoveryMode, SegmentKind, MANIFEST_FILE};
+use ev_disk::{
+    DiskError, DiskStore, ManifestEntry, RecoveryError, RecoveryMode, SegmentKind, MANIFEST_FILE,
+};
 use ev_telemetry::Telemetry;
 use ev_vision::cost::CostModel;
 use std::collections::BTreeMap;
@@ -189,12 +191,31 @@ fn segment_truncated_at_every_byte_boundary() {
             drop(f);
 
             // Strict: a committed segment shorter than its manifest entry
-            // is corruption, not crash residue.
+            // is corruption, not crash residue — reported as the typed
+            // refusal carrying the exact segment and both lengths.
             let strict = DiskStore::open(&trial);
-            assert!(
-                strict.is_err(),
-                "{name} cut to {len}: strict open must refuse a short committed segment"
-            );
+            match strict {
+                Ok(_) => {
+                    panic!("{name} cut to {len}: strict open must refuse a short committed segment")
+                }
+                Err(err) => {
+                    assert!(err.is_corruption(), "{name} cut to {len}: {err}");
+                    match err.as_recovery() {
+                        Some(RecoveryError::SegmentLengthMismatch {
+                            segment,
+                            committed,
+                            actual,
+                        }) => {
+                            assert_eq!(segment, &name, "cut to {len}");
+                            assert_eq!(*committed, entry.file_len, "cut to {len}");
+                            assert_eq!(*actual, len, "cut to {len}");
+                        }
+                        other => panic!(
+                            "{name} cut to {len}: expected SegmentLengthMismatch, got {other:?}"
+                        ),
+                    }
+                }
+            }
 
             // Salvage: keep the valid prefix (or drop the segment when
             // even the header is gone), and never alter surviving data.
@@ -228,6 +249,43 @@ fn all_records(entries: &[ManifestEntry], kind: SegmentKind) -> u64 {
         .filter(|e| e.kind == kind)
         .map(|e| e.records)
         .sum()
+}
+
+#[test]
+fn provable_mid_file_manifest_damage_is_a_typed_refusal() {
+    // Flip one byte inside the FIRST committed entry frame: intact
+    // frames follow, so the scanner can prove the damage is mid-file
+    // (not a torn tail) and a strict open must refuse with the typed
+    // `ManifestDamaged` error counting the entries before the damage.
+    let dir = temp_dir("mdamage-typed");
+    build_corpus(&dir);
+    assert_eq!(committed_entries(&dir).len(), 4);
+    let mut bytes = fs::read(dir.join(MANIFEST_FILE)).expect("manifest bytes");
+    bytes[HEADER_LEN] ^= 0xFF;
+    fs::write(dir.join(MANIFEST_FILE), &bytes).expect("write damaged manifest");
+
+    let err = DiskStore::open(&dir).expect_err("strict must refuse mid-file damage");
+    assert!(err.is_corruption());
+    assert!(
+        matches!(&err, DiskError::Recovery(_)),
+        "expected the typed recovery refusal, got {err:?}"
+    );
+    match err.as_recovery() {
+        Some(RecoveryError::ManifestDamaged {
+            reason,
+            entries_kept,
+        }) => {
+            assert_eq!(
+                *entries_kept, 0,
+                "damage in the first frame leaves no entries before it"
+            );
+            assert!(!reason.is_empty(), "the refusal must say what it found");
+        }
+        other => panic!("expected ManifestDamaged, got {other:?}"),
+    }
+    // The salvage hint in the rendered message stays intact for humans.
+    assert!(err.to_string().contains("RecoveryMode::Salvage"));
+    let _ = fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -107,6 +107,21 @@ pub struct Completion<T> {
 /// Counters describing one session's execution, used by `ev-mapreduce`
 /// and `ev-matching` to export the canonical `evm_exec_*` /
 /// `evm_mapreduce_steal_*` metrics.
+///
+/// # Snapshot guarantee
+///
+/// The stats are taken by `Shared::into_stats`, which consumes the
+/// session state **by value** after `thread::scope` has joined every
+/// worker — the borrow checker itself proves no worker can still be
+/// incrementing a counter. They are therefore an *exact* post-join
+/// snapshot, not a racy sample:
+///
+/// * `tasks_executed + tasks_dropped` equals the number of tasks
+///   submitted, exactly;
+/// * `per_worker_executed` sums to `tasks_executed`, exactly;
+/// * `tasks_stolen >= steal_ops` (each successful steal moves at least
+///   one task), and both are `0` when `threads == 1` (there is no
+///   victim to steal from).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Worker threads the session ran with.
@@ -272,6 +287,12 @@ impl<I, T> Shared<I, T> {
         }
     }
 
+    /// Converts the session state into its final [`ExecStats`].
+    ///
+    /// Takes `self` by value deliberately: the only way to call this is
+    /// after `thread::scope` returns (all workers joined), so every
+    /// `Relaxed` load below observes the final value of its counter and
+    /// the snapshot invariants documented on [`ExecStats`] hold exactly.
     fn into_stats(self, threads: usize) -> ExecStats {
         let per_worker: Vec<u64> = self
             .executed
@@ -575,6 +596,67 @@ mod tests {
             64,
             "every task either ran or was dropped at shutdown"
         );
+    }
+
+    #[test]
+    fn stats_are_an_exact_post_join_snapshot_under_stress() {
+        // The `ExecStats` snapshot invariants must hold *exactly* on
+        // every run, not just on average: stats are read after the
+        // scope joins the workers, so no counter can still be moving.
+        // Hammer many short racy sessions (drivers that walk away at
+        // random points) and demand exact accounting each time.
+        for iteration in 0..200u64 {
+            let threads = [1, 2, 3, 4][(iteration % 4) as usize];
+            let submitted = 1 + (iteration * 7) % 40;
+            let receive = (iteration * 3) % (submitted + 1);
+            let exec = Executor::new(threads as usize);
+            let ((), stats) = exec.session(
+                |_ctx, x: u64| {
+                    if x.is_multiple_of(5) {
+                        std::thread::yield_now();
+                    }
+                    std::hint::black_box(x.wrapping_mul(2862933555777941757));
+                },
+                |handle| {
+                    for i in 0..submitted {
+                        // Pin everything to worker 0 so multi-thread
+                        // runs exercise the steal path too.
+                        handle.submit_to(0, i, i);
+                    }
+                    for _ in 0..receive {
+                        let _ = handle.recv();
+                    }
+                },
+            );
+            let ctx = format!("iteration {iteration}: {stats:?}");
+            assert_eq!(
+                stats.tasks_executed + stats.tasks_dropped,
+                submitted,
+                "executed + dropped must equal submitted exactly ({ctx})"
+            );
+            assert_eq!(
+                stats.per_worker_executed.iter().sum::<u64>(),
+                stats.tasks_executed,
+                "per-worker counts must sum to the total exactly ({ctx})"
+            );
+            assert_eq!(stats.per_worker_executed.len(), threads as usize);
+            assert_eq!(stats.tasks_panicked, 0, "{ctx}");
+            assert!(
+                stats.tasks_executed >= receive,
+                "every received completion was executed ({ctx})"
+            );
+            assert!(
+                stats.tasks_stolen >= stats.steal_ops,
+                "each successful steal moves at least one task ({ctx})"
+            );
+            // Note: `tasks_stolen` counts *moves*, and a task parked in
+            // a thief's deque can be stolen again — so it may exceed
+            // the number of distinct tasks.
+            if threads == 1 {
+                assert_eq!(stats.steal_ops, 0, "{ctx}");
+                assert_eq!(stats.tasks_stolen, 0, "{ctx}");
+            }
+        }
     }
 
     #[test]

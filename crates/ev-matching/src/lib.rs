@@ -17,6 +17,12 @@
 //!   paper §IV-B2 and pick the majority winner, excluding already-matched
 //!   VIDs ("VIDs that have been already matched may help distinguishing
 //!   those remain unmatched", §IV-A).
+//! * [`anytime`] — **anytime VID filtering**: the same majority vote
+//!   with certified early termination — cheap similarity bounds settle
+//!   per-scenario votes without exact scoring, the scan stops once no
+//!   unscored scenario can overturn the leader, and callers get a
+//!   [`PartialMatchOutcome`] whose vote-share interval brackets the
+//!   exact answer at any stopping point.
 //! * [`refine`] — **matching refining** (Algorithm 2): rerun splitting and
 //!   filtering for the EIDs whose match was unacceptable, to cope with
 //!   missing EIDs/VIDs.
@@ -43,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod anytime;
 pub mod edp;
 pub mod incremental;
 pub mod matcher;
@@ -54,5 +61,6 @@ pub mod sharded;
 mod types;
 pub mod vfilter;
 
+pub use anytime::{AnytimeConfig, PartialMatchOutcome};
 pub use matcher::{EvMatcher, MatcherConfig};
 pub use types::{IndexCounters, MatchOutcome, MatchReport, ScenarioList, StageTimings};

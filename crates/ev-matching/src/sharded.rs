@@ -405,6 +405,82 @@ mod tests {
     }
 
     #[test]
+    fn anytime_report_is_thread_count_invariant() {
+        // Approximate matching is a deterministic per-EID function of
+        // (list, gallery, config); sharding must not perturb it.
+        let (store, _) = world();
+        let run = |threads: usize| {
+            let (_, video_fresh) = world();
+            sharded_match(
+                threads,
+                &store,
+                &video_fresh,
+                &targets(),
+                &ParallelSplitConfig {
+                    seed: 7,
+                    max_iterations: None,
+                },
+                &VFilterConfig {
+                    anytime: Some(crate::anytime::AnytimeConfig {
+                        confidence: 0.6,
+                        budget_scenarios: Some(2),
+                    }),
+                    ..VFilterConfig::default()
+                },
+                Telemetry::disabled(),
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            let report = run(threads);
+            assert_eq!(report.outcomes, reference.outcomes, "threads={threads}");
+            assert_eq!(report.lists, reference.lists, "threads={threads}");
+            assert_eq!(
+                report.selected_scenarios, reference.selected_scenarios,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_confidence_anytime_is_byte_identical_to_exact() {
+        // `confidence: 1.0` with no budget is not approximate at all:
+        // at every thread count the report must equal the default
+        // config's, byte for byte.
+        let (store, _) = world();
+        let run = |threads: usize, anytime: Option<crate::anytime::AnytimeConfig>| {
+            let (_, video_fresh) = world();
+            sharded_match(
+                threads,
+                &store,
+                &video_fresh,
+                &targets(),
+                &ParallelSplitConfig {
+                    seed: 7,
+                    max_iterations: None,
+                },
+                &VFilterConfig {
+                    anytime,
+                    ..VFilterConfig::default()
+                },
+                Telemetry::disabled(),
+            )
+            .unwrap()
+        };
+        let exact = run(1, None);
+        for threads in [1, 2, 8] {
+            let report = run(threads, Some(crate::anytime::AnytimeConfig::default()));
+            assert_eq!(report.outcomes, exact.outcomes, "threads={threads}");
+            assert_eq!(report.lists, exact.lists, "threads={threads}");
+            assert_eq!(
+                report.selected_scenarios, exact.selected_scenarios,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn shard_extraction_warms_the_whole_gallery() {
         let (store, video) = world();
         let report = sharded_match(

@@ -44,6 +44,29 @@ impl MatchOutcome {
         }
     }
 
+    /// The explicit **NoEvidence** outcome: the EID's scenario list
+    /// produced zero usable votes (no recorded scenarios, no footage
+    /// for them, or every candidate excluded/pruned), so there is
+    /// nothing to take a majority over. The shape is all-zero — never
+    /// `NaN`: `vote_share` must not be computed as `count / 0`.
+    /// Distinguish it from a vote-backed miss with
+    /// [`is_no_evidence`](MatchOutcome::is_no_evidence).
+    #[must_use]
+    pub fn no_evidence(eid: Eid) -> Self {
+        MatchOutcome::unmatched(eid)
+    }
+
+    /// Whether this outcome carries **no evidence at all**: no VID and
+    /// an empty vote vector. Zero recorded scenarios must land here —
+    /// with explicit `0.0` fields — rather than dividing by an empty
+    /// vote count and leaking `NaN` into [`is_majority`] comparisons.
+    ///
+    /// [`is_majority`]: MatchOutcome::is_majority
+    #[must_use]
+    pub fn is_no_evidence(&self) -> bool {
+        self.vid.is_none() && self.votes.is_empty()
+    }
+
     /// Whether a VID was produced with a strict vote majority — the
     /// paper's accuracy criterion ("the majority of the VIDs chosen from
     /// the scenarios for this EID is the right VID", §VI-B).
@@ -172,6 +195,22 @@ mod tests {
         let o = MatchOutcome::unmatched(Eid::from_u64(1));
         assert!(o.vid.is_none());
         assert!(!o.is_majority());
+    }
+
+    #[test]
+    fn no_evidence_is_explicit_and_nan_free() {
+        let o = MatchOutcome::no_evidence(Eid::from_u64(9));
+        assert!(o.is_no_evidence());
+        assert!(!o.is_majority());
+        assert_eq!(o.vote_share, 0.0, "0/0 must be 0.0, never NaN");
+        assert!(!o.vote_share.is_nan());
+        // A vote-backed outcome is not NoEvidence, even when wrong.
+        let voted = MatchOutcome {
+            votes: vec![Vid::new(3)],
+            vid: Some(Vid::new(3)),
+            ..MatchOutcome::unmatched(Eid::from_u64(9))
+        };
+        assert!(!voted.is_no_evidence());
     }
 
     #[test]

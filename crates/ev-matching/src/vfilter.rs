@@ -36,7 +36,8 @@ use ev_core::scenario::{ScenarioId, VScenario};
 use ev_store::VideoStore;
 use ev_telemetry::{names, Telemetry};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -50,6 +51,12 @@ pub struct VFilterConfig {
     /// Minimum winner margin for a match to count as confident (see
     /// [`MatchOutcome::is_confident`]).
     pub min_margin: f64,
+    /// Anytime/approximate evaluation knobs. `None` (the default) runs
+    /// the exhaustive scan; `Some` with an
+    /// [`approximate`](crate::anytime::AnytimeConfig::approximate)
+    /// configuration routes every `filter_one` through
+    /// [`crate::anytime`]'s bounded early-terminating scorer.
+    pub anytime: Option<crate::anytime::AnytimeConfig>,
 }
 
 impl Default for VFilterConfig {
@@ -58,8 +65,88 @@ impl Default for VFilterConfig {
             metric: Metric::NormalizedL2,
             exclusion: true,
             min_margin: 0.01,
+            anytime: None,
         }
     }
+}
+
+/// Multiply-shift hasher for internal identity keys (`Vid`/`Eid` wrap a
+/// `u64`). The default SipHash is DoS-resistant but costs ~10× more per
+/// op, and the candidate-model accumulation hashes thousands of ids per
+/// EID on the hot path; synthetic ids need no DoS resistance.
+#[derive(Default)]
+pub(crate) struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 fields (FNV-1a); id keys never hit this.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(&self) -> u64 {
+        // Fold the entropy-rich high bits into the low bits the table
+        // masks on.
+        self.0 ^ (self.0 >> 31)
+    }
+}
+
+pub(crate) type IdHashMap<K, V> = HashMap<K, V, BuildHasherDefault<IdHasher>>;
+
+/// The **single argmax tie-break rule** of the V stage: a higher score
+/// always wins; an *exact* score tie goes to the **lower VID**.
+///
+/// Both argmaxes of the majority pipeline — the per-scenario choice
+/// (score = joint membership probability) and the majority vote itself
+/// (score = vote count) — resolve ties through this one predicate, so
+/// the sequential, sharded and anytime paths agree bit-for-bit on tied
+/// inputs. Scores compare with [`f64::total_cmp`], so a NaN cannot
+/// poison the ordering.
+///
+/// Returns `true` when `(score_b, b)` beats `(score_a, a)`.
+#[inline]
+pub(crate) fn beats(score_a: f64, a: Vid, score_b: f64, b: Vid) -> bool {
+    match score_b.total_cmp(&score_a) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Equal => b < a,
+        std::cmp::Ordering::Less => false,
+    }
+}
+
+/// Per-scenario argmax over the candidates present in a scenario, under
+/// the canonical [`beats`] tie-break (lower VID wins exact ties).
+pub(crate) fn scenario_vote(
+    present: impl IntoIterator<Item = Vid>,
+    score: impl Fn(Vid) -> f64,
+) -> Option<Vid> {
+    let mut best: Option<(f64, Vid)> = None;
+    for vid in present {
+        let s = score(vid);
+        match best {
+            Some((bs, bv)) if !beats(bs, bv, s, vid) => {}
+            _ => best = Some((s, vid)),
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+/// Majority winner across per-scenario votes, under the same canonical
+/// tie-break: most votes wins, an exact vote-count tie goes to the
+/// lower VID. Returns the winner and its vote count.
+pub(crate) fn majority_winner(counts: &BTreeMap<Vid, usize>) -> Option<(Vid, usize)> {
+    let mut best: Option<(usize, Vid)> = None;
+    for (&vid, &c) in counts {
+        match best {
+            Some((bc, bv)) if !beats(bc as f64, bv, c as f64, vid) => {}
+            _ => best = Some((c, vid)),
+        }
+    }
+    best.map(|(c, v)| (v, c))
 }
 
 /// One scenario's extracted gallery: the V-Scenario handle plus its
@@ -67,9 +154,30 @@ impl Default for VFilterConfig {
 /// list's groups in list order reproduces exactly the observation
 /// sequence a direct detection walk would produce, so representatives
 /// computed through the cache are bit-identical to uncached ones.
-struct CacheEntry {
-    scenario: Arc<VScenario>,
-    groups: BTreeMap<Vid, Vec<usize>>,
+pub(crate) struct CacheEntry {
+    pub(crate) scenario: Arc<VScenario>,
+    pub(crate) groups: BTreeMap<Vid, Vec<usize>>,
+    /// Per-scenario feature bounding box behind the anytime upper bound
+    /// (see [`crate::anytime`]). A property of the gallery alone — no
+    /// EID or representative enters it — so it is computed at most once
+    /// per scenario and shared by every EID that revisits the entry.
+    pub(crate) bbox: std::cell::OnceCell<Option<crate::anytime::EntryBox>>,
+}
+
+impl CacheEntry {
+    pub(crate) fn new(scenario: Arc<VScenario>, groups: BTreeMap<Vid, Vec<usize>>) -> Self {
+        CacheEntry {
+            scenario,
+            groups,
+            bbox: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// The scenario's detection-feature bounding box, computed on first
+    /// use and memoized for the cache entry's lifetime.
+    pub(crate) fn bbox(&self) -> &Option<crate::anytime::EntryBox> {
+        self.bbox.get_or_init(|| crate::anytime::entry_box(self))
+    }
 }
 
 /// Per-candidate gallery cache for the V stage.
@@ -108,7 +216,7 @@ impl GalleryCache {
     }
 
     /// Makes sure `id`'s gallery is resident, extracting it on a miss.
-    fn ensure(&mut self, id: ScenarioId, video: &VideoStore) {
+    pub(crate) fn ensure(&mut self, id: ScenarioId, video: &VideoStore) {
         if self.entries.contains_key(&id) {
             self.hits += 1;
             return;
@@ -119,14 +227,83 @@ impl GalleryCache {
             for (i, d) in scenario.detections().iter().enumerate() {
                 groups.entry(d.vid).or_default().push(i);
             }
-            CacheEntry { scenario, groups }
+            CacheEntry::new(scenario, groups)
         });
         self.entries.insert(id, entry);
     }
 
-    fn get(&self, id: ScenarioId) -> Option<&CacheEntry> {
+    pub(crate) fn get(&self, id: ScenarioId) -> Option<&CacheEntry> {
         self.entries.get(&id).and_then(Option::as_ref)
     }
+}
+
+/// Builds the candidate model for one EID's scenario list: the resident
+/// cache entries (footage-bearing scenarios, list order) and each
+/// surviving candidate's appearance representative.
+///
+/// This is the **shared front half** of both the exact and the
+/// [`crate::anytime`] scorers — candidate admission (exclusion, quorum
+/// pruning) and representative computation happen here, once, so the
+/// two paths can never disagree about who is even in the running.
+pub(crate) fn candidate_model<'a>(
+    list: &ScenarioList,
+    video: &VideoStore,
+    excluded: &BTreeSet<Vid>,
+    cache: &'a mut GalleryCache,
+) -> (Vec<&'a CacheEntry>, BTreeMap<Vid, FeatureVector>) {
+    for &id in list {
+        cache.ensure(id, video);
+    }
+    let cache: &'a GalleryCache = cache;
+    let entries: Vec<&CacheEntry> = list.iter().filter_map(|&id| cache.get(id)).collect();
+    if entries.is_empty() {
+        return (entries, BTreeMap::new());
+    }
+
+    // Candidate pruning (lossless for the final match): the matched VID
+    // must win a strict majority of per-scenario votes, and a VID can
+    // only be voted where it is present — so anyone present in fewer
+    // than half the scenarios can never be the match. At high densities
+    // this cuts the candidate set from "everyone in the neighbourhood"
+    // to the handful sharing most of the EID's trajectory.
+    //
+    // Presence is counted first so the observation vectors below are
+    // only ever built for quorum survivors: a dense neighbourhood has
+    // hundreds of transient VIDs per list and a handful of survivors,
+    // and this pass is on the per-EID hot path. The `HashMap` is pure
+    // accumulation — it is never iterated, so the map's nondeterministic
+    // order cannot leak into results.
+    let mut presence: IdHashMap<Vid, usize> = IdHashMap::default();
+    for e in &entries {
+        for &vid in e.groups.keys() {
+            if !excluded.contains(&vid) {
+                *presence.entry(vid).or_insert(0) += 1;
+            }
+        }
+    }
+    let quorum = entries.len().div_ceil(2);
+
+    // Build each surviving candidate's appearance model: the mean of its
+    // observed features across the list, in list order exactly as a
+    // direct detection walk would visit them (re-identification links
+    // the detections).
+    let mut observations: BTreeMap<Vid, Vec<&FeatureVector>> = BTreeMap::new();
+    for e in &entries {
+        let detections = e.scenario.detections();
+        for (&vid, indices) in &e.groups {
+            if presence.get(&vid).is_some_and(|&p| p >= quorum) {
+                observations
+                    .entry(vid)
+                    .or_default()
+                    .extend(indices.iter().map(|&i| &detections[i].feature));
+            }
+        }
+    }
+    let representatives: BTreeMap<Vid, FeatureVector> = observations
+        .into_iter()
+        .map(|(vid, obs)| (vid, mean_feature(&obs)))
+        .collect();
+    (entries, representatives)
 }
 
 /// Filters the VID for a single EID against its scenario list, treating
@@ -180,46 +357,30 @@ pub fn filter_one_instrumented(
     cache: &mut GalleryCache,
     tel: &Telemetry,
 ) -> MatchOutcome {
-    for &id in list {
-        cache.ensure(id, video);
-    }
-    let entries: Vec<&CacheEntry> = list.iter().filter_map(|&id| cache.get(id)).collect();
-    if entries.is_empty() {
-        return MatchOutcome::unmatched(eid);
-    }
-
-    // Build each candidate's appearance model: the mean of its observed
-    // features across the list (re-identification links the detections).
-    let mut observations: BTreeMap<Vid, Vec<&FeatureVector>> = BTreeMap::new();
-    let mut presence: BTreeMap<Vid, usize> = BTreeMap::new();
-    for e in &entries {
-        let detections = e.scenario.detections();
-        for (&vid, indices) in &e.groups {
-            if excluded.contains(&vid) {
-                continue;
-            }
-            observations
-                .entry(vid)
-                .or_default()
-                .extend(indices.iter().map(|&i| &detections[i].feature));
-            *presence.entry(vid).or_insert(0) += 1;
+    // Anytime delegation: an approximate configuration routes the whole
+    // EID through the bounded scorer. A non-approximate one (confidence
+    // ≥ 1.0, no budget) falls through to the exhaustive scan below, so
+    // `--confidence 1.0` is *exactly* the exact path.
+    if let Some(at) = config.anytime {
+        if at.approximate() {
+            return crate::anytime::partial_filter_one_instrumented(
+                eid, list, video, config, excluded, cache, tel,
+            )
+            .outcome;
         }
     }
-    // Candidate pruning (lossless for the final match): the matched VID
-    // must win a strict majority of per-scenario votes, and a VID can
-    // only be voted where it is present — so anyone present in fewer
-    // than half the scenarios can never be the match. At high densities
-    // this cuts the candidate set from "everyone in the neighbourhood"
-    // to the handful sharing most of the EID's trajectory.
-    let quorum = entries.len().div_ceil(2);
-    observations.retain(|vid, _| presence.get(vid).copied().unwrap_or(0) >= quorum);
-    if observations.is_empty() {
-        return MatchOutcome::unmatched(eid);
+    let (entries, representatives) = candidate_model(list, video, excluded, cache);
+    if entries.is_empty() {
+        // Nothing recorded / no footage for the whole list: there are
+        // zero votes to take a majority over, so this is the explicit
+        // NoEvidence shape (all-zero fields, never `count / 0 = NaN`).
+        return MatchOutcome::no_evidence(eid);
     }
-    let representatives: BTreeMap<Vid, FeatureVector> = observations
-        .into_iter()
-        .map(|(vid, obs)| (vid, mean_feature(&obs)))
-        .collect();
+    if representatives.is_empty() {
+        // Footage existed but every candidate was excluded or
+        // quorum-pruned — still zero votes, same NoEvidence contract.
+        return MatchOutcome::no_evidence(eid);
+    }
     if tel.counters_on() {
         tel.registry()
             .counter(names::VFILTER_CANDIDATES_SCORED)
@@ -255,33 +416,30 @@ pub fn filter_one_instrumented(
     }
 
     // Per-scenario choice: the present candidate with the largest joint
-    // probability.
+    // probability, ties resolved by the canonical [`beats`] rule (lower
+    // VID) — the same rule the majority vote below uses.
     let mut votes: Vec<Vid> = Vec::new();
     for e in &entries {
-        let choice = e
-            .scenario
-            .vids()
-            .filter(|v| representatives.contains_key(v))
-            .max_by(|a, b| {
-                log_joint[a].total_cmp(&log_joint[b]).then(b.cmp(a)) // deterministic tie-break: lower VID
-            });
+        let choice = scenario_vote(
+            e.scenario
+                .vids()
+                .filter(|v| representatives.contains_key(v)),
+            |v| log_joint[&v],
+        );
         if let Some(v) = choice {
             votes.push(v);
         }
     }
     if votes.is_empty() {
-        return MatchOutcome::unmatched(eid);
+        return MatchOutcome::no_evidence(eid);
     }
 
-    // Majority of the per-scenario choices.
+    // Majority of the per-scenario choices, under the same tie-break.
     let mut counts: BTreeMap<Vid, usize> = BTreeMap::new();
     for &v in &votes {
         *counts.entry(v).or_insert(0) += 1;
     }
-    let (&winner, &count) = counts
-        .iter()
-        .max_by_key(|(vid, &c)| (c, std::cmp::Reverse(**vid)))
-        .expect("votes is non-empty");
+    let (winner, count) = majority_winner(&counts).expect("votes is non-empty");
     let confidence = log_joint[&winner].exp();
     let margin = if log_joint.len() > 1 {
         let runner_up = log_joint
@@ -293,10 +451,14 @@ pub fn filter_one_instrumented(
     } else {
         1.0
     };
+    // `votes` is non-empty here (guarded above), so the share can never
+    // be the `0 / 0 = NaN` that an empty list would produce.
+    let vote_share = count as f64 / votes.len() as f64;
+    debug_assert!(!vote_share.is_nan());
     MatchOutcome {
         eid,
         vid: Some(winner),
-        vote_share: count as f64 / votes.len() as f64,
+        vote_share,
         confidence,
         margin,
         votes,
@@ -607,6 +769,87 @@ mod tests {
         // Extraction: 2 detections x 3 units; comparisons: 2 candidates x
         // 1 scenario x 5 units.
         assert_eq!(video.ledger().v_units(), 6 + 10);
+    }
+
+    #[test]
+    fn zero_recorded_scenarios_yield_no_evidence_not_nan() {
+        // Regression: an EID whose whole list has no footage used to be
+        // one `count / votes.len()` away from a NaN vote share. It must
+        // come back as the explicit NoEvidence shape with finite fields.
+        let video = video();
+        for list in [vec![], vec![sid(9, 9), sid(8, 8)]] {
+            let out = filter_one(
+                Eid::from_u64(7),
+                &list,
+                &video,
+                &VFilterConfig::default(),
+                &BTreeSet::new(),
+            );
+            assert!(out.is_no_evidence());
+            assert!(!out.vote_share.is_nan());
+            assert_eq!(out.vote_share, 0.0);
+            assert!(!out.is_majority(), "NoEvidence can never be a majority");
+        }
+        // Excluding every candidate is also zero votes, not NaN.
+        let excluded: BTreeSet<Vid> = [Vid::new(1), Vid::new(2)].into_iter().collect();
+        let out = filter_one(
+            Eid::from_u64(7),
+            &vec![sid(0, 0)],
+            &video,
+            &VFilterConfig::default(),
+            &excluded,
+        );
+        assert!(out.is_no_evidence());
+        assert!(!out.vote_share.is_nan());
+    }
+
+    #[test]
+    fn both_argmaxes_break_ties_toward_the_lower_vid() {
+        // The canonical rule itself.
+        let (a, b) = (Vid::new(3), Vid::new(5));
+        assert!(beats(1.0, b, 1.0, a), "equal score: lower VID wins");
+        assert!(!beats(1.0, a, 1.0, b));
+        assert!(beats(0.0, a, 1.0, b), "higher score wins regardless");
+        assert!(!beats(1.0, a, 0.0, b));
+        assert!(!beats(1.0, a, 1.0, a), "nothing beats itself");
+
+        // Per-scenario argmax: two candidates at exactly the same score.
+        let vote = scenario_vote([Vid::new(9), Vid::new(4), Vid::new(6)], |_| 0.25);
+        assert_eq!(vote, Some(Vid::new(4)));
+        // Duplicates (one VID detected twice) change nothing.
+        let vote = scenario_vote([Vid::new(9), Vid::new(4), Vid::new(4)], |_| 0.25);
+        assert_eq!(vote, Some(Vid::new(4)));
+
+        // Majority vote: equal counts resolve to the lower VID too.
+        let counts: BTreeMap<Vid, usize> = [(Vid::new(8), 2), (Vid::new(2), 2), (Vid::new(5), 1)]
+            .into_iter()
+            .collect();
+        assert_eq!(majority_winner(&counts), Some((Vid::new(2), 2)));
+    }
+
+    #[test]
+    fn tied_galleries_vote_identically_end_to_end() {
+        // Two identical-feature candidates: every per-scenario score
+        // ties, so the whole pipeline must settle on the lower VID —
+        // deterministically, whichever path (sequential/sharded/anytime)
+        // scored it.
+        let video = VideoStore::new(
+            vec![
+                vscenario(0, 0, &[(7, &[0.5, 0.5]), (4, &[0.5, 0.5])]),
+                vscenario(1, 1, &[(4, &[0.5, 0.5]), (7, &[0.5, 0.5])]),
+            ],
+            CostModel::free(),
+        );
+        let out = filter_one(
+            Eid::from_u64(1),
+            &vec![sid(0, 0), sid(1, 1)],
+            &video,
+            &VFilterConfig::default(),
+            &BTreeSet::new(),
+        );
+        assert_eq!(out.vid, Some(Vid::new(4)), "lower VID wins the tie");
+        assert_eq!(out.votes, vec![Vid::new(4), Vid::new(4)]);
+        assert!((out.vote_share - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -26,6 +26,16 @@ pub const VFILTER_CANDIDATES_SCORED: &str = "evm_vfilter_candidates_scored";
 /// Histogram of per-scenario scoring latency, nanoseconds.
 pub const VFILTER_SCORING_NS: &str = "evm_vfilter_scoring_ns";
 
+/// V-Scenarios whose exact scoring the anytime matcher skipped entirely
+/// (their votes settled, or became irrelevant, on cheap bounds alone).
+pub const ANYTIME_SCENARIOS_SKIPPED: &str = "evm_anytime_scenarios_skipped";
+/// Candidate VIDs the anytime matcher never scored exactly (similarity
+/// bounds proved they could not win any per-scenario argmax).
+pub const ANYTIME_CANDIDATES_PRUNED: &str = "evm_anytime_candidates_pruned";
+/// Histogram of refinement rounds the anytime matcher ran per EID
+/// before its stop rule fired (0 = settled on cheap bounds alone).
+pub const ANYTIME_CONVERGENCE_ROUNDS: &str = "evm_anytime_convergence_rounds";
+
 /// Map tasks executed (first attempts).
 pub const MAPREDUCE_MAP_TASKS: &str = "evm_mapreduce_map_tasks";
 /// Reduce tasks executed.
@@ -136,6 +146,8 @@ pub const ALL_COUNTERS: &[&str] = &[
     VFILTER_GALLERY_HITS,
     VFILTER_GALLERY_MISSES,
     VFILTER_CANDIDATES_SCORED,
+    ANYTIME_SCENARIOS_SKIPPED,
+    ANYTIME_CANDIDATES_PRUNED,
     MAPREDUCE_MAP_TASKS,
     MAPREDUCE_REDUCE_TASKS,
     MAPREDUCE_MAP_ATTEMPTS,
@@ -192,6 +204,7 @@ pub const ALL_GAUGES: &[&str] = &[
 pub const ALL_HISTOGRAMS: &[&str] = &[
     SETSPLIT_SPLITTER_GAIN,
     VFILTER_SCORING_NS,
+    ANYTIME_CONVERGENCE_ROUNDS,
     EXEC_WORKER_TASKS,
 ];
 

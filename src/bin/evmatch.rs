@@ -7,12 +7,15 @@
 //! evmatch match     [--population N] [--duration T] [--seed S]
 //!                   [--targets K] [--mode ideal|practical]
 //!                   [--workers W | --threads N]
+//!                   [--confidence P] [--budget-scenarios N]
 //!                   [--telemetry off|counters|full] [--trace-out PATH]
 //!                   [--metrics-out PATH] [--json]
 //!                   [--data-dir DIR] [--recovery strict|salvage]
 //! evmatch query     [--population N] [--duration T] [--seed S]
 //!                   [--targets K] --eid HEX|--cell C --from T0 --to T1
 //! evmatch check-metrics --in PATH
+//! evmatch check-anytime [--population N] [--duration T] [--seed S]
+//!                   [--targets K] [--confidence P]
 //! ```
 //!
 //! Datasets are regenerated deterministically from their parameters, so
@@ -38,6 +41,14 @@
 //! `check-metrics` strictly parses an exported Prometheus profile and
 //! verifies the Theorem 4.2/4.4 invariant `log2(n) <= recorded <= n-1`
 //! whenever the run reported a fully split first round.
+//!
+//! `--confidence P` (`0 < P <= 1`) switches VID filtering to the
+//! anytime scorer of `DESIGN.md` §8: scoring stops once the leader's
+//! certified certainty reaches `P`. `--budget-scenarios N` caps exact
+//! scoring to the first `N` scenarios per EID. `--confidence 1.0` with
+//! no budget is the exact path, byte for byte. `check-anytime` runs the
+//! anytime scorer against the exhaustive one on a generated corpus and
+//! fails on any divergence a converged result is not allowed to show.
 
 use ev_telemetry::{names, prometheus, Telemetry, TelemetryLevel};
 use evmatch::disk::{DiskBackend, DiskStore, RecoveryMode};
@@ -56,6 +67,8 @@ struct CommonArgs {
     mode: SplitMode,
     workers: Option<usize>,
     threads: Option<usize>,
+    confidence: Option<f64>,
+    budget_scenarios: Option<usize>,
     json: bool,
     telemetry: Option<TelemetryLevel>,
     trace_out: Option<String>,
@@ -66,6 +79,19 @@ struct CommonArgs {
 }
 
 impl CommonArgs {
+    /// The anytime config the flags ask for, if any. A plain
+    /// `--confidence 1.0` still round-trips through the config so the
+    /// delegation path (not the CLI) decides that it means "exact".
+    fn anytime(&self) -> Option<AnytimeConfig> {
+        if self.confidence.is_none() && self.budget_scenarios.is_none() {
+            return None;
+        }
+        Some(AnytimeConfig {
+            confidence: self.confidence.unwrap_or(1.0),
+            budget_scenarios: self.budget_scenarios,
+        })
+    }
+
     /// The telemetry level in force: explicit `--telemetry` wins, else
     /// the strongest level an output flag implies, else off.
     fn telemetry_level(&self) -> TelemetryLevel {
@@ -91,6 +117,8 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
         mode: SplitMode::Practical,
         workers: None,
         threads: None,
+        confidence: None,
+        budget_scenarios: None,
         json: false,
         telemetry: None,
         trace_out: None,
@@ -113,6 +141,16 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
             "--targets" => out.targets = take()?.parse().map_err(|e| format!("{e}"))?,
             "--workers" => out.workers = Some(take()?.parse().map_err(|e| format!("{e}"))?),
             "--threads" => out.threads = Some(take()?.parse().map_err(|e| format!("{e}"))?),
+            "--confidence" => {
+                let p: f64 = take()?.parse().map_err(|e| format!("{e}"))?;
+                if !(p > 0.0 && p <= 1.0) {
+                    return Err(format!("--confidence must be in (0, 1], got {p}"));
+                }
+                out.confidence = Some(p);
+            }
+            "--budget-scenarios" => {
+                out.budget_scenarios = Some(take()?.parse().map_err(|e| format!("{e}"))?);
+            }
             "--mode" => {
                 out.mode = match take()?.as_str() {
                     "ideal" => SplitMode::Ideal,
@@ -202,11 +240,12 @@ fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
         }),
         (None, None) => ExecutionMode::Sequential,
     };
-    let config = MatcherConfig {
+    let mut config = MatcherConfig {
         mode: args.mode,
         execution,
         ..MatcherConfig::default()
     };
+    config.vfilter.anytime = args.anytime();
     let telemetry = Telemetry::new(args.telemetry_level());
     if telemetry.counters_on() {
         names::preregister(telemetry.registry());
@@ -357,6 +396,79 @@ fn cmd_check_metrics(args: &CommonArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `evmatch check-anytime`: certifies the anytime scorer against the
+/// exhaustive one on a generated corpus. Three contracts are enforced
+/// per EID (see `DESIGN.md` §8):
+///
+/// 1. a converged anytime result names the exact winner;
+/// 2. the vote-share interval brackets the exact winner's share;
+/// 3. `--confidence 1.0` (no budget) reproduces the exact
+///    `MatchOutcome`s byte for byte.
+fn cmd_check_anytime(args: &CommonArgs) -> Result<(), String> {
+    use evmatch::matching::anytime::partial_filter_one;
+    use evmatch::matching::vfilter::{filter_one, VFilterConfig};
+
+    const EPS: f64 = 1e-12;
+    let confidence = args.confidence.unwrap_or(0.95);
+    let dataset = build_dataset(args)?;
+    let targets = sample_targets(&dataset, args.targets, args.seed);
+    let matcher = EvMatcher::new(&dataset.estore, &dataset.video, MatcherConfig::default());
+    let report = matcher.match_many(&targets).map_err(|e| e.to_string())?;
+
+    let exact_cfg = VFilterConfig::default();
+    let anytime_cfg = VFilterConfig {
+        anytime: Some(AnytimeConfig {
+            confidence,
+            budget_scenarios: args.budget_scenarios,
+        }),
+        ..VFilterConfig::default()
+    };
+    let none = std::collections::BTreeSet::new();
+    let mut converged = 0usize;
+    let mut scored = 0usize;
+    let mut total = 0usize;
+    for (eid, list) in &report.lists {
+        let exact = filter_one(*eid, list, &dataset.video, &exact_cfg, &none);
+        let partial = partial_filter_one(*eid, list, &dataset.video, &anytime_cfg, &none);
+        if partial.converged {
+            converged += 1;
+            if partial.vid != exact.vid {
+                return Err(format!(
+                    "{eid}: converged on {:?} but the exact winner is {:?}",
+                    partial.vid, exact.vid
+                ));
+            }
+        }
+        if partial.vote_share_low > exact.vote_share + EPS
+            || partial.vote_share_high < exact.vote_share - EPS
+        {
+            return Err(format!(
+                "{eid}: exact vote share {} escapes the certified interval [{}, {}]",
+                exact.vote_share, partial.vote_share_low, partial.vote_share_high
+            ));
+        }
+        scored += partial.scenarios_scored;
+        total += partial.scenarios_total;
+    }
+
+    // Contract 3: full confidence must be the exact path, byte for byte.
+    let mut full = MatcherConfig::default();
+    full.vfilter.anytime = Some(AnytimeConfig::default());
+    let routed = EvMatcher::new(&dataset.estore, &dataset.video, full)
+        .match_many(&targets)
+        .map_err(|e| e.to_string())?;
+    if routed.outcomes != report.outcomes || routed.lists != report.lists {
+        return Err("--confidence 1.0 diverged from the exact report".into());
+    }
+
+    println!(
+        "ok: {} EIDs at confidence {confidence}: {converged} converged, \
+         {scored}/{total} scenarios scored exactly, exact report reproduced at 1.0",
+        report.lists.len(),
+    );
+    Ok(())
+}
+
 fn cmd_match(args: &CommonArgs) -> Result<(), String> {
     let (dataset, report) = run_match(args)?;
     let stats = score_report(&dataset, &report);
@@ -478,7 +590,9 @@ fn cmd_query(args: &CommonArgs) -> Result<(), String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
-        eprintln!("usage: evmatch <generate|ingest|match|query|check-metrics> [flags]");
+        eprintln!(
+            "usage: evmatch <generate|ingest|match|query|check-metrics|check-anytime> [flags]"
+        );
         return ExitCode::from(2);
     };
     let args = match parse_args(rest) {
@@ -494,6 +608,7 @@ fn main() -> ExitCode {
         "match" => cmd_match(&args),
         "query" => cmd_query(&args),
         "check-metrics" => cmd_check_metrics(&args),
+        "check-anytime" => cmd_check_anytime(&args),
         other => Err(format!("unknown command {other}")),
     };
     match result {

@@ -74,7 +74,9 @@ pub mod prelude {
     pub use ev_mapreduce::ClusterConfig;
     pub use ev_matching::matcher::ExecutionMode;
     pub use ev_matching::refine::SplitMode;
-    pub use ev_matching::{EvMatcher, MatchReport, MatcherConfig};
+    pub use ev_matching::{
+        AnytimeConfig, EvMatcher, MatchReport, MatcherConfig, PartialMatchOutcome,
+    };
     pub use ev_store::{EScenarioStore, MemoryBackend, StoreBackend, VideoStore};
     pub use ev_telemetry::{Telemetry, TelemetryLevel};
 }
