@@ -51,6 +51,7 @@ struct Record {
     cell_size: f64,
     duration: u64,
     seed: u64,
+    host_parallelism: usize,
     confidence: f64,
     eids: usize,
     median_list_len: usize,
@@ -175,6 +176,7 @@ fn main() {
         cell_size: config.cell_size,
         duration: config.duration,
         seed: config.seed,
+        host_parallelism: ev_bench::host_parallelism(),
         confidence: CONFIDENCE,
         eids: per_eid.len(),
         median_list_len: median(&mut per_eid.iter().map(|p| p.list_len).collect::<Vec<_>>()),

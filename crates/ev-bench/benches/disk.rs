@@ -46,6 +46,7 @@ impl From<BenchResult> for Entry {
 struct Record {
     population: u64,
     duration: u64,
+    host_parallelism: usize,
     e_records: usize,
     v_records: usize,
     segments: usize,
@@ -157,6 +158,7 @@ fn main() {
     let record = Record {
         population,
         duration,
+        host_parallelism: ev_bench::host_parallelism(),
         e_records: e.len(),
         v_records: v.len(),
         segments,

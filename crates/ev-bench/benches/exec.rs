@@ -207,7 +207,7 @@ fn main() {
         population,
         duration,
         targets: n_targets,
-        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_parallelism: ev_bench::host_parallelism(),
         byte_identical,
         virtual_speedup_at_4_workers,
         wall_speedup_at_4_threads: per_iter_ns(&wall_results, "exec_sharded_wall/threads/1")

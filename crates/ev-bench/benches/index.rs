@@ -37,6 +37,7 @@ struct Record {
     population: u64,
     duration: u64,
     targets: usize,
+    host_parallelism: usize,
     /// scan time / indexed time for the GreedyBalanced splitter
     /// (the issue's acceptance bar is ≥ 2).
     greedy_speedup: f64,
@@ -110,6 +111,7 @@ fn main() {
         population,
         duration,
         targets: n_targets,
+        host_parallelism: ev_bench::host_parallelism(),
         greedy_speedup: per_iter_ns(&results, "setsplit_index/greedy/scan")
             / per_iter_ns(&results, "setsplit_index/greedy/indexed"),
         vfilter_speedup: per_iter_ns(&results, "vfilter_index/uncached")

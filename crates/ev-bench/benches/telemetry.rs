@@ -41,6 +41,7 @@ struct Record {
     population: u64,
     duration: u64,
     targets: usize,
+    host_parallelism: usize,
     /// (counters − off) / off, in percent (the < 3% target).
     counters_overhead_pct: f64,
     /// (full − off) / off, in percent (profiling mode; no target).
@@ -95,6 +96,7 @@ fn main() {
         population,
         duration,
         targets: n_targets,
+        host_parallelism: ev_bench::host_parallelism(),
         counters_overhead_pct: (counters - off) / off * 100.0,
         full_overhead_pct: (full - off) / off * 100.0,
         results,

@@ -21,6 +21,16 @@ pub mod runner;
 pub use experiments::Scale;
 pub use report::Table;
 
+/// Logical CPUs available to this process, for bench JSON headers.
+///
+/// Wall-clock speedups are meaningless without knowing how many cores
+/// the host actually offered, so every `BENCH_*.json` records this in
+/// its header. Falls back to 1 where the platform cannot say.
+#[must_use]
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Runs the experiment with the given id at the given scale.
 ///
 /// Returns `None` for an unknown id. `fig5` and `fig7` share their sweep

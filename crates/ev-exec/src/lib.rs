@@ -66,9 +66,40 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Caller-chosen identifier a completion is keyed by.
 pub type TaskId = u64;
+
+/// Callbacks invoked from inside worker threads, letting embedders
+/// (e.g. `ev-mapreduce`'s telemetry bridge) observe steals and task
+/// completions without this crate growing a telemetry dependency.
+///
+/// All methods default to no-ops. Implementations must be cheap and
+/// must not panic (they run on the worker hot path, outside the task's
+/// `catch_unwind` isolation).
+pub trait ExecObserver: Sync {
+    /// Whether workers should time each task attempt (two monotonic
+    /// clock reads per task). When `false`, `task_finished` receives
+    /// `dur_ns == 0`.
+    fn wants_timing(&self) -> bool {
+        false
+    }
+
+    /// A successful steal moved `moved` tasks from `victim`'s deque to
+    /// `thief` (the first of which `thief` runs immediately).
+    fn steal(&self, _thief: usize, _victim: usize, _moved: usize) {}
+
+    /// A task attempt finished on `ctx.worker` (panicked ones
+    /// included).
+    fn task_finished(&self, _ctx: WorkerCtx, _dur_ns: u64, _panicked: bool) {}
+}
+
+/// The default observer: observes nothing, requests no timing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl ExecObserver for NoopObserver {}
 
 /// Identity of the worker running a task, passed to the work closure
 /// (telemetry consumers label per-worker spans with it).
@@ -202,7 +233,7 @@ impl<I, T> Shared<I, T> {
 
     /// Claims one task for worker `w`: own deque first (oldest entry),
     /// else steal the newest half of the first non-empty victim.
-    fn find_task(&self, w: usize) -> Option<(TaskId, I)> {
+    fn find_task(&self, w: usize, observer: &dyn ExecObserver) -> Option<(TaskId, I)> {
         if let Some(task) = {
             let mut own = self.queues[w].lock().expect("queue lock");
             own.pop_front()
@@ -224,6 +255,7 @@ impl<I, T> Shared<I, T> {
             self.steal_ops.fetch_add(1, Ordering::Relaxed);
             self.tasks_stolen
                 .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+            observer.steal(w, victim, stolen.len());
             let task = stolen.pop_front().expect("stole at least one task");
             self.pending.fetch_sub(1, Ordering::Release);
             if !stolen.is_empty() {
@@ -261,19 +293,25 @@ impl<I, T> Shared<I, T> {
         self.completions_cv.notify_all();
     }
 
-    fn worker_loop<F>(&self, w: usize, work: &F)
+    fn worker_loop<F>(&self, w: usize, work: &F, observer: &dyn ExecObserver)
     where
         F: Fn(WorkerCtx, I) -> T + Sync,
     {
+        let timing = observer.wants_timing();
         loop {
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            match self.find_task(w) {
+            match self.find_task(w, observer) {
                 Some((task, payload)) => {
                     let ctx = WorkerCtx { worker: w, task };
+                    let start = if timing { Some(Instant::now()) } else { None };
                     let outcome = catch_unwind(AssertUnwindSafe(|| work(ctx, payload)));
+                    let dur_ns = start.map_or(0, |s| {
+                        u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                    });
                     self.executed[w].fetch_add(1, Ordering::Relaxed);
+                    observer.task_finished(ctx, dur_ns, outcome.is_err());
                     let result = outcome.map_err(|panic| {
                         self.panicked.fetch_add(1, Ordering::Relaxed);
                         TaskPanic {
@@ -423,12 +461,29 @@ impl Executor {
         F: Fn(WorkerCtx, I) -> T + Sync,
         D: FnOnce(&SessionHandle<'_, I, T>) -> R,
     {
+        self.session_observed(work, driver, &NoopObserver)
+    }
+
+    /// [`session`](Executor::session) with an [`ExecObserver`] whose
+    /// callbacks fire from inside the worker threads.
+    pub fn session_observed<I, T, R, F, D>(
+        &self,
+        work: F,
+        driver: D,
+        observer: &dyn ExecObserver,
+    ) -> (R, ExecStats)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(WorkerCtx, I) -> T + Sync,
+        D: FnOnce(&SessionHandle<'_, I, T>) -> R,
+    {
         let shared: Shared<I, T> = Shared::new(self.threads);
         let out = std::thread::scope(|scope| {
             for w in 0..self.threads {
                 let shared = &shared;
                 let work = &work;
-                scope.spawn(move || shared.worker_loop(w, work));
+                scope.spawn(move || shared.worker_loop(w, work, observer));
             }
             let _guard = ShutdownGuard(&shared);
             let handle = SessionHandle {
@@ -454,27 +509,47 @@ impl Executor {
         T: Send,
         F: Fn(WorkerCtx, I) -> T + Sync,
     {
+        self.map_ordered_observed(items, work, &NoopObserver)
+    }
+
+    /// [`map_ordered`](Executor::map_ordered) with an [`ExecObserver`]
+    /// whose callbacks fire from inside the worker threads.
+    pub fn map_ordered_observed<I, T, F>(
+        &self,
+        items: Vec<I>,
+        work: F,
+        observer: &dyn ExecObserver,
+    ) -> (Vec<Result<T, TaskPanic>>, ExecStats)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(WorkerCtx, I) -> T + Sync,
+    {
         let n = items.len();
-        self.session(work, move |handle| {
-            for (i, item) in items.into_iter().enumerate() {
-                handle.submit(i as TaskId, item);
-            }
-            let mut slots: Vec<Option<Result<T, TaskPanic>>> = (0..n).map(|_| None).collect();
-            let mut filled = 0usize;
-            while filled < n {
-                let c = handle.recv().expect("submitted tasks all complete");
-                let slot = &mut slots[c.task as usize];
-                debug_assert!(slot.is_none(), "map_ordered task ids are unique");
-                if slot.is_none() {
-                    filled += 1;
+        self.session_observed(
+            work,
+            move |handle| {
+                for (i, item) in items.into_iter().enumerate() {
+                    handle.submit(i as TaskId, item);
                 }
-                *slot = Some(c.result);
-            }
-            slots
-                .into_iter()
-                .map(|s| s.expect("every slot filled"))
-                .collect()
-        })
+                let mut slots: Vec<Option<Result<T, TaskPanic>>> = (0..n).map(|_| None).collect();
+                let mut filled = 0usize;
+                while filled < n {
+                    let c = handle.recv().expect("submitted tasks all complete");
+                    let slot = &mut slots[c.task as usize];
+                    debug_assert!(slot.is_none(), "map_ordered task ids are unique");
+                    if slot.is_none() {
+                        filled += 1;
+                    }
+                    *slot = Some(c.result);
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every slot filled"))
+                    .collect()
+            },
+            observer,
+        )
     }
 }
 
@@ -572,6 +647,69 @@ mod tests {
             stats.queue_depth_peak >= 128,
             "deque 0 held the bulk of the backlog"
         );
+    }
+
+    #[test]
+    fn observer_sees_every_task_and_steal() {
+        struct Recorder {
+            tasks: AtomicU64,
+            timed: AtomicU64,
+            panicked: AtomicU64,
+            steals: AtomicU64,
+            moved: AtomicU64,
+        }
+        impl ExecObserver for Recorder {
+            fn wants_timing(&self) -> bool {
+                true
+            }
+            fn steal(&self, thief: usize, victim: usize, moved: usize) {
+                assert_ne!(thief, victim);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.moved.fetch_add(moved as u64, Ordering::Relaxed);
+            }
+            fn task_finished(&self, _ctx: WorkerCtx, dur_ns: u64, panicked: bool) {
+                self.tasks.fetch_add(1, Ordering::Relaxed);
+                if dur_ns > 0 {
+                    self.timed.fetch_add(1, Ordering::Relaxed);
+                }
+                if panicked {
+                    self.panicked.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let recorder = Recorder {
+            tasks: AtomicU64::new(0),
+            timed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            moved: AtomicU64::new(0),
+        };
+        let exec = Executor::new(4);
+        let (_, stats) = exec.map_ordered_observed(
+            (0u64..200).collect(),
+            |_ctx, x| {
+                assert!(x != 13, "injected panic");
+                let mut acc = x;
+                for i in 0..5_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc)
+            },
+            &recorder,
+        );
+        assert_eq!(recorder.tasks.load(Ordering::Relaxed), 200);
+        assert_eq!(recorder.panicked.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.tasks_panicked, 1);
+        assert!(
+            recorder.timed.load(Ordering::Relaxed) > 0,
+            "wants_timing must produce nonzero durations"
+        );
+        assert_eq!(
+            recorder.steals.load(Ordering::Relaxed),
+            stats.steal_ops,
+            "observer steal callbacks must match ExecStats exactly"
+        );
+        assert_eq!(recorder.moved.load(Ordering::Relaxed), stats.tasks_stolen);
     }
 
     #[test]

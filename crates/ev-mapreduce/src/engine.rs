@@ -4,7 +4,7 @@
 use crate::api::{Combiner, Emitter, HashPartitioner, Mapper, Partitioner, Reducer};
 use crate::config::{Backend, ClusterConfig, FaultPlan};
 use crate::metrics::JobMetrics;
-use ev_telemetry::Telemetry;
+use ev_telemetry::{Telemetry, TraceCtx};
 use serde::Value;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -85,6 +85,7 @@ pub struct JobResult<K, T> {
 pub struct MapReduce {
     config: ClusterConfig,
     telemetry: Telemetry,
+    parent_ctx: TraceCtx,
 }
 
 /// SplitMix64: cheap deterministic per-(seed, task, attempt) draw.
@@ -151,6 +152,7 @@ fn schedule(
     stage_id: u64,
     stage_name: &'static str,
     tel: &Telemetry,
+    stage_ctx: TraceCtx,
 ) {
     let attempt = attempts_next[task];
     attempts_next[task] += 1;
@@ -158,29 +160,79 @@ fn schedule(
     submit(task, attempt);
     let straggles = attempt_straggles(faults, stage_id, task, attempt);
     if straggles {
-        tel.event(
-            "straggler_detected",
-            vec![
-                ("stage".to_string(), Value::Str(stage_name.to_string())),
-                ("task".to_string(), Value::Int(task as i128)),
-                ("attempt".to_string(), Value::Int(i128::from(attempt))),
-            ],
-        );
+        let args = vec![
+            ("stage".to_string(), Value::Str(stage_name.to_string())),
+            ("task".to_string(), Value::Int(task as i128)),
+            ("attempt".to_string(), Value::Int(i128::from(attempt))),
+        ];
+        tel.event_ctx("straggler_detected", stage_ctx, args.clone());
+        tel.flight().instant("straggler_detected", stage_ctx, args);
     }
     if straggles && faults.speculative_execution {
         let backup = attempts_next[task];
         attempts_next[task] += 1;
         metrics.speculative_attempts += 1;
         metrics.map_attempts += u64::from(stage_id == 0);
-        tel.event(
-            "speculative_launched",
-            vec![
-                ("stage".to_string(), Value::Str(stage_name.to_string())),
-                ("task".to_string(), Value::Int(task as i128)),
-                ("attempt".to_string(), Value::Int(i128::from(backup))),
-            ],
-        );
+        let args = vec![
+            ("stage".to_string(), Value::Str(stage_name.to_string())),
+            ("task".to_string(), Value::Int(task as i128)),
+            ("attempt".to_string(), Value::Int(i128::from(backup))),
+        ];
+        tel.event_ctx("speculative_launched", stage_ctx, args.clone());
+        tel.flight()
+            .instant("speculative_launched", stage_ctx, args);
         submit(task, backup);
+    }
+}
+
+/// The [`ev_exec::ExecObserver`] bridging worker-side executor events
+/// into telemetry: steals become `task_stolen` trace instants and
+/// flight entries attributed to the stage's [`TraceCtx`], and task
+/// durations feed the exact-latency reservoir behind the
+/// `evm_exec_task_latency_p*` gauges. Usable by any direct `ev-exec`
+/// embedder (the sharded matcher passes one to `map_ordered_observed`).
+#[derive(Debug, Clone)]
+pub struct TelemetryExecObserver {
+    telemetry: Telemetry,
+    stage: &'static str,
+    ctx: TraceCtx,
+}
+
+impl TelemetryExecObserver {
+    /// An observer attributing events to `stage` under `ctx`.
+    #[must_use]
+    pub fn new(telemetry: &Telemetry, stage: &'static str, ctx: TraceCtx) -> Self {
+        TelemetryExecObserver {
+            telemetry: telemetry.clone(),
+            stage,
+            ctx,
+        }
+    }
+}
+
+impl ev_exec::ExecObserver for TelemetryExecObserver {
+    fn wants_timing(&self) -> bool {
+        self.telemetry.counters_on()
+    }
+
+    fn steal(&self, thief: usize, victim: usize, moved: usize) {
+        let args = vec![
+            ("stage".to_string(), Value::Str(self.stage.to_string())),
+            ("thief".to_string(), Value::Int(thief as i128)),
+            ("victim".to_string(), Value::Int(victim as i128)),
+            ("moved".to_string(), Value::Int(moved as i128)),
+        ];
+        self.telemetry
+            .event_ctx("task_stolen", self.ctx, args.clone());
+        self.telemetry
+            .flight()
+            .instant("task_stolen", self.ctx, args);
+    }
+
+    fn task_finished(&self, _ctx: ev_exec::WorkerCtx, dur_ns: u64, _panicked: bool) {
+        if dur_ns > 0 {
+            self.telemetry.task_latency().record(dur_ns);
+        }
     }
 }
 
@@ -192,6 +244,7 @@ impl MapReduce {
         MapReduce {
             config,
             telemetry: Telemetry::disabled().clone(),
+            parent_ctx: TraceCtx::default(),
         }
     }
 
@@ -202,6 +255,16 @@ impl MapReduce {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Parents every job span under `ctx` (e.g. a matching pipeline's
+    /// span), so the exported trace links the job → round → task →
+    /// attempt tree back to the query that submitted it. Jobs run
+    /// without a parent start a fresh trace.
+    #[must_use]
+    pub fn with_parent_ctx(mut self, ctx: TraceCtx) -> Self {
+        self.parent_ctx = ctx;
         self
     }
 
@@ -274,7 +337,11 @@ impl MapReduce {
         P: Partitioner<M::Key>,
     {
         self.config.validate().map_err(JobError::InvalidConfig)?;
-        let mut job_span = self.telemetry.span("mapreduce_job", "round");
+        let job_ctx = self.parent_ctx.child();
+        let mut job_span = self.telemetry.span_ctx("mapreduce_job", "round", job_ctx);
+        self.telemetry
+            .flight()
+            .instant("job_started", job_ctx, Vec::new());
         let job_start = Instant::now();
         let mut metrics = JobMetrics::default();
 
@@ -287,6 +354,7 @@ impl MapReduce {
         let map_outputs: Vec<MapPayload<M::Key, M::Value>> = self.run_stage(
             "map",
             0,
+            job_ctx,
             splits.len(),
             &mut metrics,
             |task| {
@@ -350,6 +418,7 @@ impl MapReduce {
         let reduced: Vec<Grouped<M::Key, R::Output>> = self.run_stage(
             "reduce",
             1,
+            job_ctx,
             nonempty.len(),
             &mut metrics,
             |idx| {
@@ -377,6 +446,32 @@ impl MapReduce {
         if self.telemetry.counters_on() {
             metrics.record_to(self.telemetry.registry());
         }
+        let flight = self.telemetry.flight();
+        flight.counter_delta(
+            ev_telemetry::names::MAPREDUCE_FAILED_ATTEMPTS,
+            job_ctx,
+            metrics.failed_attempts,
+        );
+        flight.counter_delta(
+            ev_telemetry::names::MAPREDUCE_SPECULATIVE_ATTEMPTS,
+            job_ctx,
+            metrics.speculative_attempts,
+        );
+        flight.span(
+            "mapreduce_job",
+            job_ctx,
+            job_start,
+            vec![
+                (
+                    "map_tasks".to_string(),
+                    Value::Int(metrics.map_tasks as i128),
+                ),
+                (
+                    "map_attempts".to_string(),
+                    Value::Int(i128::from(metrics.map_attempts)),
+                ),
+            ],
+        );
         job_span.arg("map_tasks", Value::Int(metrics.map_tasks as i128));
         job_span.arg("reduce_tasks", Value::Int(metrics.reduce_tasks as i128));
         job_span.arg("map_attempts", Value::Int(i128::from(metrics.map_attempts)));
@@ -397,6 +492,7 @@ impl MapReduce {
         &self,
         stage_name: &'static str,
         stage_id: u64,
+        job_ctx: TraceCtx,
         task_count: usize,
         metrics: &mut JobMetrics,
         work: F,
@@ -411,15 +507,22 @@ impl MapReduce {
         if task_count == 0 {
             return Ok(Vec::new());
         }
-        let mut stage_span = self.telemetry.span(stage_name, "stage");
+        let stage_ctx = job_ctx.child();
+        let mut stage_span = self.telemetry.span_ctx(stage_name, "stage", stage_ctx);
         stage_span.arg("tasks", Value::Int(task_count as i128));
+        self.telemetry.flight().instant(
+            "stage_started",
+            stage_ctx,
+            vec![
+                ("stage".to_string(), Value::Str(stage_name.to_string())),
+                ("tasks".to_string(), Value::Int(task_count as i128)),
+            ],
+        );
         let results = match self.config.backend {
-            Backend::WorkStealing => {
-                self.run_stage_stealing(stage_name, stage_id, task_count, metrics, &work)?
-            }
-            Backend::Simulated => {
-                self.run_stage_simulated(stage_name, stage_id, task_count, metrics, &work)?
-            }
+            Backend::WorkStealing => self
+                .run_stage_stealing(stage_name, stage_id, stage_ctx, task_count, metrics, &work)?,
+            Backend::Simulated => self
+                .run_stage_simulated(stage_name, stage_id, stage_ctx, task_count, metrics, &work)?,
         };
         let mut out = Vec::with_capacity(task_count);
         for payload in results {
@@ -438,10 +541,12 @@ impl MapReduce {
     /// A worker panic is isolated to its attempt and surfaces here as a
     /// failed attempt (retried up to the budget, then
     /// [`JobError::WorkerPanicked`]).
+    #[allow(clippy::too_many_arguments)]
     fn run_stage_stealing<T, F>(
         &self,
         stage_name: &'static str,
         stage_id: u64,
+        stage_ctx: TraceCtx,
         task_count: usize,
         metrics: &mut JobMetrics,
         work: &F,
@@ -454,138 +559,184 @@ impl MapReduce {
         let faults = self.config.faults;
         let overhead = self.config.task_overhead_units;
         let exec = ev_exec::Executor::new(self.config.workers);
+        let observer = TelemetryExecObserver::new(tel, stage_name, stage_ctx);
 
-        // One attempt, executed on whichever worker claims it.
-        let attempt_work = |_ctx: ev_exec::WorkerCtx, (task, attempt): (usize, u32)| {
-            let attempt_start = tel.tracing_on().then(Instant::now);
-            let close_span = |outcome: &'static str| {
-                if let Some(start) = attempt_start {
-                    tel.tracer().complete(
-                        format!("{stage_name}[{task}]#{attempt}"),
-                        "task",
-                        start,
-                        vec![("outcome".to_string(), Value::Str(outcome.to_string()))],
+        // One attempt, executed on whichever worker claims it. The
+        // payload carries the attempt's TraceCtx (child of the stage
+        // span), allocated at submission — so the span the worker
+        // records is causally parented no matter which thread runs it,
+        // or whether it was stolen first.
+        let attempt_work =
+            |_ctx: ev_exec::WorkerCtx, (task, attempt, attempt_ctx): (usize, u32, TraceCtx)| {
+                let attempt_start = (tel.tracing_on() || tel.flight().enabled()).then(Instant::now);
+                let close_span = |outcome: &'static str| {
+                    if let Some(start) = attempt_start {
+                        let args = vec![
+                            ("stage".to_string(), Value::Str(stage_name.to_string())),
+                            ("task".to_string(), Value::Int(task as i128)),
+                            ("attempt".to_string(), Value::Int(i128::from(attempt))),
+                            ("outcome".to_string(), Value::Str(outcome.to_string())),
+                        ];
+                        if tel.tracing_on() {
+                            tel.tracer().complete_ctx(
+                                format!("{stage_name}[{task}]#{attempt}"),
+                                "task",
+                                start,
+                                attempt_ctx,
+                                args.clone(),
+                            );
+                        }
+                        tel.flight().span(
+                            format!("{stage_name}[{task}]#{attempt}"),
+                            attempt_ctx,
+                            start,
+                            args,
+                        );
+                    }
+                };
+                if attempt_fails(&faults, stage_id, task, attempt) {
+                    tel.event_ctx(
+                        "task_failed",
+                        attempt_ctx,
+                        vec![
+                            ("stage".to_string(), Value::Str(stage_name.to_string())),
+                            ("task".to_string(), Value::Int(task as i128)),
+                            ("attempt".to_string(), Value::Int(i128::from(attempt))),
+                        ],
+                    );
+                    close_span("failed");
+                    return TaskOutcome::Failed { task };
+                }
+                // Fixed task overhead; stragglers burn a multiple.
+                if overhead > 0 {
+                    let units = if attempt_straggles(&faults, stage_id, task, attempt) {
+                        overhead * faults.straggler_factor
+                    } else {
+                        overhead
+                    };
+                    let _ = burn(units);
+                }
+                let payload = work(task);
+                close_span("done");
+                TaskOutcome::Done { task, payload }
+            };
+
+        let (outcome, stats) = exec.session_observed(
+            attempt_work,
+            |handle| {
+                let mut attempts_next: Vec<u32> = vec![0; task_count];
+                let mut failures: Vec<u32> = vec![0; task_count];
+                let mut results: Vec<Option<T>> = (0..task_count).map(|_| None).collect();
+                let mut remaining = task_count;
+                let mut submit = |task: usize, attempt: u32| {
+                    handle.submit(task as u64, (task, attempt, stage_ctx.child()));
+                };
+                for task in 0..task_count {
+                    schedule(
+                        task,
+                        &mut attempts_next,
+                        metrics,
+                        &mut submit,
+                        &faults,
+                        stage_id,
+                        stage_name,
+                        tel,
+                        stage_ctx,
                     );
                 }
-            };
-            if attempt_fails(&faults, stage_id, task, attempt) {
-                tel.event(
-                    "task_failed",
-                    vec![
-                        ("stage".to_string(), Value::Str(stage_name.to_string())),
-                        ("task".to_string(), Value::Int(task as i128)),
-                        ("attempt".to_string(), Value::Int(i128::from(attempt))),
-                    ],
-                );
-                close_span("failed");
-                return TaskOutcome::Failed { task };
-            }
-            // Fixed task overhead; stragglers burn a multiple.
-            if overhead > 0 {
-                let units = if attempt_straggles(&faults, stage_id, task, attempt) {
-                    overhead * faults.straggler_factor
-                } else {
-                    overhead
-                };
-                let _ = burn(units);
-            }
-            let payload = work(task);
-            close_span("done");
-            TaskOutcome::Done { task, payload }
-        };
-
-        let (outcome, stats) = exec.session(attempt_work, |handle| {
-            let mut attempts_next: Vec<u32> = vec![0; task_count];
-            let mut failures: Vec<u32> = vec![0; task_count];
-            let mut results: Vec<Option<T>> = (0..task_count).map(|_| None).collect();
-            let mut remaining = task_count;
-            let mut submit =
-                |task: usize, attempt: u32| handle.submit(task as u64, (task, attempt));
-            for task in 0..task_count {
-                schedule(
-                    task,
-                    &mut attempts_next,
-                    metrics,
-                    &mut submit,
-                    &faults,
-                    stage_id,
-                    stage_name,
-                    tel,
-                );
-            }
-            while remaining > 0 {
-                // Invariant: every unfinished task has at least one
-                // attempt outstanding (failures resubmit before the next
-                // recv), so the session cannot drain early.
-                let completion = handle
-                    .recv()
-                    .expect("unfinished tasks always have an attempt in flight");
-                let (task, panic_message) = match completion.result {
-                    Ok(TaskOutcome::Done { task, payload }) => {
-                        if results[task].is_none() {
-                            results[task] = Some(payload);
-                            remaining -= 1;
+                while remaining > 0 {
+                    // Invariant: every unfinished task has at least one
+                    // attempt outstanding (failures resubmit before the next
+                    // recv), so the session cannot drain early.
+                    let completion = handle
+                        .recv()
+                        .expect("unfinished tasks always have an attempt in flight");
+                    let (task, panic_message) = match completion.result {
+                        Ok(TaskOutcome::Done { task, payload }) => {
+                            if results[task].is_none() {
+                                results[task] = Some(payload);
+                                remaining -= 1;
+                            }
+                            // Else: a speculative or duplicate attempt lost
+                            // the race; drop its output.
+                            continue;
                         }
-                        // Else: a speculative or duplicate attempt lost
-                        // the race; drop its output.
-                        continue;
-                    }
-                    Ok(TaskOutcome::Failed { task }) => (task, None),
-                    Err(panic) => {
-                        let task = completion.task as usize;
-                        tel.event(
-                            "task_panicked",
-                            vec![
+                        Ok(TaskOutcome::Failed { task }) => (task, None),
+                        Err(panic) => {
+                            let task = completion.task as usize;
+                            let args = vec![
                                 ("stage".to_string(), Value::Str(stage_name.to_string())),
                                 ("task".to_string(), Value::Int(task as i128)),
                                 ("message".to_string(), Value::Str(panic.message.clone())),
+                            ];
+                            tel.event_ctx("task_panicked", stage_ctx, args.clone());
+                            tel.flight().instant("task_panicked", stage_ctx, args);
+                            (task, Some(panic.message))
+                        }
+                    };
+                    if results[task].is_some() {
+                        continue; // another attempt already won
+                    }
+                    metrics.failed_attempts += 1;
+                    failures[task] += 1;
+                    if failures[task] >= faults.max_attempts {
+                        tel.flight().instant(
+                            "retry_budget_exhausted",
+                            stage_ctx,
+                            vec![
+                                ("stage".to_string(), Value::Str(stage_name.to_string())),
+                                ("task".to_string(), Value::Int(task as i128)),
+                                (
+                                    "attempts".to_string(),
+                                    Value::Int(i128::from(failures[task])),
+                                ),
                             ],
                         );
-                        (task, Some(panic.message))
+                        return match panic_message {
+                            Some(message) => {
+                                tel.dump_flight("worker_panicked");
+                                Err(JobError::WorkerPanicked {
+                                    stage: stage_name,
+                                    message,
+                                })
+                            }
+                            None => {
+                                tel.dump_flight("task_exhausted");
+                                Err(JobError::TaskExhausted {
+                                    stage: stage_name,
+                                    task,
+                                    attempts: failures[task],
+                                })
+                            }
+                        };
                     }
-                };
-                if results[task].is_some() {
-                    continue; // another attempt already won
-                }
-                metrics.failed_attempts += 1;
-                failures[task] += 1;
-                if failures[task] >= faults.max_attempts {
-                    return match panic_message {
-                        Some(message) => Err(JobError::WorkerPanicked {
-                            stage: stage_name,
-                            message,
-                        }),
-                        None => Err(JobError::TaskExhausted {
-                            stage: stage_name,
-                            task,
-                            attempts: failures[task],
-                        }),
-                    };
-                }
-                tel.event(
-                    "retry_scheduled",
-                    vec![
+                    let retry_args = vec![
                         ("stage".to_string(), Value::Str(stage_name.to_string())),
                         ("task".to_string(), Value::Int(task as i128)),
                         (
                             "failures".to_string(),
                             Value::Int(i128::from(failures[task])),
                         ),
-                    ],
-                );
-                schedule(
-                    task,
-                    &mut attempts_next,
-                    metrics,
-                    &mut submit,
-                    &faults,
-                    stage_id,
-                    stage_name,
-                    tel,
-                );
-            }
-            Ok(results)
-        });
+                    ];
+                    tel.event_ctx("retry_scheduled", stage_ctx, retry_args.clone());
+                    tel.flight()
+                        .instant("retry_scheduled", stage_ctx, retry_args);
+                    schedule(
+                        task,
+                        &mut attempts_next,
+                        metrics,
+                        &mut submit,
+                        &faults,
+                        stage_id,
+                        stage_name,
+                        tel,
+                        stage_ctx,
+                    );
+                }
+                Ok(results)
+            },
+            &observer,
+        );
         metrics.record_exec_session(&stats);
         if tel.counters_on() {
             crate::metrics::record_exec_stats(tel.registry(), &stats);
@@ -611,6 +762,7 @@ impl MapReduce {
         &self,
         stage_name: &'static str,
         stage_id: u64,
+        stage_ctx: TraceCtx,
         task_count: usize,
         metrics: &mut JobMetrics,
         work: &F,
@@ -680,6 +832,7 @@ impl MapReduce {
                     stage_id,
                     stage_name,
                     tel,
+                    stage_ctx,
                 )
             };
         }
@@ -694,37 +847,49 @@ impl MapReduce {
                 .expect("unfinished tasks always have an attempt in flight");
             now = done_at;
             if attempt_fails(&faults, stage_id, task, attempt) {
-                tel.event(
-                    "task_failed",
-                    vec![
-                        ("stage".to_string(), Value::Str(stage_name.to_string())),
-                        ("task".to_string(), Value::Int(task as i128)),
-                        ("attempt".to_string(), Value::Int(i128::from(attempt))),
-                    ],
-                );
+                let fail_args = vec![
+                    ("stage".to_string(), Value::Str(stage_name.to_string())),
+                    ("task".to_string(), Value::Int(task as i128)),
+                    ("attempt".to_string(), Value::Int(i128::from(attempt))),
+                ];
+                tel.event_ctx("task_failed", stage_ctx, fail_args.clone());
+                tel.flight().instant("task_failed", stage_ctx, fail_args);
                 if results[task].is_some() {
                     continue; // another attempt already won
                 }
                 metrics.failed_attempts += 1;
                 failures[task] += 1;
                 if failures[task] >= faults.max_attempts {
+                    tel.flight().instant(
+                        "retry_budget_exhausted",
+                        stage_ctx,
+                        vec![
+                            ("stage".to_string(), Value::Str(stage_name.to_string())),
+                            ("task".to_string(), Value::Int(task as i128)),
+                            (
+                                "attempts".to_string(),
+                                Value::Int(i128::from(failures[task])),
+                            ),
+                        ],
+                    );
+                    tel.dump_flight("task_exhausted");
                     return Err(JobError::TaskExhausted {
                         stage: stage_name,
                         task,
                         attempts: failures[task],
                     });
                 }
-                tel.event(
-                    "retry_scheduled",
-                    vec![
-                        ("stage".to_string(), Value::Str(stage_name.to_string())),
-                        ("task".to_string(), Value::Int(task as i128)),
-                        (
-                            "failures".to_string(),
-                            Value::Int(i128::from(failures[task])),
-                        ),
-                    ],
-                );
+                let retry_args = vec![
+                    ("stage".to_string(), Value::Str(stage_name.to_string())),
+                    ("task".to_string(), Value::Int(task as i128)),
+                    (
+                        "failures".to_string(),
+                        Value::Int(i128::from(failures[task])),
+                    ),
+                ];
+                tel.event_ctx("retry_scheduled", stage_ctx, retry_args.clone());
+                tel.flight()
+                    .instant("retry_scheduled", stage_ctx, retry_args);
                 sim_schedule!(task);
             } else if results[task].is_none() {
                 results[task] = Some(work(task));

@@ -69,5 +69,5 @@ mod metrics;
 
 pub use api::{Combiner, Emitter, HashPartitioner, Mapper, Partitioner, Reducer};
 pub use config::{Backend, ClusterConfig, FaultPlan};
-pub use engine::{JobError, JobResult, MapReduce};
+pub use engine::{JobError, JobResult, MapReduce, TelemetryExecObserver};
 pub use metrics::{record_exec_stats, JobMetrics};

@@ -474,8 +474,14 @@ pub fn parallel_match(
     split_config: &ParallelSplitConfig,
     vfilter_config: &VFilterConfig,
 ) -> Result<MatchReport, JobError> {
-    let tel = engine.telemetry();
-    let mut pipeline_span = tel.span("parallel_match", "pipeline");
+    let tel = engine.telemetry().clone();
+    let tel = &tel;
+    // Root the causal tree at the pipeline span and re-parent the
+    // engine under it, so every MapReduce job this query submits traces
+    // back to it (the engine itself is cheap to clone — config + handles).
+    let pipeline_ctx = ev_telemetry::TraceCtx::root();
+    let mut pipeline_span = tel.span_ctx("parallel_match", "pipeline", pipeline_ctx);
+    let engine = &engine.clone().with_parent_ctx(pipeline_ctx);
     let mut metrics = JobMetrics::default();
     let index_before = store.index().stats();
     let cache_hits_before = video.stats().cache_hits;
@@ -483,7 +489,7 @@ pub fn parallel_match(
 
     let e_start = Instant::now();
     let split = {
-        let mut e_span = tel.span("parallel_split", "stage");
+        let mut e_span = tel.span_ctx("parallel_split", "stage", pipeline_ctx.child());
         let out = parallel_split_impl(engine, store, targets, split_config, false, &mut metrics)?;
         e_span.arg(
             "examined",
@@ -496,7 +502,7 @@ pub fn parallel_match(
 
     let v_start = Instant::now();
     let outcomes = {
-        let mut v_span = tel.span("parallel_vfilter", "stage");
+        let mut v_span = tel.span_ctx("parallel_vfilter", "stage", pipeline_ctx.child());
         let out = parallel_vfilter(engine, video, &split.lists, vfilter_config)?;
         v_span.arg("eids", serde::Value::Int(split.lists.len() as i128));
         out

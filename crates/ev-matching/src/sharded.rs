@@ -37,9 +37,12 @@ use crate::vfilter::{filter_one, VFilterConfig};
 use ev_core::ids::Eid;
 use ev_core::scenario::ScenarioId;
 use ev_exec::Executor;
-use ev_mapreduce::{record_exec_stats, Backend, ClusterConfig, JobError, JobMetrics, MapReduce};
+use ev_mapreduce::{
+    record_exec_stats, Backend, ClusterConfig, JobError, JobMetrics, MapReduce,
+    TelemetryExecObserver,
+};
 use ev_store::{EScenarioStore, StoreBackend, VideoStore};
-use ev_telemetry::Telemetry;
+use ev_telemetry::{Telemetry, TraceCtx};
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -87,7 +90,11 @@ pub fn sharded_match(
     telemetry: &Telemetry,
 ) -> Result<MatchReport, JobError> {
     let threads = threads.max(1);
-    let mut pipeline_span = telemetry.span("sharded_match", "pipeline");
+    // Root of this run's causal tree: the engine's job spans and both
+    // exec phases parent under it, so an exported trace (or a flight
+    // dump) reconstructs query → job → stage → task → attempt.
+    let pipeline_ctx = TraceCtx::root();
+    let mut pipeline_span = telemetry.span_ctx("sharded_match", "pipeline", pipeline_ctx);
     pipeline_span.arg("threads", serde::Value::Int(threads as i128));
     let mut metrics = JobMetrics::default();
     let index_before = store.index().stats();
@@ -107,10 +114,11 @@ pub fn sharded_match(
         backend: Backend::WorkStealing,
         ..ClusterConfig::default()
     })
-    .with_telemetry(telemetry);
+    .with_telemetry(telemetry)
+    .with_parent_ctx(pipeline_ctx);
     let e_start = Instant::now();
     let split = {
-        let mut e_span = telemetry.span("parallel_split", "stage");
+        let mut e_span = telemetry.span_ctx("parallel_split", "stage", pipeline_ctx.child());
         let out = parallel_split_impl(&engine, store, targets, split_config, false, &mut metrics)?;
         e_span.arg(
             "examined",
@@ -132,24 +140,30 @@ pub fn sharded_match(
     // ---- shard extraction: one private index + gallery batch per shard ----
     let mut local_postings_probed = 0u64;
     {
-        let mut extract_span = telemetry.span("shard_extract", "stage");
+        let extract_ctx = pipeline_ctx.child();
+        let mut extract_span = telemetry.span_ctx("shard_extract", "stage", extract_ctx);
+        let observer = TelemetryExecObserver::new(telemetry, "shard_extract", extract_ctx);
         let shards = store.shard_cells(threads);
-        let (per_shard, stats) = exec.map_ordered(shards, |_ctx, shard| {
-            let index = shard.build_index();
-            let mut batch: BTreeSet<ScenarioId> = BTreeSet::new();
-            for &eid in targets {
-                for &id in index.postings(eid) {
-                    if selected.contains(&id) {
-                        batch.insert(id);
+        let (per_shard, stats) = exec.map_ordered_observed(
+            shards,
+            |_ctx, shard| {
+                let index = shard.build_index();
+                let mut batch: BTreeSet<ScenarioId> = BTreeSet::new();
+                for &eid in targets {
+                    for &id in index.postings(eid) {
+                        if selected.contains(&id) {
+                            batch.insert(id);
+                        }
                     }
                 }
-            }
-            let extracted = batch
-                .iter()
-                .filter(|&&id| video.extract(id).is_some())
-                .count() as u64;
-            (extracted, index.stats().postings_probed)
-        });
+                let extracted = batch
+                    .iter()
+                    .filter(|&&id| video.extract(id).is_some())
+                    .count() as u64;
+                (extracted, index.stats().postings_probed)
+            },
+            &observer,
+        );
         metrics.record_exec_session(&stats);
         if telemetry.counters_on() {
             record_exec_stats(telemetry.registry(), &stats);
@@ -168,7 +182,9 @@ pub fn sharded_match(
 
     // ---- scoring: one task per EID, merged in input (= EID) order ----
     let outcomes = {
-        let mut score_span = telemetry.span("sharded_vfilter", "stage");
+        let score_ctx = pipeline_ctx.child();
+        let mut score_span = telemetry.span_ctx("sharded_vfilter", "stage", score_ctx);
+        let observer = TelemetryExecObserver::new(telemetry, "sharded_vfilter", score_ctx);
         let inputs: Vec<(Eid, ScenarioList)> =
             split.lists.iter().map(|(&e, l)| (e, l.clone())).collect();
         score_span.arg("eids", serde::Value::Int(inputs.len() as i128));
@@ -176,9 +192,13 @@ pub fn sharded_match(
             exclusion: false,
             ..*vfilter_config
         };
-        let (scored, stats) = exec.map_ordered(inputs, |_ctx, (eid, list): (Eid, ScenarioList)| {
-            filter_one(eid, &list, video, &score_config, &BTreeSet::new())
-        });
+        let (scored, stats) = exec.map_ordered_observed(
+            inputs,
+            |_ctx, (eid, list): (Eid, ScenarioList)| {
+                filter_one(eid, &list, video, &score_config, &BTreeSet::new())
+            },
+            &observer,
+        );
         metrics.record_exec_session(&stats);
         if telemetry.counters_on() {
             record_exec_stats(telemetry.registry(), &stats);

@@ -22,22 +22,28 @@
 //! stragglers, cache invalidations) are instant events under `event`.
 
 mod counters;
+mod flight;
 mod metrics;
 pub mod names;
 pub mod prometheus;
+mod serve;
 mod trace;
 
 pub use counters::IndexCounters;
+pub use flight::{FlightEntry, FlightKind, FlightRecorder, FLIGHT_CAPACITY};
 pub use metrics::{
     bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot, BUCKET_COUNT,
+    MetricsSnapshot, Reservoir, BUCKET_COUNT, RESERVOIR_CAPACITY,
 };
-pub use trace::{current_tid, TraceEvent, Tracer, DEFAULT_CAPACITY};
+pub use serve::MetricsServer;
+pub use trace::{current_tid, next_span_id, TraceCtx, TraceEvent, Tracer, DEFAULT_CAPACITY};
 
+use parking_lot::Mutex;
 use serde_json::Value;
 use std::fmt;
+use std::path::PathBuf;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -93,6 +99,10 @@ struct Inner {
     level: AtomicU8,
     registry: MetricsRegistry,
     tracer: Tracer,
+    flight: FlightRecorder,
+    flight_dir: Mutex<Option<PathBuf>>,
+    dump_seq: AtomicU64,
+    task_latency: Reservoir,
 }
 
 /// A cloneable handle to one run's telemetry state. Clones share the
@@ -112,11 +122,30 @@ impl Telemetry {
     /// Fresh telemetry state recording at `level`.
     #[must_use]
     pub fn new(level: TelemetryLevel) -> Self {
+        Telemetry::with_trace_capacity(level, DEFAULT_CAPACITY)
+    }
+
+    /// Fresh telemetry state whose tracer ring retains at most
+    /// `capacity` events (smaller rings surface `evm_trace_dropped_total`
+    /// sooner; the default is [`DEFAULT_CAPACITY`]).
+    #[must_use]
+    pub fn with_trace_capacity(level: TelemetryLevel, capacity: usize) -> Self {
+        let registry = MetricsRegistry::new();
+        let tracer = Tracer::with_capacity(capacity);
+        if level >= TelemetryLevel::Counters {
+            // Ring evictions increment the registry counter live; an
+            // `off` registry stays empty (sites record nothing).
+            tracer.attach_drop_counter(registry.counter(names::TRACE_DROPPED));
+        }
         Telemetry {
             inner: Arc::new(Inner {
                 level: AtomicU8::new(level as u8),
-                registry: MetricsRegistry::new(),
-                tracer: Tracer::default(),
+                registry,
+                tracer,
+                flight: FlightRecorder::default(),
+                flight_dir: Mutex::new(None),
+                dump_seq: AtomicU64::new(0),
+                task_latency: Reservoir::default(),
             }),
         }
     }
@@ -177,12 +206,21 @@ impl Telemetry {
     /// dropped. A no-op (no clock read) unless tracing is on.
     #[must_use]
     pub fn span(&self, name: impl Into<String>, cat: &'static str) -> Span<'_> {
+        self.span_ctx(name, cat, TraceCtx::default())
+    }
+
+    /// Opens a span carrying causal identity. The context is retained
+    /// even when tracing is off (so [`Span::ctx`] still chains), but no
+    /// clock is read and nothing is recorded.
+    #[must_use]
+    pub fn span_ctx(&self, name: impl Into<String>, cat: &'static str, ctx: TraceCtx) -> Span<'_> {
         if self.tracing_on() {
             Span {
                 tracer: Some(&self.inner.tracer),
                 name: name.into(),
                 cat,
                 start: Instant::now(),
+                ctx,
                 args: Vec::new(),
             }
         } else {
@@ -191,6 +229,7 @@ impl Telemetry {
                 name: String::new(),
                 cat,
                 start: self.inner.tracer.epoch(),
+                ctx,
                 args: Vec::new(),
             }
         }
@@ -200,6 +239,90 @@ impl Telemetry {
     pub fn event(&self, name: &str, args: Vec<(String, Value)>) {
         if self.tracing_on() {
             self.inner.tracer.instant(name, "event", args);
+        }
+    }
+
+    /// Records an instant event attributed to `ctx` when tracing is on.
+    pub fn event_ctx(&self, name: &str, ctx: TraceCtx, args: Vec<(String, Value)>) {
+        if self.tracing_on() {
+            self.inner.tracer.instant_ctx(name, "event", ctx, args);
+        }
+    }
+
+    /// The always-on flight recorder shared by every clone. Disabled by
+    /// default for library embedders; the CLI enables it per run.
+    #[must_use]
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
+    }
+
+    /// The bounded reservoir of task-attempt latencies (nanoseconds)
+    /// backing the exact `evm_exec_task_latency_p*` gauges.
+    #[must_use]
+    pub fn task_latency(&self) -> &Reservoir {
+        &self.inner.task_latency
+    }
+
+    /// Sets (or clears) the directory [`Telemetry::dump_flight`] writes
+    /// into. Unset by default, making dumps a no-op for library users.
+    pub fn set_flight_dir(&self, dir: Option<PathBuf>) {
+        *self.inner.flight_dir.lock() = dir;
+    }
+
+    /// The currently configured flight-dump directory.
+    #[must_use]
+    pub fn flight_dir(&self) -> Option<PathBuf> {
+        self.inner.flight_dir.lock().clone()
+    }
+
+    /// Dumps the flight-recorder ring to `flight-<ts>-<n>.json` in the
+    /// configured dump directory and returns the path, or `None` when
+    /// no directory is set (or the write fails — dumping is a crash
+    /// path and must never panic or mask the original error).
+    pub fn dump_flight(&self, reason: &str) -> Option<PathBuf> {
+        let dir = self.flight_dir()?;
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let n = self.inner.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("flight-{secs}-{n}.json"));
+        let body = self.inner.flight.to_value(reason).to_json_pretty();
+        if std::fs::create_dir_all(&dir).is_err() || std::fs::write(&path, body).is_err() {
+            return None;
+        }
+        if self.counters_on() {
+            self.inner.registry.counter(names::FLIGHT_DUMPS).inc();
+        }
+        Some(path)
+    }
+
+    /// Refreshes metrics derived from non-registry state: mirrors
+    /// tracer ring drops into `evm_trace_dropped_total` (covering
+    /// `set_level` upgrades after construction) and publishes exact
+    /// p50/p90/p99 task-latency gauges from the reservoir. Called
+    /// before every `/metrics` scrape and before profile export.
+    pub fn sync_derived_metrics(&self) {
+        if !self.counters_on() {
+            return;
+        }
+        let dropped = self.inner.tracer.dropped();
+        let counter = self.inner.registry.counter(names::TRACE_DROPPED);
+        let counted = counter.get();
+        if dropped > counted {
+            counter.add(dropped - counted);
+        }
+        let latency = &self.inner.task_latency;
+        if !latency.is_empty() {
+            for (name, q) in [
+                (names::EXEC_TASK_LATENCY_P50_NS, 0.50),
+                (names::EXEC_TASK_LATENCY_P90_NS, 0.90),
+                (names::EXEC_TASK_LATENCY_P99_NS, 0.99),
+            ] {
+                if let Some(v) = latency.quantile(q) {
+                    self.inner.registry.gauge(name).set(v as f64);
+                }
+            }
         }
     }
 }
@@ -212,6 +335,7 @@ pub struct Span<'a> {
     name: String,
     cat: &'static str,
     start: Instant,
+    ctx: TraceCtx,
     args: Vec<(String, Value)>,
 }
 
@@ -222,15 +346,24 @@ impl Span<'_> {
             self.args.push((key.to_string(), value));
         }
     }
+
+    /// The span's causal context (unset unless opened with
+    /// [`Telemetry::span_ctx`]). Derive children with
+    /// [`TraceCtx::child`].
+    #[must_use]
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx
+    }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(tracer) = self.tracer {
-            tracer.complete(
+            tracer.complete_ctx(
                 std::mem::take(&mut self.name),
                 self.cat,
                 self.start,
+                self.ctx,
                 std::mem::take(&mut self.args),
             );
         }

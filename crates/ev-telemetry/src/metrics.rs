@@ -6,7 +6,7 @@
 //! and then touch nothing but a relaxed atomic per update. The registry
 //! itself is only locked on handle resolution and on export.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 use std::collections::BTreeMap;
@@ -194,6 +194,102 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+}
+
+/// Default number of samples a [`Reservoir`] retains.
+pub const RESERVOIR_CAPACITY: usize = 4096;
+
+/// `splitmix64` — a tiny, high-quality deterministic bit mixer. Used
+/// for reservoir replacement draws so quantiles are reproducible from
+/// the insertion sequence alone (no wall clock, no RNG state).
+#[must_use]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A bounded uniform sample of a `u64` stream (Vitter's Algorithm R
+/// with a deterministic `splitmix64` draw keyed by the insertion
+/// index), supporting *exact* quantiles over the retained sample —
+/// unlike [`Histogram`], whose log₂ buckets only bound a quantile to a
+/// power-of-two interval.
+///
+/// Until `capacity` samples have been seen the reservoir holds the
+/// entire stream and its quantiles are exact over all observations.
+#[derive(Debug)]
+pub struct Reservoir {
+    samples: Mutex<Vec<u64>>,
+    seen: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for Reservoir {
+    fn default() -> Self {
+        Reservoir::with_capacity(RESERVOIR_CAPACITY)
+    }
+}
+
+impl Reservoir {
+    /// A reservoir retaining at most `capacity` samples.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Reservoir {
+            samples: Mutex::new(Vec::new()),
+            seen: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        let mut samples = self.samples.lock();
+        if samples.len() < self.capacity {
+            samples.push(v);
+        } else {
+            let j = splitmix64(n) % (n + 1);
+            if (j as usize) < self.capacity {
+                samples[j as usize] = v;
+            }
+        }
+    }
+
+    /// Total samples ever offered (retained or not).
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// Samples currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Whether no samples have been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.lock().is_empty()
+    }
+
+    /// The exact `q`-quantile (clamped to `[0, 1]`) of the retained
+    /// sample, or `None` when empty. `q = 0.5` is the median; the value
+    /// returned is always one of the retained samples (lower
+    /// interpolation).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let samples = self.samples.lock();
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        drop(samples);
+        sorted.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        Some(sorted[rank.min(sorted.len()) - 1])
     }
 }
 

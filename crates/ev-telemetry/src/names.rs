@@ -120,6 +120,18 @@ pub const MAJORITY_VOTE_ACCURACY: &str = "evm_majority_vote_accuracy";
 /// Distinct scenarios selected across all target lists.
 pub const SELECTED_SCENARIOS: &str = "evm_selected_scenarios";
 
+/// Trace events evicted because the tracer ring was full.
+pub const TRACE_DROPPED: &str = "evm_trace_dropped_total";
+/// Flight-recorder dumps written (worker panic, job-error exhaustion,
+/// or disk-corruption triggers).
+pub const FLIGHT_DUMPS: &str = "evm_flight_dumps_total";
+/// Exact median task-attempt latency (ns) from the bounded reservoir.
+pub const EXEC_TASK_LATENCY_P50_NS: &str = "evm_exec_task_latency_p50_ns";
+/// Exact p90 task-attempt latency (ns) from the bounded reservoir.
+pub const EXEC_TASK_LATENCY_P90_NS: &str = "evm_exec_task_latency_p90_ns";
+/// Exact p99 task-attempt latency (ns) from the bounded reservoir.
+pub const EXEC_TASK_LATENCY_P99_NS: &str = "evm_exec_task_latency_p99_ns";
+
 /// Segment files committed by `ev-disk` appends.
 pub const DISK_SEGMENTS_WRITTEN: &str = "evm_disk_segments_written";
 /// Segment files opened and decoded during corpus loads.
@@ -168,6 +180,8 @@ pub const ALL_COUNTERS: &[&str] = &[
     INDEX_CACHE_HITS,
     INDEX_SCANS_AVOIDED,
     REFINE_ROUNDS,
+    TRACE_DROPPED,
+    FLIGHT_DUMPS,
     DISK_SEGMENTS_WRITTEN,
     DISK_SEGMENTS_OPENED,
     DISK_SEGMENTS_PRUNED,
@@ -186,6 +200,9 @@ pub const ALL_GAUGES: &[&str] = &[
     MAPREDUCE_TOTAL_TIME_SECONDS,
     EXEC_WORKERS,
     EXEC_QUEUE_DEPTH_PEAK,
+    EXEC_TASK_LATENCY_P50_NS,
+    EXEC_TASK_LATENCY_P90_NS,
+    EXEC_TASK_LATENCY_P99_NS,
     INDEX_BUILD_NS,
     STAGE_E_SECONDS,
     STAGE_V_SECONDS,

@@ -7,16 +7,81 @@
 //! long run degrades to "most recent window" rather than unbounded
 //! memory.
 
+use crate::metrics::Counter;
 use parking_lot::Mutex;
 use serde_json::Value;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Default ring capacity (events retained).
 pub const DEFAULT_CAPACITY: usize = 65_536;
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh process-unique span id (never 0). Ids are cheap —
+/// one relaxed `fetch_add` — so callers may allocate them even when
+/// tracing is off (the flight recorder attributes entries by these ids
+/// regardless of the telemetry level).
+#[must_use]
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Causal trace context: the identity of one span plus the ids linking
+/// it to its trace and parent. Propagated by value from job submission
+/// through `ev-mapreduce` rounds into every `ev-exec` task closure, so
+/// distributed work can always be attributed to the job → round → task
+/// → attempt chain that caused it.
+///
+/// A zeroed context (`TraceCtx::default()`) means "no causal parent";
+/// spans recorded under it start a fresh trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Trace the span belongs to (the root span's id). 0 = unset.
+    pub trace_id: u64,
+    /// This context's own span id. 0 = unset.
+    pub span_id: u64,
+    /// The causal parent's span id. 0 = root.
+    pub parent_span: u64,
+}
+
+impl TraceCtx {
+    /// A fresh root context: new trace, no parent.
+    #[must_use]
+    pub fn root() -> TraceCtx {
+        let id = next_span_id();
+        TraceCtx {
+            trace_id: id,
+            span_id: id,
+            parent_span: 0,
+        }
+    }
+
+    /// A child context: same trace, parented to this context's span.
+    /// On an unset (`default`) context this is equivalent to
+    /// [`TraceCtx::root`], so plumbing code never has to special-case
+    /// "no caller context".
+    #[must_use]
+    pub fn child(&self) -> TraceCtx {
+        if self.is_unset() {
+            return TraceCtx::root();
+        }
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: next_span_id(),
+            parent_span: self.span_id,
+        }
+    }
+
+    /// Whether this context carries no identity at all.
+    #[must_use]
+    pub fn is_unset(&self) -> bool {
+        self.span_id == 0
+    }
+}
 
 thread_local! {
     /// Small stable per-thread id for the `tid` trace field (thread 1 is
@@ -46,6 +111,11 @@ pub struct TraceEvent {
     pub dur_us: u64,
     /// Recording thread id (see [`current_tid`]).
     pub tid: u64,
+    /// Causal identity (all 0 when the event was recorded without a
+    /// [`TraceCtx`]). Carried into the Chrome export inside `args` so
+    /// the job→round→task→attempt tree can be reconstructed even after
+    /// serialization.
+    pub ctx: TraceCtx,
     /// Extra key/value payload rendered under `args`.
     pub args: Vec<(String, Value)>,
 }
@@ -69,10 +139,54 @@ impl TraceEvent {
             // Instant scope: thread-local, the narrowest marker.
             fields.push(("s".to_string(), Value::Str("t".to_string())));
         }
-        if !self.args.is_empty() {
-            fields.push(("args".to_string(), Value::Obj(self.args.clone())));
+        let mut args = Vec::new();
+        if !self.ctx.is_unset() {
+            args.push((
+                "trace_id".to_string(),
+                Value::Int(i128::from(self.ctx.trace_id)),
+            ));
+            args.push((
+                "span_id".to_string(),
+                Value::Int(i128::from(self.ctx.span_id)),
+            ));
+            args.push((
+                "parent_span_id".to_string(),
+                Value::Int(i128::from(self.ctx.parent_span)),
+            ));
+        }
+        args.extend(self.args.iter().cloned());
+        if !args.is_empty() {
+            fields.push(("args".to_string(), Value::Obj(args)));
         }
         Value::Obj(fields)
+    }
+
+    /// The event as a flat JSON object for the `/tracez` live endpoint:
+    /// identity fields are explicit top-level keys rather than being
+    /// folded into Chrome `args`.
+    #[must_use]
+    pub fn to_tracez_value(&self) -> Value {
+        Value::Obj(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("cat".to_string(), Value::Str(self.cat.to_string())),
+            ("ph".to_string(), Value::Str(self.ph.to_string())),
+            ("ts_us".to_string(), Value::Int(i128::from(self.ts_us))),
+            ("dur_us".to_string(), Value::Int(i128::from(self.dur_us))),
+            ("tid".to_string(), Value::Int(i128::from(self.tid))),
+            (
+                "trace_id".to_string(),
+                Value::Int(i128::from(self.ctx.trace_id)),
+            ),
+            (
+                "span_id".to_string(),
+                Value::Int(i128::from(self.ctx.span_id)),
+            ),
+            (
+                "parent_span_id".to_string(),
+                Value::Int(i128::from(self.ctx.parent_span)),
+            ),
+            ("args".to_string(), Value::Obj(self.args.clone())),
+        ])
     }
 }
 
@@ -84,6 +198,10 @@ pub struct Tracer {
     events: Mutex<VecDeque<TraceEvent>>,
     capacity: usize,
     dropped: AtomicU64,
+    /// Registry counter mirroring `dropped` (`evm_trace_dropped_total`),
+    /// attached once by `Telemetry::new` — the tracer itself stays
+    /// registry-agnostic.
+    drop_counter: OnceLock<Arc<Counter>>,
 }
 
 impl Default for Tracer {
@@ -101,7 +219,14 @@ impl Tracer {
             events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
             capacity: capacity.max(1),
             dropped: AtomicU64::new(0),
+            drop_counter: OnceLock::new(),
         }
+    }
+
+    /// Attaches the registry counter incremented on every ring
+    /// eviction. Only the first call has an effect.
+    pub fn attach_drop_counter(&self, counter: Arc<Counter>) {
+        let _ = self.drop_counter.set(counter);
     }
 
     /// The tracer's epoch — span starts should be taken with
@@ -122,6 +247,9 @@ impl Tracer {
         if ring.len() >= self.capacity {
             ring.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(counter) = self.drop_counter.get() {
+                counter.inc();
+            }
         }
         ring.push_back(event);
     }
@@ -134,6 +262,18 @@ impl Tracer {
         start: Instant,
         args: Vec<(String, Value)>,
     ) {
+        self.complete_ctx(name, cat, start, TraceCtx::default(), args);
+    }
+
+    /// Records a complete (`'X'`) span carrying causal identity.
+    pub fn complete_ctx(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: Instant,
+        ctx: TraceCtx,
+        args: Vec<(String, Value)>,
+    ) {
         let ts_us = u64::try_from(start.saturating_duration_since(self.epoch).as_micros())
             .unwrap_or(u64::MAX);
         let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -144,12 +284,26 @@ impl Tracer {
             ts_us,
             dur_us,
             tid: current_tid(),
+            ctx,
             args,
         });
     }
 
     /// Records an instant (`'i'`) event at the current time.
     pub fn instant(&self, name: impl Into<String>, cat: &'static str, args: Vec<(String, Value)>) {
+        self.instant_ctx(name, cat, TraceCtx::default(), args);
+    }
+
+    /// Records an instant (`'i'`) event carrying causal identity — the
+    /// context names the span the instant is an edge of (e.g. a
+    /// `retry_scheduled` instant carries the stage span's context).
+    pub fn instant_ctx(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        ctx: TraceCtx,
+        args: Vec<(String, Value)>,
+    ) {
         self.push(TraceEvent {
             name: name.into(),
             cat,
@@ -157,6 +311,7 @@ impl Tracer {
             ts_us: self.now_us(),
             dur_us: 0,
             tid: current_tid(),
+            ctx,
             args,
         });
     }
@@ -165,6 +320,14 @@ impl Tracer {
     #[must_use]
     pub fn events(&self) -> Vec<TraceEvent> {
         self.events.lock().iter().cloned().collect()
+    }
+
+    /// The most recent `limit` events, oldest first.
+    #[must_use]
+    pub fn recent(&self, limit: usize) -> Vec<TraceEvent> {
+        let ring = self.events.lock();
+        let skip = ring.len().saturating_sub(limit);
+        ring.iter().skip(skip).cloned().collect()
     }
 
     /// Number of events recorded (retained in the ring).

@@ -10,10 +10,12 @@
 //!                   [--confidence P] [--budget-scenarios N]
 //!                   [--telemetry off|counters|full] [--trace-out PATH]
 //!                   [--metrics-out PATH] [--json]
+//!                   [--serve-metrics ADDR] [--serve-hold-ms MS]
+//!                   [--flight-dir DIR]
 //!                   [--data-dir DIR] [--recovery strict|salvage]
 //! evmatch query     [--population N] [--duration T] [--seed S]
 //!                   [--targets K] --eid HEX|--cell C --from T0 --to T1
-//! evmatch check-metrics --in PATH
+//! evmatch check-metrics --in PATH | --smoke
 //! evmatch check-anytime [--population N] [--duration T] [--seed S]
 //!                   [--targets K] [--confidence P]
 //! ```
@@ -38,9 +40,23 @@
 //! `--metrics-out` implies the `counters` telemetry level and
 //! `--trace-out` implies `full`; an explicit `--telemetry` wins over
 //! both (so `--telemetry off` always runs the uninstrumented paths).
-//! `check-metrics` strictly parses an exported Prometheus profile and
-//! verifies the Theorem 4.2/4.4 invariant `log2(n) <= recorded <= n-1`
-//! whenever the run reported a fully split first round.
+//! `check-metrics --in PATH` strictly parses an exported Prometheus
+//! profile and verifies the Theorem 4.2/4.4 invariant
+//! `log2(n) <= recorded <= n-1` whenever the run reported a fully split
+//! first round. `check-metrics --smoke` instead runs an in-process
+//! battery that exercises every subsystem **without** preregistering
+//! the metric schema, then fails if any canonical name in
+//! `ev_telemetry::names` was never emitted — the guard that keeps
+//! `names.rs` and the instrumentation sites from drifting apart.
+//!
+//! `--serve-metrics ADDR` starts the live observability endpoint for
+//! the duration of the run (`/metrics`, `/healthz`, `/tracez`; see
+//! `DESIGN.md` §5). `--serve-hold-ms MS` keeps the process (and the
+//! endpoint) alive that long after the run finishes so external
+//! scrapers get a stable window. The flight recorder is always on for
+//! CLI runs: on a worker panic, retry exhaustion, or detected disk
+//! corruption, the ring of recent spans/instants/counter deltas is
+//! dumped to `flight-<ts>-<n>.json` in `--flight-dir` (default `.`).
 //!
 //! `--confidence P` (`0 < P <= 1`) switches VID filtering to the
 //! anytime scorer of `DESIGN.md` §8: scoring stops once the leader's
@@ -50,7 +66,7 @@
 //! anytime scorer against the exhaustive one on a generated corpus and
 //! fails on any divergence a converged result is not allowed to show.
 
-use ev_telemetry::{names, prometheus, Telemetry, TelemetryLevel};
+use ev_telemetry::{names, prometheus, MetricsServer, Telemetry, TelemetryLevel};
 use evmatch::disk::{DiskBackend, DiskStore, RecoveryMode};
 use evmatch::fusion::FusedIndex;
 use evmatch::matching::refine::SplitMode;
@@ -75,6 +91,10 @@ struct CommonArgs {
     metrics_out: Option<String>,
     data_dir: Option<String>,
     recovery: RecoveryMode,
+    serve_metrics: Option<String>,
+    serve_hold_ms: u64,
+    flight_dir: Option<String>,
+    smoke: bool,
     rest: BTreeMap<String, String>,
 }
 
@@ -94,17 +114,48 @@ impl CommonArgs {
 
     /// The telemetry level in force: explicit `--telemetry` wins, else
     /// the strongest level an output flag implies, else off.
+    /// `--serve-metrics` implies `full` so the live `/tracez` endpoint
+    /// has spans to show (an explicit `--telemetry` still wins).
     fn telemetry_level(&self) -> TelemetryLevel {
         if let Some(level) = self.telemetry {
             return level;
         }
-        if self.trace_out.is_some() {
+        if self.trace_out.is_some() || self.serve_metrics.is_some() {
             TelemetryLevel::Full
         } else if self.metrics_out.is_some() {
             TelemetryLevel::Counters
         } else {
             TelemetryLevel::Off
         }
+    }
+
+    /// Arms the always-on flight recorder for this invocation and
+    /// points dumps at `--flight-dir` (default: the working directory).
+    fn arm_flight_recorder(&self, telemetry: &Telemetry) {
+        telemetry.flight().set_enabled(true);
+        let dir = self.flight_dir.clone().unwrap_or_else(|| ".".to_string());
+        telemetry.set_flight_dir(Some(dir.into()));
+    }
+
+    /// Starts the `--serve-metrics` endpoint if requested; the returned
+    /// guard keeps it alive until dropped.
+    fn start_metrics_server(&self, telemetry: &Telemetry) -> Result<Option<MetricsServer>, String> {
+        let Some(addr) = &self.serve_metrics else {
+            return Ok(None);
+        };
+        let server = MetricsServer::start(addr.as_str(), telemetry)
+            .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+        eprintln!("serving metrics on http://{}/metrics", server.addr());
+        Ok(Some(server))
+    }
+
+    /// Holds the process (and a live endpoint) open for
+    /// `--serve-hold-ms` before the server guard drops.
+    fn hold_metrics_server(&self, server: Option<MetricsServer>) {
+        if server.is_some() && self.serve_hold_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.serve_hold_ms));
+        }
+        drop(server);
     }
 }
 
@@ -125,6 +176,10 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
         metrics_out: None,
         data_dir: None,
         recovery: RecoveryMode::Strict,
+        serve_metrics: None,
+        serve_hold_ms: 0,
+        flight_dir: None,
+        smoke: false,
         rest: BTreeMap::new(),
     };
     let mut it = args.iter();
@@ -163,6 +218,12 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
             "--trace-out" => out.trace_out = Some(take()?),
             "--metrics-out" => out.metrics_out = Some(take()?),
             "--data-dir" => out.data_dir = Some(take()?),
+            "--serve-metrics" => out.serve_metrics = Some(take()?),
+            "--serve-hold-ms" => {
+                out.serve_hold_ms = take()?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--flight-dir" => out.flight_dir = Some(take()?),
+            "--smoke" => out.smoke = true,
             "--recovery" => {
                 out.recovery = match take()?.as_str() {
                     "strict" => RecoveryMode::Strict,
@@ -250,13 +311,20 @@ fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
     if telemetry.counters_on() {
         names::preregister(telemetry.registry());
     }
+    args.arm_flight_recorder(&telemetry);
+    let server = args.start_metrics_server(&telemetry)?;
     // With --data-dir the corpus is read back from the persistent
     // segment store; the regenerated dataset still supplies targets,
     // the cost model and the scoring ground truth.
     let report = if let Some(dir) = &args.data_dir {
         let backend =
             DiskBackend::open_with(dir, dataset.video.cost_model(), args.recovery, &telemetry)
-                .map_err(|e| format!("opening corpus {dir}: {e}"))?;
+                .map_err(|e| {
+                    if e.is_corruption() {
+                        telemetry.dump_flight("disk_corruption");
+                    }
+                    format!("opening corpus {dir}: {e}")
+                })?;
         if backend.recovery().repaired_anything() {
             eprintln!("recovered corpus {dir}: {:?}", backend.recovery());
         }
@@ -282,6 +350,7 @@ fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
         report
     };
     write_telemetry(args, &telemetry)?;
+    args.hold_metrics_server(server);
     Ok((dataset, report))
 }
 
@@ -299,18 +368,29 @@ fn cmd_ingest(args: &CommonArgs) -> Result<(), String> {
     if telemetry.counters_on() {
         names::preregister(telemetry.registry());
     }
+    args.arm_flight_recorder(&telemetry);
+    let server = args.start_metrics_server(&telemetry)?;
     let mut store = DiskStore::open_or_create(dir)
-        .map_err(|e| format!("opening corpus {dir}: {e}"))?
+        .map_err(|e| {
+            if e.is_corruption() {
+                telemetry.dump_flight("disk_corruption");
+            }
+            format!("opening corpus {dir}: {e}")
+        })?
         .with_telemetry(&telemetry);
     if store.recovery().repaired_anything() {
         eprintln!("recovered corpus {dir}: {:?}", store.recovery());
     }
     let e_batch: Vec<_> = dataset.estore.iter().cloned().collect();
     let v_batch: Vec<_> = dataset.video.scenarios().cloned().collect();
-    let receipt = store
-        .append(&e_batch, &v_batch)
-        .map_err(|e| format!("appending to corpus {dir}: {e}"))?;
+    let receipt = store.append(&e_batch, &v_batch).map_err(|e| {
+        if e.is_corruption() {
+            telemetry.dump_flight("disk_corruption");
+        }
+        format!("appending to corpus {dir}: {e}")
+    })?;
     write_telemetry(args, &telemetry)?;
+    args.hold_metrics_server(server);
     if args.json {
         println!(
             "{}",
@@ -363,8 +443,256 @@ const REQUIRED_METRICS: &[&str] = &[
     names::MAPREDUCE_FAILED_ATTEMPTS,
 ];
 
+/// `check-metrics --smoke`: runs an in-process battery that touches
+/// every subsystem with **no** schema preregistration, then fails if
+/// any canonical metric name was never emitted by real instrumentation.
+/// This is what keeps `ev_telemetry::names` honest: a constant added
+/// there without an emission site (or an emission site whose metric
+/// name drifted from the constant) fails this gate.
+fn smoke_coverage_gate(args: &CommonArgs) -> Result<(), String> {
+    use evmatch::mapreduce::{FaultPlan, MapReduce};
+    use std::collections::BTreeSet;
+
+    fn absorb_into(seen: &mut BTreeSet<String>, tel: &Telemetry) {
+        tel.sync_derived_metrics();
+        let snap = tel.registry().snapshot();
+        seen.extend(snap.counters.keys().cloned());
+        seen.extend(snap.gauges.keys().cloned());
+        seen.extend(snap.histograms.keys().cloned());
+    }
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+
+    let config = DatasetConfig {
+        population: 80,
+        duration: 100,
+        seed: args.seed,
+        ..DatasetConfig::default()
+    };
+    let dataset = EvDataset::generate(&config).map_err(|e| e.to_string())?;
+    let targets = sample_targets(&dataset, 16, args.seed);
+
+    // 1. Sequential ideal-mode run: set splitting (greedy-balanced, the
+    //    only strategy that exercises the gain cache), refinement,
+    //    exhaustive VID scoring, theorem bounds and the paper gauges.
+    {
+        let tel = Telemetry::new(TelemetryLevel::Full);
+        let mut cfg = MatcherConfig {
+            mode: SplitMode::Ideal,
+            ..MatcherConfig::default()
+        };
+        cfg.split.strategy = evmatch::matching::setsplit::SelectionStrategy::GreedyBalanced;
+        EvMatcher::new(&dataset.estore, &dataset.video, cfg)
+            .with_telemetry(&tel)
+            .match_many(&targets)
+            .map_err(|e| format!("smoke sequential run: {e}"))?;
+        tel.registry()
+            .gauge(names::INDEX_BUILD_NS)
+            .set(dataset.estore.index().build_time().as_nanos() as f64);
+        absorb_into(&mut seen, &tel);
+    }
+
+    // 1b. Sequential run with the anytime scorer: only the sequential
+    //     refine loop routes telemetry into the bounded scorer, so the
+    //     anytime pruning counters must be exercised here, not in the
+    //     sharded run below.
+    {
+        let tel = Telemetry::new(TelemetryLevel::Full);
+        let mut cfg = MatcherConfig {
+            mode: SplitMode::Ideal,
+            ..MatcherConfig::default()
+        };
+        cfg.vfilter.anytime = Some(AnytimeConfig {
+            confidence: 0.9,
+            budget_scenarios: Some(3),
+        });
+        EvMatcher::new(&dataset.estore, &dataset.video, cfg)
+            .with_telemetry(&tel)
+            .match_many(&targets)
+            .map_err(|e| format!("smoke anytime run: {e}"))?;
+        absorb_into(&mut seen, &tel);
+    }
+
+    // 2. MapReduce run with injected failures, stragglers and
+    //    speculation on real threads: engine, retry and exec metrics.
+    {
+        let tel = Telemetry::new(TelemetryLevel::Full);
+        let cfg = MatcherConfig {
+            execution: ExecutionMode::Parallel(ClusterConfig {
+                workers: 4,
+                reduce_partitions: 4,
+                split_size: 4,
+                faults: FaultPlan {
+                    task_failure_rate: 0.2,
+                    straggler_rate: 0.3,
+                    straggler_factor: 2,
+                    speculative_execution: true,
+                    max_attempts: 50,
+                    seed: 11,
+                },
+                ..ClusterConfig::default()
+            }),
+            ..MatcherConfig::default()
+        };
+        EvMatcher::new(&dataset.estore, &dataset.video, cfg)
+            .with_telemetry(&tel)
+            .match_many(&targets)
+            .map_err(|e| format!("smoke mapreduce run: {e}"))?;
+        absorb_into(&mut seen, &tel);
+    }
+
+    // 3. Cell-sharded run with the anytime scorer: exec observer
+    //    latency reservoir plus the anytime pruning counters.
+    {
+        let tel = Telemetry::new(TelemetryLevel::Full);
+        let mut cfg = MatcherConfig {
+            execution: ExecutionMode::Sharded(4),
+            ..MatcherConfig::default()
+        };
+        cfg.vfilter.anytime = Some(AnytimeConfig {
+            confidence: 0.9,
+            budget_scenarios: Some(3),
+        });
+        EvMatcher::new(&dataset.estore, &dataset.video, cfg)
+            .with_telemetry(&tel)
+            .match_many(&targets)
+            .map_err(|e| format!("smoke sharded run: {e}"))?;
+        absorb_into(&mut seen, &tel);
+    }
+
+    // 4. Tracer-ring overflow: a tiny ring forced to evict, mirrored
+    //    into the drop counter by sync_derived_metrics.
+    {
+        let tel = Telemetry::with_trace_capacity(TelemetryLevel::Full, 8);
+        for _ in 0..64 {
+            tel.event("smoke_overflow", Vec::new());
+        }
+        absorb_into(&mut seen, &tel);
+        if !seen.contains(names::TRACE_DROPPED) {
+            return Err("tracer overflow did not emit the drop counter".into());
+        }
+    }
+
+    let scratch = std::env::temp_dir().join(format!("evmatch-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("creating {scratch:?}: {e}"))?;
+    let gate = (|| -> Result<(), String> {
+        // 5. A flight-recorder dump: record real entries, dump, and
+        //    strict-check the artifact round-trips as JSON.
+        {
+            let tel = Telemetry::new(TelemetryLevel::Counters);
+            tel.flight().set_enabled(true);
+            tel.set_flight_dir(Some(scratch.clone()));
+            let ctx = ev_telemetry::TraceCtx::root();
+            tel.flight().instant("smoke_probe", ctx, Vec::new());
+            let path = tel
+                .dump_flight("smoke")
+                .ok_or("flight dump produced no file")?;
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path:?}: {e}"))?;
+            let dump: serde_json::Value =
+                serde_json::from_str(&text).map_err(|e| format!("{path:?}: bad JSON: {e}"))?;
+            if dump.get("reason") != Some(&serde_json::Value::Str("smoke".to_string())) {
+                return Err(format!("{path:?}: dump reason missing or wrong"));
+            }
+            absorb_into(&mut seen, &tel);
+        }
+
+        // 6. Disk round-trip: one ingest, one recovering reopen+load.
+        {
+            let tel = Telemetry::new(TelemetryLevel::Counters);
+            let dir = scratch.join("corpus");
+            let dir = dir.to_string_lossy().into_owned();
+            let mut store = DiskStore::open_or_create(&dir)
+                .map_err(|e| format!("opening corpus {dir}: {e}"))?
+                .with_telemetry(&tel);
+            let e_batch: Vec<_> = dataset.estore.iter().cloned().collect();
+            let v_batch: Vec<_> = dataset.video.scenarios().cloned().collect();
+            store
+                .append(&e_batch, &v_batch)
+                .map_err(|e| format!("appending to corpus {dir}: {e}"))?;
+            drop(store);
+            let _reopened = DiskBackend::open_with(
+                &dir,
+                dataset.video.cost_model(),
+                RecoveryMode::Salvage,
+                &tel,
+            )
+            .map_err(|e| format!("reopening corpus {dir}: {e}"))?;
+            absorb_into(&mut seen, &tel);
+        }
+
+        // 7. A flight dump triggered the engine-internal way: a job
+        //    whose retry budget a 100% failure rate must exhaust.
+        {
+            let tel = Telemetry::new(TelemetryLevel::Counters);
+            tel.flight().set_enabled(true);
+            tel.set_flight_dir(Some(scratch.clone()));
+            let before = tel
+                .registry()
+                .counter_value(names::FLIGHT_DUMPS)
+                .unwrap_or(0);
+            let engine = MapReduce::new(ClusterConfig {
+                split_size: 1,
+                faults: FaultPlan {
+                    task_failure_rate: 0.95,
+                    max_attempts: 2,
+                    seed: 1,
+                    ..FaultPlan::default()
+                },
+                ..ClusterConfig::default()
+            })
+            .with_telemetry(&tel);
+            let failed = evmatch::matching::parallel::parallel_match(
+                &engine,
+                &dataset.estore,
+                &dataset.video,
+                &targets,
+                &evmatch::matching::parallel::ParallelSplitConfig::default(),
+                &evmatch::matching::vfilter::VFilterConfig::default(),
+            );
+            if failed.is_ok() {
+                return Err("exhaustion probe unexpectedly succeeded".into());
+            }
+            let after = tel
+                .registry()
+                .counter_value(names::FLIGHT_DUMPS)
+                .unwrap_or(0);
+            if after <= before {
+                return Err("retry exhaustion did not write a flight dump".into());
+            }
+            absorb_into(&mut seen, &tel);
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&scratch);
+    gate?;
+
+    let all_names = names::ALL_COUNTERS
+        .iter()
+        .chain(names::ALL_GAUGES)
+        .chain(names::ALL_HISTOGRAMS);
+    let missing: Vec<&str> = all_names
+        .filter(|&&name| !seen.contains(name))
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "smoke battery never emitted {} canonical metric(s): {}",
+            missing.len(),
+            missing.join(", ")
+        ));
+    }
+    let total = names::ALL_COUNTERS.len() + names::ALL_GAUGES.len() + names::ALL_HISTOGRAMS.len();
+    println!("ok: smoke battery emitted all {total} canonical metrics");
+    Ok(())
+}
+
 fn cmd_check_metrics(args: &CommonArgs) -> Result<(), String> {
-    let path = args.rest.get("in").ok_or("check-metrics needs --in PATH")?;
+    if args.smoke {
+        return smoke_coverage_gate(args);
+    }
+    let path = args
+        .rest
+        .get("in")
+        .ok_or("check-metrics needs --in PATH (or --smoke)")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let exposition =
         prometheus::parse_exposition(&text).map_err(|e| format!("{path}: parse error: {e}"))?;
