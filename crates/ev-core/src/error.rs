@@ -37,6 +37,22 @@ pub enum Error {
         /// Dimensionality of the right operand.
         right: usize,
     },
+    /// A gallery handed to [`FeatureBlock::build`] holds rows of
+    /// differing dimensionality, detected once at block construction
+    /// instead of per pair inside the scoring loop.
+    ///
+    /// [`FeatureBlock::build`]: crate::kernel::FeatureBlock::build
+    GalleryDimensionMismatch {
+        /// The gallery's identity (e.g. a scenario id), so the failure
+        /// names its source.
+        gallery: String,
+        /// Dimensionality of the gallery's first row.
+        expected: usize,
+        /// Dimensionality of the offending row.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
     /// A textual identity (e.g. a MAC address) failed to parse.
     ParseIdentity {
         /// The input that failed to parse.
@@ -65,6 +81,15 @@ impl fmt::Display for Error {
             Error::DimensionMismatch { left, right } => write!(
                 f,
                 "feature vectors have mismatched dimensions ({left} vs {right})"
+            ),
+            Error::GalleryDimensionMismatch {
+                gallery,
+                expected,
+                found,
+                row,
+            } => write!(
+                f,
+                "gallery {gallery} row {row} has dimension {found}, expected {expected}"
             ),
             Error::ParseIdentity { input, reason } => {
                 write!(f, "cannot parse identity from {input:?}: {reason}")

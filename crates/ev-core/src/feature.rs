@@ -98,6 +98,11 @@ impl FeatureVector {
 
     /// Normalized distance to `other` under `metric`; always in `[0, 1]`.
     ///
+    /// The metric formulas themselves live in [`crate::kernel`] (shared
+    /// with the batch block kernel and the anytime bounds, so the paths
+    /// cannot drift); this method contributes the per-pair dimension
+    /// check.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if dimensions differ.
@@ -108,44 +113,11 @@ impl FeatureVector {
                 right: other.dim(),
             });
         }
-        let d = self.dim() as f64;
-        let dist = match metric {
-            Metric::NormalizedL2 => {
-                let sq: f64 = self
-                    .components
-                    .iter()
-                    .zip(&other.components)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
-                (sq.sqrt() / d.sqrt()).min(1.0)
-            }
-            Metric::NormalizedL1 => {
-                let abs: f64 = self
-                    .components
-                    .iter()
-                    .zip(&other.components)
-                    .map(|(a, b)| (a - b).abs())
-                    .sum();
-                (abs / d).min(1.0)
-            }
-            Metric::Cosine => {
-                let dot: f64 = self
-                    .components
-                    .iter()
-                    .zip(&other.components)
-                    .map(|(a, b)| a * b)
-                    .sum();
-                let na: f64 = self.components.iter().map(|a| a * a).sum::<f64>().sqrt();
-                let nb: f64 = other.components.iter().map(|b| b * b).sum::<f64>().sqrt();
-                if na <= f64::EPSILON || nb <= f64::EPSILON {
-                    // A zero vector is equidistant from everything.
-                    0.5
-                } else {
-                    ((1.0 - dot / (na * nb)) / 2.0).clamp(0.0, 1.0)
-                }
-            }
-        };
-        Ok(dist)
+        Ok(crate::kernel::pair_distance(
+            metric,
+            &self.components,
+            &other.components,
+        ))
     }
 
     /// Paper Eq. (1): `sim(v1, v2) = 1 − dist(f1, f2)`; always in `[0, 1]`.

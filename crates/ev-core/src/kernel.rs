@@ -1,0 +1,1021 @@
+//! Hardware-fast similarity kernel: SoA gallery blocks, batch scoring,
+//! and a quantized prefilter (DESIGN.md §9).
+//!
+//! Paper Eq. (1) makes every match decision a stream of
+//! candidate-vs-gallery distance evaluations. The per-pair
+//! [`FeatureVector::distance`] path re-checks dimensions, re-dispatches
+//! on the metric and pointer-chases a `Vec<f64>` per gallery row on
+//! every single comparison. This module hoists all of that out of the
+//! inner loop:
+//!
+//! * [`FeatureBlock`] — a gallery packed once into contiguous,
+//!   64-byte-aligned structure-of-arrays buffers (`f64` reference,
+//!   `f32` mirror, `u8` quantized), validated once at build time so a
+//!   mismatched gallery fails loudly with the gallery id in the error.
+//! * [`Kernel`] — a prepared `(metric, dim)` pair whose batch methods
+//!   score a candidate against a whole block in one streaming pass with
+//!   branch-free, autovectorizer-friendly inner loops.
+//!
+//! # Bit-equivalence contract
+//!
+//! The exact `f64` block path reproduces the scalar per-pair path
+//! **bitwise**, not just to a tolerance. The trick is vectorizing
+//! *across gallery rows* instead of across dimensions: the block stores
+//! rows in lanes of [`LANES`] and the inner loop walks dimensions in
+//! index order, keeping one accumulator per row. Every row's sum is
+//! therefore accumulated in exactly the sequential order the scalar
+//! `zip(..).sum()` uses — same additions, same order, same rounding,
+//! same bits — while the compiler lifts the independent per-row
+//! accumulators into SIMD lanes. No `mul_add`/FMA enters the exact
+//! `f64` path (fused rounding would change bits); the approximate
+//! `f32` mirror is where FMA-shaped loops live.
+//!
+//! The quantized prefilter is *also* exact in its final answer: the
+//! integer pass only computes provable similarity intervals, and every
+//! row whose interval overlaps the best lower bound is rescored with
+//! the bitwise-exact path, so the returned maximum is the maximum
+//! (see [`Kernel::score_max_quantized`]).
+
+use crate::error::{Error, Result};
+use crate::feature::{FeatureVector, Metric};
+use serde::{Deserialize, Serialize};
+
+/// Gallery rows per `f64` lane group: 8 × 8 bytes = one 64-byte line.
+pub const LANES: usize = 8;
+
+/// Gallery rows per `f32` lane group: 16 × 4 bytes = one 64-byte line.
+pub const LANES_F32: usize = 16;
+
+/// Largest dimensionality the quantized prefilter accepts. Above this
+/// the `u32` accumulator of the integer pass could overflow
+/// (`255² · dim` must stay below `2³²`; 4096 leaves a ~16× margin) and
+/// [`Kernel::score_max_quantized`] falls back to the exact block scan.
+pub const QUANT_MAX_DIM: usize = 4096;
+
+/// Which scoring path the matcher drives (CLI `--kernel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum KernelMode {
+    /// The original per-pair scalar path (`FeatureVector::distance` per
+    /// gallery row). Kept as the reference implementation.
+    Scalar,
+    /// Batch scoring against the SoA [`FeatureBlock`] — bitwise
+    /// identical to `Scalar`, one streaming pass per gallery.
+    #[default]
+    Block,
+    /// 8-bit quantized prefilter + exact rescoring of the surviving
+    /// rows. Still returns bitwise-exact maxima (the prefilter only
+    /// prunes rows *proven* unable to win) but is off by default
+    /// because its win depends on gallery size and metric.
+    Quantized,
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelMode::Scalar => write!(f, "scalar"),
+            KernelMode::Block => write!(f, "block"),
+            KernelMode::Quantized => write!(f, "quantized"),
+        }
+    }
+}
+
+impl std::str::FromStr for KernelMode {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "scalar" => Ok(KernelMode::Scalar),
+            "block" => Ok(KernelMode::Block),
+            "quantized" => Ok(KernelMode::Quantized),
+            _ => Err(Error::InvalidParameter {
+                name: "kernel",
+                reason: format!("unknown kernel mode {s:?} (scalar|block|quantized)"),
+            }),
+        }
+    }
+}
+
+/// One cache-line-sized group of `f64` row values: the components of
+/// [`LANES`] consecutive gallery rows at a single dimension index.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct Lane64([f64; LANES]);
+
+/// One cache-line-sized group of `f32` row values ([`LANES_F32`] rows).
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+struct Lane32([f32; LANES_F32]);
+
+/// A gallery packed into structure-of-arrays blocks.
+///
+/// Rows are grouped into chunks of [`LANES`]; within a chunk, the lane
+/// at index `chunk * dim + j` holds dimension `j` of all [`LANES`] rows
+/// side by side. A candidate-vs-gallery pass therefore walks each
+/// buffer exactly once, front to back, with unit stride — no per-row
+/// heap hop, no per-pair dimension check. Rows past `len` in the last
+/// chunk are zero padding; their scores are computed and discarded.
+///
+/// Built once per gallery (the matcher memoizes it per gallery-cache
+/// entry); dimension validation happens here, so a gallery whose rows
+/// disagree on dimensionality fails **once, loudly, with the gallery id
+/// in the error** instead of failing per pair inside the hot loop.
+#[derive(Debug, Clone)]
+pub struct FeatureBlock {
+    dim: usize,
+    len: usize,
+    /// Exact values, `ceil(len / LANES) * dim` lanes.
+    lanes: Vec<Lane64>,
+    /// Approximate mirror, `ceil(len / LANES_F32) * dim` lanes.
+    lanes_f32: Vec<Lane32>,
+    /// Per-row squared norm (`Σ c²`, accumulated in dimension order —
+    /// the same order the scalar cosine path uses), for `Cosine`.
+    norms_sq: Vec<f64>,
+    /// Row-major `len * dim` quantized mirror (`q = round(c · 255)`),
+    /// present when `dim ≤ QUANT_MAX_DIM`.
+    quant: Option<Vec<u8>>,
+}
+
+impl FeatureBlock {
+    /// Packs `rows` into a block, validating that every row agrees on
+    /// dimensionality.
+    ///
+    /// An empty gallery packs into an empty block (`dim() == 0`); the
+    /// kernel scores it as membership `0`, like the scalar scan of an
+    /// empty scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::GalleryDimensionMismatch`] naming `gallery` and
+    /// the offending row if any row's dimensionality differs from the
+    /// first row's.
+    pub fn build<'a, I>(gallery: &str, rows: I) -> Result<FeatureBlock>
+    where
+        I: IntoIterator<Item = &'a FeatureVector>,
+    {
+        let rows: Vec<&FeatureVector> = rows.into_iter().collect();
+        let Some(first) = rows.first() else {
+            return Ok(FeatureBlock {
+                dim: 0,
+                len: 0,
+                lanes: Vec::new(),
+                lanes_f32: Vec::new(),
+                norms_sq: Vec::new(),
+                quant: None,
+            });
+        };
+        let dim = first.dim();
+        for (row, r) in rows.iter().enumerate() {
+            if r.dim() != dim {
+                return Err(Error::GalleryDimensionMismatch {
+                    gallery: gallery.to_string(),
+                    expected: dim,
+                    found: r.dim(),
+                    row,
+                });
+            }
+        }
+        let len = rows.len();
+
+        let chunks = len.div_ceil(LANES);
+        let mut lanes = vec![Lane64([0.0; LANES]); chunks * dim];
+        for (row, r) in rows.iter().enumerate() {
+            let (chunk, slot) = (row / LANES, row % LANES);
+            for (j, &c) in r.components().iter().enumerate() {
+                lanes[chunk * dim + j].0[slot] = c;
+            }
+        }
+
+        let chunks32 = len.div_ceil(LANES_F32);
+        let mut lanes_f32 = vec![Lane32([0.0; LANES_F32]); chunks32 * dim];
+        for (row, r) in rows.iter().enumerate() {
+            let (chunk, slot) = (row / LANES_F32, row % LANES_F32);
+            for (j, &c) in r.components().iter().enumerate() {
+                lanes_f32[chunk * dim + j].0[slot] = c as f32;
+            }
+        }
+
+        // Dimension-ordered accumulation: bitwise the same squared norm
+        // the scalar cosine path computes per pair.
+        let norms_sq: Vec<f64> = rows
+            .iter()
+            .map(|r| r.components().iter().map(|c| c * c).sum())
+            .collect();
+
+        let quant = (dim <= QUANT_MAX_DIM).then(|| {
+            let mut q = Vec::with_capacity(len * dim);
+            for r in &rows {
+                q.extend(r.components().iter().map(|&c| quantize(c)));
+            }
+            q
+        });
+
+        Ok(FeatureBlock {
+            dim,
+            len,
+            lanes,
+            lanes_f32,
+            norms_sq,
+            quant,
+        })
+    }
+
+    /// Dimensionality of every row (`0` for an empty block).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of gallery rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the quantized mirror was built (`dim ≤ QUANT_MAX_DIM`).
+    #[must_use]
+    pub fn has_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Component `j` of row `row`, read back out of the lane layout.
+    #[inline]
+    fn component(&self, row: usize, j: usize) -> f64 {
+        self.lanes[(row / LANES) * self.dim + j].0[row % LANES]
+    }
+
+    /// Exact distance from `x` to row `row`, accumulated in dimension
+    /// order — bitwise the scalar per-pair distance.
+    fn row_distance(&self, x: &[f64], row: usize, metric: Metric, x_norm_sq: f64) -> f64 {
+        match metric {
+            Metric::NormalizedL2 => {
+                let mut sq = 0.0;
+                for (j, &a) in x.iter().enumerate() {
+                    let d = a - self.component(row, j);
+                    sq += d * d;
+                }
+                l2_distance_from_sq(sq, self.dim)
+            }
+            Metric::NormalizedL1 => {
+                let mut abs = 0.0;
+                for (j, &a) in x.iter().enumerate() {
+                    abs += (a - self.component(row, j)).abs();
+                }
+                l1_distance_from_abs(abs, self.dim)
+            }
+            Metric::Cosine => {
+                let mut dot = 0.0;
+                for (j, &a) in x.iter().enumerate() {
+                    dot += a * self.component(row, j);
+                }
+                cosine_distance_from_parts(dot, x_norm_sq, self.norms_sq[row])
+            }
+        }
+    }
+}
+
+/// `round(c · 255)` for a component already validated into `[0, 1]`.
+#[inline]
+fn quantize(c: f64) -> u8 {
+    // (c * 255).round() ∈ [0, 255] exactly because c ∈ [0, 1].
+    (c * 255.0).round() as u8
+}
+
+/// A prepared `(metric, dim)` scoring kernel.
+///
+/// Preparation is where per-call validation lives: every batch method
+/// checks the candidate and block against the prepared dimensionality
+/// **once**, then runs a branch-free inner loop. Comparing a kernel
+/// against a block of a different dimensionality is a single
+/// [`Error::DimensionMismatch`] for the whole gallery, mirroring the
+/// scalar path's per-pair error (which the matcher maps to membership
+/// `0` for every pair of the gallery anyway).
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel {
+    metric: Metric,
+    dim: usize,
+}
+
+impl Kernel {
+    /// Prepares a kernel for `metric` at dimensionality `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `dim == 0`.
+    pub fn prepare(metric: Metric, dim: usize) -> Result<Kernel> {
+        if dim == 0 {
+            return Err(Error::InvalidParameter {
+                name: "dim",
+                reason: "kernel dimensionality must be at least 1".into(),
+            });
+        }
+        Ok(Kernel { metric, dim })
+    }
+
+    /// The prepared metric.
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The prepared dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Checks `candidate` and `block` against the prepared shape; the
+    /// single validation point for every batch method.
+    fn check(&self, candidate: &FeatureVector, block: &FeatureBlock) -> Result<()> {
+        if candidate.dim() != self.dim {
+            return Err(Error::DimensionMismatch {
+                left: candidate.dim(),
+                right: self.dim,
+            });
+        }
+        if block.dim != self.dim {
+            return Err(Error::DimensionMismatch {
+                left: self.dim,
+                right: block.dim,
+            });
+        }
+        Ok(())
+    }
+
+    /// Scores `candidate` against every row of `block`, writing paper
+    /// Eq. (1) similarities (`1 − dist`) into `out` in row order. Each
+    /// value is bitwise identical to
+    /// `candidate.similarity(&row, metric)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the candidate or the
+    /// block disagree with the prepared dimensionality, or when
+    /// `out.len() != block.len()`. An empty block with an empty `out`
+    /// is fine.
+    pub fn score_into(
+        &self,
+        candidate: &FeatureVector,
+        block: &FeatureBlock,
+        out: &mut [f64],
+    ) -> Result<()> {
+        if out.len() != block.len {
+            return Err(Error::DimensionMismatch {
+                left: out.len(),
+                right: block.len,
+            });
+        }
+        if block.is_empty() {
+            return Ok(());
+        }
+        self.check(candidate, block)?;
+        let x = candidate.components();
+        let x_norm_sq = cosine_norm_sq(self.metric, x);
+        let mut sims = [0.0; LANES];
+        for (chunk, lanes) in block.lanes.chunks_exact(self.dim).enumerate() {
+            self.score_chunk(x, x_norm_sq, block, chunk, lanes, &mut sims);
+            let base = chunk * LANES;
+            let rows = LANES.min(block.len - base);
+            out[base..base + rows].copy_from_slice(&sims[..rows]);
+        }
+        Ok(())
+    }
+
+    /// Membership probability `P = max_row sim(candidate, row)` over the
+    /// block, folded from `0.0` exactly like the scalar gallery scan —
+    /// bitwise identical to it. An empty block scores `0.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the candidate or a
+    /// non-empty block disagree with the prepared dimensionality.
+    pub fn score_max(&self, candidate: &FeatureVector, block: &FeatureBlock) -> Result<f64> {
+        if block.is_empty() {
+            return Ok(0.0);
+        }
+        self.check(candidate, block)?;
+        let x = candidate.components();
+        let x_norm_sq = cosine_norm_sq(self.metric, x);
+        let mut best = 0.0f64;
+        let mut sims = [0.0; LANES];
+        for (chunk, lanes) in block.lanes.chunks_exact(self.dim).enumerate() {
+            self.score_chunk(x, x_norm_sq, block, chunk, lanes, &mut sims);
+            let base = chunk * LANES;
+            let rows = LANES.min(block.len - base);
+            for &s in &sims[..rows] {
+                best = best.max(s);
+            }
+        }
+        Ok(best)
+    }
+
+    /// Scores one chunk of [`LANES`] rows into `sims`.
+    ///
+    /// The dimension loop is outer and strictly in index order; the row
+    /// loop is inner over a stack array of independent accumulators.
+    /// Each row's terms are therefore added in exactly the scalar
+    /// sequence (bit-identical sums) while the compiler vectorizes
+    /// across the lanes.
+    #[inline]
+    fn score_chunk(
+        &self,
+        x: &[f64],
+        x_norm_sq: f64,
+        block: &FeatureBlock,
+        chunk: usize,
+        lanes: &[Lane64],
+        sims: &mut [f64; LANES],
+    ) {
+        let mut acc = [0.0f64; LANES];
+        match self.metric {
+            Metric::NormalizedL2 => {
+                for (&a, lane) in x.iter().zip(lanes) {
+                    for (s, &b) in acc.iter_mut().zip(&lane.0) {
+                        let d = a - b;
+                        *s += d * d;
+                    }
+                }
+                for (out, &sq) in sims.iter_mut().zip(&acc) {
+                    *out = 1.0 - l2_distance_from_sq(sq, self.dim);
+                }
+            }
+            Metric::NormalizedL1 => {
+                for (&a, lane) in x.iter().zip(lanes) {
+                    for (s, &b) in acc.iter_mut().zip(&lane.0) {
+                        *s += (a - b).abs();
+                    }
+                }
+                for (out, &abs) in sims.iter_mut().zip(&acc) {
+                    *out = 1.0 - l1_distance_from_abs(abs, self.dim);
+                }
+            }
+            Metric::Cosine => {
+                for (&a, lane) in x.iter().zip(lanes) {
+                    for (s, &b) in acc.iter_mut().zip(&lane.0) {
+                        *s += a * b;
+                    }
+                }
+                let base = chunk * LANES;
+                for (r, (out, &dot)) in sims.iter_mut().zip(&acc).enumerate() {
+                    let nb_sq = block.norms_sq.get(base + r).copied().unwrap_or(0.0);
+                    *out = 1.0 - cosine_distance_from_parts(dot, x_norm_sq, nb_sq);
+                }
+            }
+        }
+    }
+
+    /// Approximate `f32` batch scoring (FMA-shaped inner loops over the
+    /// 64-byte-aligned `f32` mirror). Values track the exact path to
+    /// roughly `f32` precision; use the `f64` methods wherever report
+    /// bytes matter.
+    ///
+    /// # Errors
+    ///
+    /// Same shape contract as [`Kernel::score_into`].
+    pub fn score_into_f32(
+        &self,
+        candidate: &FeatureVector,
+        block: &FeatureBlock,
+        out: &mut [f32],
+    ) -> Result<()> {
+        if out.len() != block.len {
+            return Err(Error::DimensionMismatch {
+                left: out.len(),
+                right: block.len,
+            });
+        }
+        if block.is_empty() {
+            return Ok(());
+        }
+        self.check(candidate, block)?;
+        let x: Vec<f32> = candidate.components().iter().map(|&c| c as f32).collect();
+        let x_norm_sq: f32 = x.iter().map(|&c| c * c).sum();
+        for (chunk, lanes) in block.lanes_f32.chunks_exact(self.dim).enumerate() {
+            let mut acc = [0.0f32; LANES_F32];
+            match self.metric {
+                Metric::NormalizedL2 => {
+                    for (&a, lane) in x.iter().zip(lanes) {
+                        for (s, &b) in acc.iter_mut().zip(&lane.0) {
+                            let d = a - b;
+                            *s = d.mul_add(d, *s);
+                        }
+                    }
+                    for s in &mut acc {
+                        *s = 1.0 - (s.sqrt() / (self.dim as f32).sqrt()).min(1.0);
+                    }
+                }
+                Metric::NormalizedL1 => {
+                    for (&a, lane) in x.iter().zip(lanes) {
+                        for (s, &b) in acc.iter_mut().zip(&lane.0) {
+                            *s += (a - b).abs();
+                        }
+                    }
+                    for s in &mut acc {
+                        *s = 1.0 - (*s / self.dim as f32).min(1.0);
+                    }
+                }
+                Metric::Cosine => {
+                    for (&a, lane) in x.iter().zip(lanes) {
+                        for (s, &b) in acc.iter_mut().zip(&lane.0) {
+                            *s = a.mul_add(b, *s);
+                        }
+                    }
+                    let base = chunk * LANES_F32;
+                    for (r, s) in acc.iter_mut().enumerate() {
+                        let nb_sq = block.norms_sq.get(base + r).copied().unwrap_or(0.0) as f32;
+                        let d = if x_norm_sq == 0.0 || nb_sq == 0.0 {
+                            0.5
+                        } else {
+                            let cos = *s / (x_norm_sq.sqrt() * nb_sq.sqrt());
+                            if cos.is_nan() {
+                                0.5
+                            } else {
+                                ((1.0 - cos) / 2.0).clamp(0.0, 1.0)
+                            }
+                        };
+                        *s = 1.0 - d;
+                    }
+                }
+            }
+            let base = chunk * LANES_F32;
+            let rows = LANES_F32.min(block.len - base);
+            out[base..base + rows].copy_from_slice(&acc[..rows]);
+        }
+        Ok(())
+    }
+
+    /// [`Kernel::score_max`] through the 8-bit prefilter: an integer
+    /// pass computes a provable similarity interval per row, rows whose
+    /// upper bound falls below the best lower bound are pruned, and the
+    /// survivors are rescored with the bitwise-exact path. Because the
+    /// survivor set provably contains every argmax row, the returned
+    /// maximum is **bitwise identical** to [`Kernel::score_max`].
+    ///
+    /// Returns `(membership, rows_pruned)`. Falls back to the exact
+    /// block scan (`rows_pruned == 0`) for `Cosine` (no useful integer
+    /// bound) and for blocks without a quantized mirror
+    /// (`dim > QUANT_MAX_DIM`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the candidate or a
+    /// non-empty block disagree with the prepared dimensionality.
+    pub fn score_max_quantized(
+        &self,
+        candidate: &FeatureVector,
+        block: &FeatureBlock,
+    ) -> Result<(f64, usize)> {
+        if block.is_empty() {
+            return Ok((0.0, 0));
+        }
+        self.check(candidate, block)?;
+        let (Some(quant), false) = (&block.quant, self.metric == Metric::Cosine) else {
+            return Ok((self.score_max(candidate, block)?, 0));
+        };
+        let x = candidate.components();
+        let qx: Vec<i32> = x.iter().map(|&c| i32::from(quantize(c))).collect();
+
+        let mut bounds = Vec::with_capacity(block.len);
+        let mut best_lb = 0.0f64;
+        for q_row in quant.chunks_exact(self.dim) {
+            let (sim_lb, sim_ub) = self.quant_bounds(&qx, q_row);
+            best_lb = best_lb.max(sim_lb);
+            bounds.push(sim_ub);
+        }
+
+        // A pruned row's similarity is ≤ its upper bound < best_lb ≤
+        // the exact similarity of the row that produced best_lb, so the
+        // true maximum lives among the survivors; the max over any
+        // superset of the argmax rows is the same f64, bit for bit.
+        let mut best = 0.0f64;
+        let mut pruned = 0usize;
+        let x_norm_sq = cosine_norm_sq(self.metric, x);
+        for (row, &ub) in bounds.iter().enumerate() {
+            if ub < best_lb {
+                pruned += 1;
+                continue;
+            }
+            let sim = 1.0 - block.row_distance(x, row, self.metric, x_norm_sq);
+            best = best.max(sim);
+        }
+        Ok((best, pruned))
+    }
+
+    /// Prefilter-only entry point: returns the indices of every row
+    /// whose similarity interval overlaps the `k`-th best lower bound —
+    /// a survivor set **guaranteed to contain the exact top-`k` rows**
+    /// (recall 1.0 at the reported `k`). Rescore the survivors with
+    /// [`Kernel::score_into`] for exact order. Without a quantized
+    /// mirror, or under `Cosine`, every row survives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] when the candidate or a
+    /// non-empty block disagree with the prepared dimensionality.
+    pub fn prefilter_topk(
+        &self,
+        candidate: &FeatureVector,
+        block: &FeatureBlock,
+        k: usize,
+    ) -> Result<Vec<usize>> {
+        if block.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        self.check(candidate, block)?;
+        let all = || (0..block.len).collect::<Vec<usize>>();
+        if k >= block.len || self.metric == Metric::Cosine {
+            return Ok(all());
+        }
+        let Some(quant) = &block.quant else {
+            return Ok(all());
+        };
+        let x = candidate.components();
+        let qx: Vec<i32> = x.iter().map(|&c| i32::from(quantize(c))).collect();
+        let mut lbs = Vec::with_capacity(block.len);
+        let mut ubs = Vec::with_capacity(block.len);
+        for q_row in quant.chunks_exact(self.dim) {
+            let (lb, ub) = self.quant_bounds(&qx, q_row);
+            lbs.push(lb);
+            ubs.push(ub);
+        }
+        let mut order = lbs.clone();
+        order.sort_by(|a, b| b.total_cmp(a));
+        let threshold = order[k - 1];
+        Ok((0..block.len).filter(|&r| ubs[r] >= threshold).collect())
+    }
+
+    /// Provable `(sim_lb, sim_ub)` for one row from quantized vectors.
+    ///
+    /// Quantization error per component is at most `1/510` per vector,
+    /// so a quantized difference is within `1/255` of the true one.
+    /// For L2 the error *vector* has norm at most `√dim / 255`, so by
+    /// the triangle inequality
+    /// `‖Δ‖ ∈ [(‖Δq‖ − √dim) / 255, (‖Δq‖ + √dim) / 255]`; for L1 the
+    /// total error is at most `dim / 255`. Both bounds are widened by a
+    /// relative `1e-12` so `f64` rounding in this very computation can
+    /// never flip a bound past the exact value.
+    fn quant_bounds(&self, qx: &[i32], q_row: &[u8]) -> (f64, f64) {
+        let dim = self.dim as f64;
+        let (dist_lo, dist_hi) = match self.metric {
+            Metric::NormalizedL2 => {
+                let mut sq: u32 = 0;
+                for (&a, &b) in qx.iter().zip(q_row) {
+                    let d = a - i32::from(b);
+                    sq += (d * d) as u32;
+                }
+                // Normalized: ‖Δ‖ / √dim with the ±√dim/255 slack.
+                let norm_q = f64::from(sq).sqrt();
+                let lo = ((norm_q - dim.sqrt()) / (255.0 * dim.sqrt())).max(0.0);
+                let hi = (norm_q + dim.sqrt()) / (255.0 * dim.sqrt());
+                (lo, hi)
+            }
+            Metric::NormalizedL1 => {
+                let mut abs: u32 = 0;
+                for (&a, &b) in qx.iter().zip(q_row) {
+                    abs += a.abs_diff(i32::from(b));
+                }
+                let lo = ((f64::from(abs) - dim) / (255.0 * dim)).max(0.0);
+                let hi = (f64::from(abs) + dim) / (255.0 * dim);
+                (lo, hi)
+            }
+            // No integer bound for Cosine: the vacuous interval.
+            Metric::Cosine => (0.0, 1.0),
+        };
+        let dist_lo = (dist_lo * (1.0 - 1e-12)).min(1.0);
+        let dist_hi = (dist_hi * (1.0 + 1e-12)).min(1.0);
+        (1.0 - dist_hi, 1.0 - dist_lo)
+    }
+}
+
+/// Finalizes a normalized L2 distance from a squared-difference sum —
+/// the single definition shared by the scalar path, the block kernel
+/// and the anytime box bound, so they can never drift.
+#[inline]
+#[must_use]
+pub fn l2_distance_from_sq(sq: f64, dim: usize) -> f64 {
+    (sq.sqrt() / (dim as f64).sqrt()).min(1.0)
+}
+
+/// Finalizes a normalized L1 distance from an absolute-difference sum.
+#[inline]
+#[must_use]
+pub fn l1_distance_from_abs(abs: f64, dim: usize) -> f64 {
+    (abs / dim as f64).min(1.0)
+}
+
+/// Finalizes a cosine distance from `Σ a·b`, `Σ a²` and `Σ b²`.
+///
+/// This is where the zero-norm bugfix lives: the guard is on an
+/// **exactly zero squared norm** — only the true zero vector, which has
+/// no direction, gets the neutral `0.5`. The old per-pair code compared
+/// the *norm* against `f64::EPSILON`, silently snapping tiny-but-valid
+/// vectors (norm ≤ ~2.2e-16) to `0.5` as well. A denormal-underflow
+/// `0/0` (NaN) also resolves to the neutral value instead of poisoning
+/// the clamp.
+#[inline]
+#[must_use]
+pub fn cosine_distance_from_parts(dot: f64, a_norm_sq: f64, b_norm_sq: f64) -> f64 {
+    if a_norm_sq == 0.0 || b_norm_sq == 0.0 {
+        // A zero vector is equidistant from everything.
+        return 0.5;
+    }
+    let cos = dot / (a_norm_sq.sqrt() * b_norm_sq.sqrt());
+    if cos.is_nan() {
+        // Both norms underflowed to a zero product: no direction left.
+        0.5
+    } else {
+        ((1.0 - cos) / 2.0).clamp(0.0, 1.0)
+    }
+}
+
+/// `Σ a²` when `metric` needs it (`Cosine`), else `0.0` — hoisted out
+/// of the row loop so the candidate norm is computed once per gallery
+/// instead of once per pair.
+#[inline]
+fn cosine_norm_sq(metric: Metric, x: &[f64]) -> f64 {
+    match metric {
+        Metric::Cosine => x.iter().map(|a| a * a).sum(),
+        _ => 0.0,
+    }
+}
+
+/// Scalar reference distance over pre-validated equal-length slices —
+/// the per-pair path [`FeatureVector::distance`] delegates to after its
+/// dimension check. Kept in this module so every metric formula has
+/// exactly one home.
+#[must_use]
+pub fn pair_distance(metric: Metric, a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let dim = a.len();
+    match metric {
+        Metric::NormalizedL2 => {
+            let sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+            l2_distance_from_sq(sq, dim)
+        }
+        Metric::NormalizedL1 => {
+            let abs: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+            l1_distance_from_abs(abs, dim)
+        }
+        Metric::Cosine => {
+            let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na_sq: f64 = a.iter().map(|x| x * x).sum();
+            let nb_sq: f64 = b.iter().map(|y| y * y).sum();
+            cosine_distance_from_parts(dot, na_sq, nb_sq)
+        }
+    }
+}
+
+/// Distance lower bound from a point to an axis-aligned box
+/// (`lo`/`hi` per dimension) — the anytime membership upper bound's
+/// geometric core. Per dimension the gap is
+/// `g = max(0, lo − x, x − hi)`; gaps finalize through the same
+/// functions as exact distances, so `box_bound ≤ dist(x, y)` holds
+/// **bitwise** for every `y` inside the box (subtraction, `max`,
+/// ordered summation, `sqrt` and division are all monotone).
+/// `Cosine` has no useful box bound and returns `0.0`.
+#[must_use]
+pub fn box_bound_distance(metric: Metric, x: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), lo.len());
+    debug_assert_eq!(x.len(), hi.len());
+    let dim = x.len();
+    match metric {
+        Metric::NormalizedL2 => {
+            let sq: f64 = x
+                .iter()
+                .zip(lo.iter().zip(hi))
+                .map(|(&x, (&l, &h))| {
+                    let g = (l - x).max(x - h).max(0.0);
+                    g * g
+                })
+                .sum();
+            l2_distance_from_sq(sq, dim)
+        }
+        Metric::NormalizedL1 => {
+            let abs: f64 = x
+                .iter()
+                .zip(lo.iter().zip(hi))
+                .map(|(&x, (&l, &h))| (l - x).max(x - h).max(0.0))
+                .sum();
+            l1_distance_from_abs(abs, dim)
+        }
+        Metric::Cosine => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const METRICS: [Metric; 3] = [Metric::NormalizedL2, Metric::NormalizedL1, Metric::Cosine];
+
+    fn fv(v: &[f64]) -> FeatureVector {
+        FeatureVector::new(v.to_vec()).unwrap()
+    }
+
+    fn block(rows: &[FeatureVector]) -> FeatureBlock {
+        FeatureBlock::build("test", rows.iter()).unwrap()
+    }
+
+    /// Deterministic pseudo-random rows without pulling `rand` in.
+    fn rows(dim: usize, n: usize, seed: u64) -> Vec<FeatureVector> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| fv(&(0..dim).map(|_| next()).collect::<Vec<f64>>()))
+            .collect()
+    }
+
+    #[test]
+    fn block_scores_match_scalar_bitwise() {
+        for dim in [1, 2, 7, 8, 9, 64] {
+            let gallery = rows(dim, 21, 0xE0 + dim as u64);
+            let cand = rows(dim, 1, 99)[0].clone();
+            let b = block(&gallery);
+            for m in METRICS {
+                let k = Kernel::prepare(m, dim).unwrap();
+                let mut out = vec![0.0; gallery.len()];
+                k.score_into(&cand, &b, &mut out).unwrap();
+                for (row, sim) in gallery.iter().zip(&out) {
+                    let scalar = cand.similarity(row, m).unwrap();
+                    assert_eq!(scalar.to_bits(), sim.to_bits(), "{m:?} dim={dim}");
+                }
+                let max = k.score_max(&cand, &b).unwrap();
+                let scalar_max = out.iter().fold(0.0f64, |a, &s| a.max(s));
+                assert_eq!(scalar_max.to_bits(), max.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_max_is_bitwise_exact_and_prunes() {
+        let dim = 32;
+        let gallery = rows(dim, 120, 7);
+        let cand = rows(dim, 1, 8)[0].clone();
+        let b = block(&gallery);
+        for m in [Metric::NormalizedL2, Metric::NormalizedL1] {
+            let k = Kernel::prepare(m, dim).unwrap();
+            let exact = k.score_max(&cand, &b).unwrap();
+            let (q, pruned) = k.score_max_quantized(&cand, &b).unwrap();
+            assert_eq!(exact.to_bits(), q.to_bits(), "{m:?}");
+            assert!(pruned > 0, "{m:?}: a 120-row random gallery must prune");
+        }
+    }
+
+    #[test]
+    fn cosine_quantized_falls_back_to_exact() {
+        let dim = 16;
+        let gallery = rows(dim, 40, 3);
+        let cand = rows(dim, 1, 4)[0].clone();
+        let b = block(&gallery);
+        let k = Kernel::prepare(Metric::Cosine, dim).unwrap();
+        let (q, pruned) = k.score_max_quantized(&cand, &b).unwrap();
+        assert_eq!(pruned, 0);
+        assert_eq!(k.score_max(&cand, &b).unwrap().to_bits(), q.to_bits());
+    }
+
+    #[test]
+    fn prefilter_topk_has_full_recall() {
+        let dim = 24;
+        let gallery = rows(dim, 90, 11);
+        let cand = rows(dim, 1, 12)[0].clone();
+        let b = block(&gallery);
+        for m in [Metric::NormalizedL2, Metric::NormalizedL1] {
+            let k = Kernel::prepare(m, dim).unwrap();
+            let mut sims = vec![0.0; gallery.len()];
+            k.score_into(&cand, &b, &mut sims).unwrap();
+            let mut exact_order: Vec<usize> = (0..gallery.len()).collect();
+            exact_order.sort_by(|&i, &j| sims[j].total_cmp(&sims[i]));
+            for kk in [1, 5, 10] {
+                let survivors = k.prefilter_topk(&cand, &b, kk).unwrap();
+                for &top in &exact_order[..kk] {
+                    assert!(survivors.contains(&top), "{m:?} k={kk} lost row {top}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_gallery_fails_once_with_the_gallery_id() {
+        let err = FeatureBlock::build("cell-17@t3", [&fv(&[0.1, 0.2]), &fv(&[0.3])]).unwrap_err();
+        match &err {
+            Error::GalleryDimensionMismatch {
+                gallery,
+                expected,
+                found,
+                row,
+            } => {
+                assert_eq!(gallery, "cell-17@t3");
+                assert_eq!((*expected, *found, *row), (2, 1, 1));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(err.to_string().contains("cell-17@t3"));
+    }
+
+    #[test]
+    fn empty_block_scores_zero_membership() {
+        let b = FeatureBlock::build("empty", std::iter::empty::<&FeatureVector>()).unwrap();
+        assert!(b.is_empty());
+        let k = Kernel::prepare(Metric::NormalizedL2, 4).unwrap();
+        let cand = fv(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(k.score_max(&cand, &b).unwrap(), 0.0);
+        assert_eq!(k.score_max_quantized(&cand, &b).unwrap(), (0.0, 0));
+        k.score_into(&cand, &b, &mut []).unwrap();
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported_once_per_gallery() {
+        let b = block(&rows(3, 5, 1));
+        let k = Kernel::prepare(Metric::NormalizedL2, 4).unwrap();
+        let cand = fv(&[0.1, 0.2, 0.3, 0.4]);
+        assert!(matches!(
+            k.score_max(&cand, &b),
+            Err(Error::DimensionMismatch { left: 4, right: 3 })
+        ));
+        assert!(Kernel::prepare(Metric::Cosine, 0).is_err());
+    }
+
+    #[test]
+    fn f32_path_tracks_exact_path() {
+        let dim = 48;
+        let gallery = rows(dim, 33, 5);
+        let cand = rows(dim, 1, 6)[0].clone();
+        let b = block(&gallery);
+        for m in METRICS {
+            let k = Kernel::prepare(m, dim).unwrap();
+            let mut exact = vec![0.0f64; gallery.len()];
+            let mut approx = vec![0.0f32; gallery.len()];
+            k.score_into(&cand, &b, &mut exact).unwrap();
+            k.score_into_f32(&cand, &b, &mut approx).unwrap();
+            for (e, a) in exact.iter().zip(&approx) {
+                assert!((e - f64::from(*a)).abs() < 1e-5, "{m:?}: {e} vs {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_guard_fires_only_on_the_true_zero_vector() {
+        // Tiny but valid: norm far below f64::EPSILON (the old guard's
+        // snap threshold), yet a direction exists — similarity to
+        // itself must be exactly 1.
+        let tiny = FeatureVector::new(vec![1e-30, 0.0]).unwrap();
+        assert_eq!(tiny.distance(&tiny, Metric::Cosine).unwrap(), 0.0);
+        assert_eq!(tiny.similarity(&tiny, Metric::Cosine).unwrap(), 1.0);
+        // The true zero vector still gets the neutral distance.
+        let zero = fv(&[0.0, 0.0]);
+        assert_eq!(zero.distance(&tiny, Metric::Cosine).unwrap(), 0.5);
+        assert_eq!(zero.distance(&zero, Metric::Cosine).unwrap(), 0.5);
+        // Denormal underflow (norm² underflows to 0) resolves to the
+        // guard, not NaN.
+        let denormal = FeatureVector::new(vec![1e-320, 0.0]).unwrap();
+        let d = denormal.distance(&denormal, Metric::Cosine).unwrap();
+        assert!(!d.is_nan());
+    }
+
+    #[test]
+    fn box_bound_never_exceeds_any_in_box_distance() {
+        let dim = 6;
+        let gallery = rows(dim, 30, 21);
+        let cand = rows(dim, 1, 22)[0].clone();
+        let mut lo = gallery[0].components().to_vec();
+        let mut hi = lo.clone();
+        for g in &gallery[1..] {
+            for ((l, h), &c) in lo.iter_mut().zip(hi.iter_mut()).zip(g.components()) {
+                *l = l.min(c);
+                *h = h.max(c);
+            }
+        }
+        for m in METRICS {
+            let bound = box_bound_distance(m, cand.components(), &lo, &hi);
+            for g in &gallery {
+                let d = cand.distance(g, m).unwrap();
+                assert!(bound <= d, "{m:?}: bound {bound} > dist {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_mode_parses_and_displays() {
+        for (s, m) in [
+            ("scalar", KernelMode::Scalar),
+            ("block", KernelMode::Block),
+            ("quantized", KernelMode::Quantized),
+        ] {
+            assert_eq!(s.parse::<KernelMode>().unwrap(), m);
+            assert_eq!(m.to_string(), s);
+        }
+        assert!("warp".parse::<KernelMode>().is_err());
+        assert_eq!(KernelMode::default(), KernelMode::Block);
+    }
+}

@@ -36,6 +36,7 @@ pub mod error;
 pub mod feature;
 pub mod geometry;
 pub mod ids;
+pub mod kernel;
 pub mod partition;
 pub mod region;
 pub mod scenario;
@@ -44,6 +45,7 @@ pub mod time;
 pub use error::{Error, Result};
 pub use feature::FeatureVector;
 pub use ids::{Eid, PersonId, Vid};
+pub use kernel::{FeatureBlock, Kernel, KernelMode};
 pub use region::{CellId, GridRegion};
 pub use scenario::{EScenario, EvScenario, ScenarioId, VScenario, ZoneAttr};
 pub use time::{TimeRange, Timestamp};

@@ -220,30 +220,11 @@ fn cheap_bounds(
     }
     let sample = own_first.unwrap_or(0);
     let lb = rep.similarity(&dets[sample].feature, metric).unwrap_or(0.0);
-    let ub = match metric {
-        Metric::Cosine => 1.0,
-        Metric::NormalizedL2 => {
-            let sq: f64 = rep
-                .components()
-                .iter()
-                .zip(bb.lo.iter().zip(&bb.hi))
-                .map(|(&x, (&l, &h))| {
-                    let g = (l - x).max(x - h).max(0.0);
-                    g * g
-                })
-                .sum();
-            1.0 - (sq.sqrt() / (bb.dim as f64).sqrt()).min(1.0)
-        }
-        Metric::NormalizedL1 => {
-            let abs: f64 = rep
-                .components()
-                .iter()
-                .zip(bb.lo.iter().zip(&bb.hi))
-                .map(|(&x, (&l, &h))| (l - x).max(x - h).max(0.0))
-                .sum();
-            1.0 - (abs / bb.dim as f64).min(1.0)
-        }
-    };
+    // The geometric core lives in `ev_core::kernel` next to the exact
+    // distance formulas (one home per metric, so bounds and exact
+    // scores cannot drift); `Cosine` has no useful box bound and comes
+    // back as distance 0 — the vacuous `ub = 1.0`.
+    let ub = 1.0 - ev_core::kernel::box_bound_distance(metric, rep.components(), &bb.lo, &bb.hi);
     (lb, ub.max(lb))
 }
 
@@ -527,12 +508,10 @@ pub fn partial_filter_one_instrumented(
         // unit the exhaustive scan charges, so the ledger shows the
         // work actually done.
         video.charge_comparison();
-        let p = ev_vision::reid::membership_probability(
-            cands[ci].1,
-            &entries[ei].scenario,
-            config.metric,
-        )
-        .unwrap_or(0.0);
+        // The configured kernel scores here exactly as in the
+        // exhaustive scan — every mode returns the same bits, so the
+        // refined value can replace both bounds at once.
+        let p = vfilter::score_membership(cands[ci].1, entries[ei], config, tel);
         let lp = p.ln();
         lnp_lo[ci][ei] = lp;
         lnp_hi[ci][ei] = lp;
@@ -583,25 +562,32 @@ pub fn partial_filter_one_instrumented(
         for &v in &votes {
             *tally.entry(v).or_insert(0) += 1;
         }
-        let (winner, count) = vfilter::majority_winner(&tally).expect("m >= 1 votes exist");
-        let confidence = log_joint[&winner].exp();
-        let margin = if log_joint.len() > 1 {
-            let runner_up = log_joint
-                .iter()
-                .filter(|(&v, _)| v != winner)
-                .map(|(_, &lp)| lp)
-                .fold(f64::NEG_INFINITY, f64::max);
-            confidence - runner_up.exp()
-        } else {
-            1.0
-        };
-        MatchOutcome {
-            eid,
-            vid: Some(winner),
-            vote_share: count as f64 / votes.len() as f64,
-            confidence,
-            margin,
-            votes,
+        // Zero votes is the empty-gallery/no-candidate edge: it flows
+        // to the explicit NoEvidence outcome, exactly as the exhaustive
+        // scan's, instead of aborting the pipeline.
+        match vfilter::majority_winner(&tally) {
+            None => MatchOutcome::no_evidence(eid),
+            Some((winner, count)) => {
+                let confidence = log_joint[&winner].exp();
+                let margin = if log_joint.len() > 1 {
+                    let runner_up = log_joint
+                        .iter()
+                        .filter(|(&v, _)| v != winner)
+                        .map(|(_, &lp)| lp)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    confidence - runner_up.exp()
+                } else {
+                    1.0
+                };
+                MatchOutcome {
+                    eid,
+                    vid: Some(winner),
+                    vote_share: count as f64 / votes.len() as f64,
+                    confidence,
+                    margin,
+                    votes,
+                }
+            }
         }
     } else {
         match leader {

@@ -384,6 +384,49 @@ mod tests {
     }
 
     #[test]
+    fn kernel_mode_never_changes_the_report_at_any_thread_count() {
+        // The acceptance bar of the similarity kernel: in exact mode
+        // the MatchReport is byte-identical across `--kernel
+        // scalar|block|quantized` at every tested thread count.
+        let (store, _) = world();
+        let run = |threads: usize, kernel: ev_core::kernel::KernelMode| {
+            let (_, video_fresh) = world();
+            sharded_match(
+                threads,
+                &store,
+                &video_fresh,
+                &targets(),
+                &ParallelSplitConfig {
+                    seed: 7,
+                    max_iterations: None,
+                },
+                &VFilterConfig {
+                    kernel,
+                    ..VFilterConfig::default()
+                },
+                Telemetry::disabled(),
+            )
+            .unwrap()
+        };
+        let reference = run(1, ev_core::kernel::KernelMode::Scalar);
+        for kernel in [
+            ev_core::kernel::KernelMode::Scalar,
+            ev_core::kernel::KernelMode::Block,
+            ev_core::kernel::KernelMode::Quantized,
+        ] {
+            for threads in [1, 2, 8] {
+                let report = run(threads, kernel);
+                assert_eq!(
+                    report.outcomes, reference.outcomes,
+                    "kernel={kernel} threads={threads}"
+                );
+                assert_eq!(report.lists, reference.lists, "kernel={kernel}");
+                assert_eq!(report.selected_scenarios, reference.selected_scenarios);
+            }
+        }
+    }
+
+    #[test]
     fn sharded_matches_the_mapreduce_path() {
         // The sharded pipeline must agree with parallel_match run on an
         // engine with the same pinned job geometry: same split output,

@@ -32,6 +32,7 @@
 use crate::types::{MatchOutcome, ScenarioList};
 use ev_core::feature::{FeatureVector, Metric};
 use ev_core::ids::{Eid, Vid};
+use ev_core::kernel::{FeatureBlock, Kernel, KernelMode};
 use ev_core::scenario::{ScenarioId, VScenario};
 use ev_store::VideoStore;
 use ev_telemetry::{names, Telemetry};
@@ -57,6 +58,14 @@ pub struct VFilterConfig {
     /// configuration routes every `filter_one` through
     /// [`crate::anytime`]'s bounded early-terminating scorer.
     pub anytime: Option<crate::anytime::AnytimeConfig>,
+    /// Which similarity kernel scores candidate-vs-gallery memberships
+    /// (CLI `--kernel`). `Scalar` is the per-pair reference path;
+    /// `Block` (the default) streams the SoA [`FeatureBlock`] and is
+    /// bitwise identical to it; `Quantized` adds the 8-bit prefilter
+    /// (still bitwise-exact maxima — see
+    /// [`Kernel::score_max_quantized`]).
+    #[serde(default)]
+    pub kernel: KernelMode,
 }
 
 impl Default for VFilterConfig {
@@ -66,6 +75,7 @@ impl Default for VFilterConfig {
             exclusion: true,
             min_margin: 0.01,
             anytime: None,
+            kernel: KernelMode::default(),
         }
     }
 }
@@ -162,6 +172,14 @@ pub(crate) struct CacheEntry {
     /// EID or representative enters it — so it is computed at most once
     /// per scenario and shared by every EID that revisits the entry.
     pub(crate) bbox: std::cell::OnceCell<Option<crate::anytime::EntryBox>>,
+    /// The scenario's detections packed into an SoA [`FeatureBlock`]
+    /// for the batch kernel. Like `bbox`, a property of the gallery
+    /// alone: packed at most once per cache entry and shared by every
+    /// EID that revisits it. `None` means the gallery was rejected
+    /// (rows disagree on dimensionality) — the same condition under
+    /// which the scalar path's per-pair error maps every membership of
+    /// this gallery to `0`.
+    block: std::cell::OnceCell<Option<FeatureBlock>>,
 }
 
 impl CacheEntry {
@@ -170,6 +188,7 @@ impl CacheEntry {
             scenario,
             groups,
             bbox: std::cell::OnceCell::new(),
+            block: std::cell::OnceCell::new(),
         }
     }
 
@@ -177,6 +196,87 @@ impl CacheEntry {
     /// use and memoized for the cache entry's lifetime.
     pub(crate) fn bbox(&self) -> &Option<crate::anytime::EntryBox> {
         self.bbox.get_or_init(|| crate::anytime::entry_box(self))
+    }
+
+    /// The scenario's SoA feature block, packed on first use and
+    /// memoized for the cache entry's lifetime. A mixed-dimensionality
+    /// gallery fails validation **once** here — counted, with the
+    /// scenario id in the error — instead of per pair in the hot loop.
+    pub(crate) fn block(&self, tel: &Telemetry) -> &Option<FeatureBlock> {
+        self.block.get_or_init(|| {
+            let gallery = self.scenario.id().to_string();
+            let features = self.scenario.detections().iter().map(|d| &d.feature);
+            match FeatureBlock::build(&gallery, features) {
+                Ok(b) => {
+                    if tel.counters_on() {
+                        tel.registry().counter(names::KERNEL_BLOCKS_BUILT).add(1);
+                    }
+                    Some(b)
+                }
+                Err(_) => {
+                    if tel.counters_on() {
+                        tel.registry()
+                            .counter(names::KERNEL_GALLERIES_REJECTED)
+                            .add(1);
+                    }
+                    None
+                }
+            }
+        })
+    }
+}
+
+/// Membership probability `P(VID ∈ S) = max_i sim(rep, f_i)` for one
+/// `(candidate, scenario)` pair under the configured kernel — the
+/// single scoring point shared by the exact scan below and the anytime
+/// refiner's exact evaluations, so every kernel mode flows through both
+/// paths identically.
+///
+/// All three modes return the **same bits**: `Block` accumulates each
+/// row in scalar order (see [`ev_core::kernel`]), `Quantized` only
+/// prunes rows proven unable to hold the maximum, and every error the
+/// scalar path maps to `0.0` (mixed-dimensionality gallery, candidate
+/// vs gallery dimension mismatch, empty scenario) maps to `0.0` here
+/// too.
+pub(crate) fn score_membership(
+    rep: &FeatureVector,
+    entry: &CacheEntry,
+    config: &VFilterConfig,
+    tel: &Telemetry,
+) -> f64 {
+    match config.kernel {
+        KernelMode::Scalar => {
+            ev_vision::reid::membership_probability(rep, &entry.scenario, config.metric)
+                .unwrap_or(0.0)
+        }
+        KernelMode::Block => {
+            let Some(block) = entry.block(tel) else {
+                return 0.0;
+            };
+            match Kernel::prepare(config.metric, rep.dim()) {
+                Ok(kernel) => kernel.score_max(rep, block).unwrap_or(0.0),
+                Err(_) => 0.0,
+            }
+        }
+        KernelMode::Quantized => {
+            let Some(block) = entry.block(tel) else {
+                return 0.0;
+            };
+            let Ok(kernel) = Kernel::prepare(config.metric, rep.dim()) else {
+                return 0.0;
+            };
+            match kernel.score_max_quantized(rep, block) {
+                Ok((p, pruned)) => {
+                    if pruned > 0 && tel.counters_on() {
+                        tel.registry()
+                            .counter(names::KERNEL_PREFILTER_ROWS_PRUNED)
+                            .add(pruned as u64);
+                    }
+                    p
+                }
+                Err(_) => 0.0,
+            }
+        }
     }
 }
 
@@ -405,9 +505,7 @@ pub fn filter_one_instrumented(
             // is one nearest-neighbour query in a real pipeline.
             video.charge_comparison();
             let scoring_start = scoring_hist.as_ref().map(|_| Instant::now());
-            lp += ev_vision::reid::membership_probability(rep, &e.scenario, config.metric)
-                .unwrap_or(0.0)
-                .ln();
+            lp += score_membership(rep, e, config, tel).ln();
             if let (Some(hist), Some(start)) = (&scoring_hist, scoring_start) {
                 hist.record(start.elapsed().as_nanos() as u64);
             }
@@ -439,7 +537,13 @@ pub fn filter_one_instrumented(
     for &v in &votes {
         *counts.entry(v).or_insert(0) += 1;
     }
-    let (winner, count) = majority_winner(&counts).expect("votes is non-empty");
+    // No winner means no votes at all — an empty-gallery/no-candidate
+    // edge that must flow to the explicit NoEvidence outcome instead of
+    // aborting the pipeline (the guard above makes this unreachable
+    // today, but the edge belongs to the outcome domain, not a panic).
+    let Some((winner, count)) = majority_winner(&counts) else {
+        return MatchOutcome::no_evidence(eid);
+    };
     let confidence = log_joint[&winner].exp();
     let margin = if log_joint.len() > 1 {
         let runner_up = log_joint

@@ -1,0 +1,215 @@
+//! Exact-mode report identity across similarity kernels (DESIGN.md §9):
+//! on randomized corpora, every kernel mode — the per-pair scalar
+//! reference, the SoA block kernel, and the quantized prefilter — must
+//! produce **identical** match outcomes, through both the exhaustive
+//! scan and the anytime scorer, with and without exclusion.
+
+use ev_core::feature::{FeatureVector, Metric};
+use ev_core::ids::{Eid, Vid};
+use ev_core::kernel::KernelMode;
+use ev_core::region::CellId;
+use ev_core::scenario::{Detection, ScenarioId, VScenario};
+use ev_core::time::Timestamp;
+use ev_matching::anytime::{partial_filter_one, AnytimeConfig};
+use ev_matching::vfilter::{filter_one, filter_vids, VFilterConfig};
+use ev_store::VideoStore;
+use ev_vision::cost::CostModel;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+const MODES: [KernelMode; 3] = [KernelMode::Scalar, KernelMode::Block, KernelMode::Quantized];
+
+/// A random V-world like `anytime_bounds`' but with enough people per
+/// scenario to cross the kernel's 8-row lane boundary, and a
+/// configurable dimensionality.
+fn random_world(
+    seed: u64,
+    dim: usize,
+    people: u64,
+    scenarios: usize,
+    presence: f64,
+) -> (VideoStore, Vec<ScenarioId>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let anchors: Vec<Vec<f64>> = (0..people)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let mut vs = Vec::new();
+    let mut list = Vec::new();
+    for t in 0..scenarios {
+        let mut v = VScenario::new(CellId::new(0), Timestamp::new(t as u64));
+        for p in 0..people {
+            if rng.gen_bool(presence) {
+                let f: Vec<f64> = anchors[p as usize]
+                    .iter()
+                    .map(|&a| a + rng.gen_range(-0.05..0.05))
+                    .collect();
+                v.push(Detection {
+                    vid: Vid::new(p),
+                    feature: FeatureVector::from_clamped(f),
+                });
+            }
+        }
+        list.push(ScenarioId::new(Timestamp::new(t as u64), CellId::new(0)));
+        vs.push(v);
+    }
+    (VideoStore::new(vs, CostModel::free()), list)
+}
+
+fn metric_of(pick: usize) -> Metric {
+    [Metric::NormalizedL2, Metric::NormalizedL1, Metric::Cosine][pick % 3]
+}
+
+proptest! {
+    /// Batch filtering (exclusion on and off) returns the same outcome
+    /// vector — every field, including the f64 confidence/margin/share
+    /// — no matter which kernel scored it.
+    #[test]
+    fn kernels_agree_on_full_batches(
+        seed in 0u64..48,
+        dim in 1usize..12,
+        people in 2u64..14,
+        scenarios in 1usize..8,
+        metric_pick in 0usize..3,
+        exclusion in any::<bool>(),
+    ) {
+        let (video, list) = random_world(seed, dim, people, scenarios, 0.7);
+        // Three EIDs over staggered sublists, so exclusion ordering and
+        // gallery-cache sharing are both in play.
+        let mut lists: BTreeMap<Eid, Vec<ScenarioId>> = BTreeMap::new();
+        lists.insert(Eid::from_u64(1), list.clone());
+        lists.insert(Eid::from_u64(2), list.iter().copied().skip(1).collect());
+        lists.insert(Eid::from_u64(3), list.iter().copied().step_by(2).collect());
+        let base = VFilterConfig {
+            metric: metric_of(metric_pick),
+            exclusion,
+            kernel: KernelMode::Scalar,
+            ..VFilterConfig::default()
+        };
+        let reference = filter_vids(&lists, &video, &base);
+        for mode in [KernelMode::Block, KernelMode::Quantized] {
+            let outcomes = filter_vids(&lists, &video, &VFilterConfig { kernel: mode, ..base });
+            prop_assert_eq!(&outcomes, &reference, "kernel mode {:?}", mode);
+        }
+    }
+
+    /// The anytime scorer's exact refinements go through the same
+    /// kernel dispatch: partial outcomes (bounds, convergence, votes)
+    /// are identical across modes.
+    #[test]
+    fn anytime_partials_agree_across_kernels(
+        seed in 0u64..40,
+        dim in 1usize..8,
+        people in 2u64..10,
+        scenarios in 1usize..8,
+        metric_pick in 0usize..3,
+        confidence in 0.0f64..1.0,
+        budget_raw in 0usize..9,
+    ) {
+        let budget = budget_raw.checked_sub(1);
+        let (video, list) = random_world(seed, dim, people, scenarios, 0.7);
+        let run = |mode: KernelMode| {
+            partial_filter_one(
+                Eid::from_u64(1),
+                &list,
+                &video,
+                &VFilterConfig {
+                    metric: metric_of(metric_pick),
+                    anytime: Some(AnytimeConfig { confidence, budget_scenarios: budget }),
+                    kernel: mode,
+                    ..VFilterConfig::default()
+                },
+                &BTreeSet::new(),
+            )
+        };
+        let reference = run(KernelMode::Scalar);
+        for mode in [KernelMode::Block, KernelMode::Quantized] {
+            prop_assert_eq!(&run(mode), &reference, "kernel mode {:?}", mode);
+        }
+    }
+}
+
+/// A gallery whose rows disagree on dimensionality is rejected once at
+/// block build; the scalar path errors per pair. Both must land on the
+/// same outcome (that gallery contributes membership 0 to everyone).
+#[test]
+fn mixed_dimension_galleries_score_identically_in_every_kernel() {
+    let mut good = VScenario::new(CellId::new(0), Timestamp::new(0));
+    let mut mixed = VScenario::new(CellId::new(0), Timestamp::new(1));
+    for (vid, f) in [
+        (1u64, vec![0.9, 0.9]),
+        (2, vec![0.1, 0.1]),
+        (3, vec![0.5, 0.6]),
+    ] {
+        good.push(Detection {
+            vid: Vid::new(vid),
+            feature: FeatureVector::from_clamped(f),
+        });
+    }
+    mixed.push(Detection {
+        vid: Vid::new(1),
+        feature: FeatureVector::from_clamped(vec![0.9, 0.9]),
+    });
+    mixed.push(Detection {
+        vid: Vid::new(2),
+        feature: FeatureVector::from_clamped(vec![0.1, 0.1, 0.7]), // stray dim
+    });
+    let video = VideoStore::new(vec![good, mixed], CostModel::free());
+    let list = vec![
+        ScenarioId::new(Timestamp::new(0), CellId::new(0)),
+        ScenarioId::new(Timestamp::new(1), CellId::new(0)),
+    ];
+    let outcomes: Vec<_> = MODES
+        .iter()
+        .map(|&kernel| {
+            filter_one(
+                Eid::from_u64(1),
+                &list,
+                &video,
+                &VFilterConfig {
+                    kernel,
+                    ..VFilterConfig::default()
+                },
+                &BTreeSet::new(),
+            )
+        })
+        .collect();
+    assert_eq!(outcomes[0], outcomes[1], "scalar vs block");
+    assert_eq!(outcomes[0], outcomes[2], "scalar vs quantized");
+}
+
+/// Scenarios that exist but hold zero detections are the empty-gallery
+/// edge of the `majority_winner` panic fix: zero votes must flow to the
+/// explicit NoEvidence outcome — never a panic — in every kernel mode.
+#[test]
+fn empty_galleries_flow_to_no_evidence_in_every_kernel() {
+    let empty0 = VScenario::new(CellId::new(0), Timestamp::new(0));
+    let empty1 = VScenario::new(CellId::new(1), Timestamp::new(1));
+    let video = VideoStore::new(vec![empty0, empty1], CostModel::free());
+    let list = vec![
+        ScenarioId::new(Timestamp::new(0), CellId::new(0)),
+        ScenarioId::new(Timestamp::new(1), CellId::new(1)),
+    ];
+    for kernel in MODES {
+        let cfg = VFilterConfig {
+            kernel,
+            ..VFilterConfig::default()
+        };
+        let out = filter_one(Eid::from_u64(9), &list, &video, &cfg, &BTreeSet::new());
+        assert!(out.is_no_evidence(), "kernel {kernel}: {out:?}");
+        assert!(!out.vote_share.is_nan());
+        // The anytime route hits its own majority_winner consumer.
+        let partial = partial_filter_one(
+            Eid::from_u64(9),
+            &list,
+            &video,
+            &VFilterConfig {
+                anytime: Some(AnytimeConfig::with_confidence(0.5)),
+                ..cfg
+            },
+            &BTreeSet::new(),
+        );
+        assert!(partial.outcome.is_no_evidence(), "kernel {kernel}");
+    }
+}

@@ -59,6 +59,19 @@ impl AppearanceGallery {
         self.features.get(person.as_u64() as usize)
     }
 
+    /// Packs the whole gallery into an SoA [`FeatureBlock`] for batch
+    /// scoring with [`ev_core::kernel::Kernel`] — the gallery-side entry
+    /// point the kernel microbench and any whole-population scan use.
+    /// Generated galleries are dimension-uniform by construction, so
+    /// packing cannot fail.
+    ///
+    /// [`FeatureBlock`]: ev_core::kernel::FeatureBlock
+    #[must_use]
+    pub fn to_block(&self) -> ev_core::kernel::FeatureBlock {
+        ev_core::kernel::FeatureBlock::build("appearance-gallery", self.features.iter())
+            .expect("generated galleries are dimension-uniform")
+    }
+
     /// A noisy observation of `person`'s descriptor: each component gets
     /// independent Gaussian noise of standard deviation `sigma`, clamped
     /// back into `[0, 1]`. Returns `None` for unknown persons.
@@ -219,6 +232,26 @@ mod tests {
     #[should_panic(expected = "at least one appearance cluster")]
     fn zero_clusters_panics() {
         let _ = AppearanceGallery::generate_clustered(4, 8, 0, 0.1, 0);
+    }
+
+    #[test]
+    fn block_view_scores_bitwise_like_the_scalar_gallery() {
+        use ev_core::kernel::Kernel;
+        let g = AppearanceGallery::generate(37, 24, 4);
+        let block = g.to_block();
+        assert_eq!(block.len(), 37);
+        assert_eq!(block.dim(), 24);
+        let cand = g.feature_of(PersonId::new(5)).unwrap();
+        for m in [Metric::NormalizedL2, Metric::NormalizedL1, Metric::Cosine] {
+            let kernel = Kernel::prepare(m, 24).unwrap();
+            let mut sims = vec![0.0; 37];
+            kernel.score_into(cand, &block, &mut sims).unwrap();
+            for (p, sim) in sims.iter().enumerate() {
+                let truth = g.feature_of(PersonId::new(p as u64)).unwrap();
+                let scalar = cand.similarity(truth, m).unwrap();
+                assert_eq!(scalar.to_bits(), sim.to_bits(), "{m:?} person {p}");
+            }
+        }
     }
 
     #[test]

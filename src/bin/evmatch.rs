@@ -7,6 +7,7 @@
 //! evmatch match     [--population N] [--duration T] [--seed S]
 //!                   [--targets K] [--mode ideal|practical]
 //!                   [--workers W | --threads N]
+//!                   [--kernel scalar|block|quantized]
 //!                   [--confidence P] [--budget-scenarios N]
 //!                   [--telemetry off|counters|full] [--trace-out PATH]
 //!                   [--metrics-out PATH] [--json]
@@ -36,6 +37,13 @@
 //! the `ev-exec` work-stealing pool — its report is byte-identical for
 //! every `N`, so the flag only changes wall time. The two flags are
 //! mutually exclusive.
+//!
+//! `--kernel` selects the similarity kernel of `DESIGN.md` §9 used to
+//! score VID galleries: `scalar` is the per-pair reference, `block`
+//! (the default) scores packed SoA gallery blocks, and `quantized`
+//! additionally prunes rows with an 8-bit prefilter before exact
+//! rescoring. All three produce byte-identical match reports — the
+//! flag only changes wall time.
 //!
 //! `--metrics-out` implies the `counters` telemetry level and
 //! `--trace-out` implies `full`; an explicit `--telemetry` wins over
@@ -85,6 +93,7 @@ struct CommonArgs {
     threads: Option<usize>,
     confidence: Option<f64>,
     budget_scenarios: Option<usize>,
+    kernel: KernelMode,
     json: bool,
     telemetry: Option<TelemetryLevel>,
     trace_out: Option<String>,
@@ -170,6 +179,7 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
         threads: None,
         confidence: None,
         budget_scenarios: None,
+        kernel: KernelMode::default(),
         json: false,
         telemetry: None,
         trace_out: None,
@@ -206,6 +216,7 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
             "--budget-scenarios" => {
                 out.budget_scenarios = Some(take()?.parse().map_err(|e| format!("{e}"))?);
             }
+            "--kernel" => out.kernel = take()?.parse().map_err(|e| format!("{e}"))?,
             "--mode" => {
                 out.mode = match take()?.as_str() {
                     "ideal" => SplitMode::Ideal,
@@ -307,6 +318,7 @@ fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
         ..MatcherConfig::default()
     };
     config.vfilter.anytime = args.anytime();
+    config.vfilter.kernel = args.kernel;
     let telemetry = Telemetry::new(args.telemetry_level());
     if telemetry.counters_on() {
         names::preregister(telemetry.registry());
@@ -510,6 +522,74 @@ fn smoke_coverage_gate(args: &CommonArgs) -> Result<(), String> {
             .match_many(&targets)
             .map_err(|e| format!("smoke anytime run: {e}"))?;
         absorb_into(&mut seen, &tel);
+    }
+
+    // 1c. Quantized-kernel scan over a hand-built corpus: one packed
+    //     gallery whose far rows the 8-bit prefilter provably prunes
+    //     (block-built + rows-pruned counters) and one dimension-mixed
+    //     gallery the block build rejects (galleries-rejected counter).
+    {
+        use evmatch::core::feature::FeatureVector;
+        use evmatch::core::region::CellId;
+        use evmatch::core::scenario::{Detection, ScenarioId, VScenario};
+        use evmatch::core::time::Timestamp;
+        use evmatch::matching::vfilter::{self, GalleryCache, VFilterConfig};
+
+        let tel = Telemetry::new(TelemetryLevel::Counters);
+        let mut packed = VScenario::new(CellId::new(0), Timestamp::new(0));
+        packed.push(Detection {
+            vid: Vid::new(0),
+            feature: FeatureVector::from_clamped(vec![0.9; 64]),
+        });
+        for p in 1..12u64 {
+            packed.push(Detection {
+                vid: Vid::new(p),
+                feature: FeatureVector::from_clamped(vec![0.1; 64]),
+            });
+        }
+        let mut mixed = VScenario::new(CellId::new(1), Timestamp::new(1));
+        mixed.push(Detection {
+            vid: Vid::new(0),
+            feature: FeatureVector::from_clamped(vec![0.9; 64]),
+        });
+        mixed.push(Detection {
+            vid: Vid::new(1),
+            feature: FeatureVector::from_clamped(vec![0.5; 63]),
+        });
+        let video = VideoStore::new(
+            vec![packed, mixed],
+            evmatch::vision::cost::CostModel::free(),
+        );
+        let list = vec![
+            ScenarioId::new(Timestamp::new(0), CellId::new(0)),
+            ScenarioId::new(Timestamp::new(1), CellId::new(1)),
+        ];
+        let cfg = VFilterConfig {
+            kernel: KernelMode::Quantized,
+            ..VFilterConfig::default()
+        };
+        let out = vfilter::filter_one_instrumented(
+            Eid::from_u64(1),
+            &list,
+            &video,
+            &cfg,
+            &std::collections::BTreeSet::new(),
+            &mut GalleryCache::new(),
+            &tel,
+        );
+        if out.is_no_evidence() {
+            return Err("smoke quantized scan produced no evidence".into());
+        }
+        absorb_into(&mut seen, &tel);
+        for name in [
+            names::KERNEL_BLOCKS_BUILT,
+            names::KERNEL_GALLERIES_REJECTED,
+            names::KERNEL_PREFILTER_ROWS_PRUNED,
+        ] {
+            if !seen.contains(name) {
+                return Err(format!("quantized smoke scan did not emit {name}"));
+            }
+        }
     }
 
     // 2. MapReduce run with injected failures, stragglers and
