@@ -1,0 +1,256 @@
+//! Benchmarks the streaming serve layer and writes the measurements to
+//! `results/BENCH_serve.json`.
+//!
+//! Three questions about the live service, on the paper's density
+//! regime:
+//!
+//! * **ingest throughput** — durable-append + publish cost of
+//!   streaming a full day into a fresh corpus, window by window (one
+//!   apply per window: the worst-case freshness policy);
+//! * **query latency under ingest** — a match query against the
+//!   applied snapshot while a half-day backlog sits staged, versus the
+//!   same query on a fully applied (quiescent) corpus — the snapshot
+//!   design says these should be indistinguishable;
+//! * **staleness distribution** — what `evm_serve_staleness_events`
+//!   actually reads when a `apply_every`-bounded service is queried
+//!   after every arriving window.
+//!
+//! Custom main (no criterion harness): the results must land in a JSON
+//! record, so we drain [`Criterion::take_results`] ourselves.
+
+use criterion::{BenchResult, Criterion};
+use ev_core::scenario::{EScenario, VScenario};
+use ev_datagen::{sample_targets, DatasetConfig, EvDataset};
+use ev_telemetry::Telemetry;
+use evmatch::serve::{LiveCorpus, ServeConfig};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// One exported measurement.
+#[derive(Debug, Serialize)]
+struct Entry {
+    id: String,
+    per_iter_ns: u64,
+    iterations: u64,
+}
+
+impl From<BenchResult> for Entry {
+    fn from(r: BenchResult) -> Self {
+        Entry {
+            id: r.id,
+            per_iter_ns: u64::try_from(r.per_iter.as_nanos()).unwrap_or(u64::MAX),
+            iterations: r.iterations,
+        }
+    }
+}
+
+/// The full `BENCH_serve.json` record.
+#[derive(Debug, Serialize)]
+struct Record {
+    population: u64,
+    duration: u64,
+    host_parallelism: usize,
+    e_records: usize,
+    v_records: usize,
+    windows: usize,
+    targets: usize,
+    /// Events published per second by the window-by-window stream
+    /// (durable append + apply + delta-update, one apply per window).
+    ingest_events_per_sec: f64,
+    /// query-under-ingest time / quiescent query time: the snapshot
+    /// isolation overhead (should be ~1.0).
+    live_vs_quiescent_query: f64,
+    /// `evm_serve_staleness_events` observed after each window under
+    /// `apply_every = 256`.
+    staleness: StalenessDistribution,
+    results: Vec<Entry>,
+}
+
+#[derive(Debug, Serialize)]
+struct StalenessDistribution {
+    apply_every: usize,
+    min: u64,
+    mean: f64,
+    max: u64,
+    samples: Vec<u64>,
+}
+
+fn per_iter_ns(results: &[Entry], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|e| e.id == id)
+        .map(|e| e.per_iter_ns as f64)
+        .expect("benchmark id present")
+}
+
+/// The events of `d` whose tick falls in `[from, to)`.
+fn slice(d: &EvDataset, from: u64, to: u64) -> (Vec<EScenario>, Vec<VScenario>) {
+    let es = d
+        .estore
+        .iter()
+        .filter(|s| (from..to).contains(&s.time().tick()))
+        .cloned()
+        .collect();
+    let vs = d
+        .video
+        .scenarios()
+        .filter(|s| (from..to).contains(&s.time().tick()))
+        .cloned()
+        .collect();
+    (es, vs)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ev-bench-serve-{tag}-{}", std::process::id()))
+}
+
+fn main() {
+    let population = 400;
+    let duration = 300;
+    let window = 30u64;
+    let data = EvDataset::generate(&DatasetConfig {
+        population,
+        duration,
+        ..DatasetConfig::default()
+    })
+    .expect("valid config");
+    let targets = sample_targets(&data, 40, 1);
+    let config = || ServeConfig {
+        cost: data.video.cost_model(),
+        watch: targets.clone(),
+        ..ServeConfig::default()
+    };
+    let windows: Vec<(Vec<EScenario>, Vec<VScenario>)> = (0..duration / window)
+        .map(|w| slice(&data, w * window, (w + 1) * window))
+        .collect();
+    let total_events: usize = windows.iter().map(|(e, v)| e.len() + v.len()).sum();
+
+    let mut c = Criterion::default();
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    // Ingest throughput: stream the full day into a fresh corpus, one
+    // durable apply per window.
+    group.bench_function("stream_day", |b| {
+        let dir = scratch("stream");
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut live =
+                LiveCorpus::open(&dir, config(), Telemetry::disabled()).expect("fresh corpus");
+            for (e, v) in &windows {
+                live.ingest(e.clone(), v.clone()).expect("ingest");
+                live.apply().expect("apply");
+            }
+            live.finish().expect("shutdown").segments().len()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // Query latency: half the day applied, the other half staged — the
+    // staged backlog must not slow (or change) the snapshot query.
+    {
+        let dir = scratch("query");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut live =
+            LiveCorpus::open(&dir, config(), Telemetry::disabled()).expect("fresh corpus");
+        let half = windows.len() / 2;
+        for (e, v) in &windows[..half] {
+            live.ingest(e.clone(), v.clone()).expect("ingest");
+        }
+        live.apply().expect("apply");
+        for (e, v) in &windows[half..] {
+            live.ingest(e.clone(), v.clone()).expect("ingest");
+        }
+        assert!(live.staged_events() > 0, "a backlog is staged");
+        group.bench_function("query_under_ingest", |b| {
+            b.iter(|| live.query(&targets).expect("query").report.outcomes.len());
+        });
+        live.apply().expect("drain the backlog");
+        group.bench_function("query_quiescent", |b| {
+            b.iter(|| live.query(&targets).expect("query").report.outcomes.len());
+        });
+        live.finish().expect("shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+
+    // Staleness distribution: an `apply_every`-bounded service queried
+    // after every arriving chunk (sub-window batches, so the backlog
+    // actually oscillates under the bound instead of auto-applying on
+    // every delivery).
+    let apply_every = 256usize;
+    let chunk = 64usize;
+    let samples: Vec<u64> = {
+        let dir = scratch("staleness");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut live = LiveCorpus::open(
+            &dir,
+            ServeConfig {
+                apply_every,
+                ..config()
+            },
+            Telemetry::disabled(),
+        )
+        .expect("fresh corpus");
+        let mut samples = Vec::new();
+        for (e, v) in &windows {
+            for es in e.chunks(chunk) {
+                live.ingest(es.to_vec(), Vec::new()).expect("ingest");
+                samples.push(live.query(&targets).expect("query").staleness_events);
+            }
+            for vs in v.chunks(chunk) {
+                live.ingest(Vec::new(), vs.to_vec()).expect("ingest");
+                samples.push(live.query(&targets).expect("query").staleness_events);
+            }
+        }
+        live.finish().expect("shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+        samples
+    };
+
+    let results: Vec<Entry> = c.take_results().into_iter().map(Entry::from).collect();
+    let stream_ns = per_iter_ns(&results, "serve/stream_day");
+    let record = Record {
+        population,
+        duration,
+        host_parallelism: ev_bench::host_parallelism(),
+        e_records: data.estore.len(),
+        v_records: data.video.len(),
+        windows: windows.len(),
+        targets: targets.len(),
+        ingest_events_per_sec: total_events as f64 / (stream_ns / 1e9),
+        live_vs_quiescent_query: per_iter_ns(&results, "serve/query_under_ingest")
+            / per_iter_ns(&results, "serve/query_quiescent"),
+        staleness: StalenessDistribution {
+            apply_every,
+            min: samples.iter().copied().min().unwrap_or(0),
+            mean: samples.iter().sum::<u64>() as f64 / samples.len().max(1) as f64,
+            max: samples.iter().copied().max().unwrap_or(0),
+            samples,
+        },
+        results,
+    };
+
+    for entry in &record.results {
+        println!(
+            "{:<40} {:>12} ns/iter  ({} iters)",
+            entry.id, entry.per_iter_ns, entry.iterations
+        );
+    }
+    println!(
+        "ingest {:.0} events/s   live/quiescent query {:.2}x   staleness [{}, {:.0}, {}] under apply_every={}",
+        record.ingest_events_per_sec,
+        record.live_vs_quiescent_query,
+        record.staleness.min,
+        record.staleness.mean,
+        record.staleness.max,
+        apply_every,
+    );
+
+    // Anchor to the workspace-root results directory regardless of the
+    // CWD cargo picked for the bench binary.
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    let json = serde_json::to_string_pretty(&record).expect("serialize record");
+    std::fs::write(out.join("BENCH_serve.json"), json).expect("write BENCH_serve.json");
+}

@@ -1,0 +1,426 @@
+//! Streaming append path: open segments with periodic manifest
+//! checkpoints.
+//!
+//! [`DiskStore::append`] is batch-shaped — every call seals one or two
+//! brand-new segments and pays two `fsync`s plus a manifest commit. A
+//! live serve loop ingests *small* batches continuously, so the
+//! [`IngestWriter`] amortizes that cost: arriving records are framed
+//! into **open** segment files (one per [`SegmentKind`], same
+//! CRC-framed format as batch segments) and only a periodic
+//! **checkpoint** pays the durability protocol of `DESIGN.md` §6:
+//!
+//! ```text
+//! fsync(open segments) → fsync(dir) → append manifest entries → fsync(manifest)
+//! ```
+//!
+//! Everything a checkpoint has committed is exactly as durable as a
+//! batch append. Everything after the last checkpoint is *crash-shaped
+//! residue*: the open segment files have no manifest entry, so the next
+//! [`DiskStore::open`] removes them as orphans — in **both**
+//! [`Strict`](crate::RecoveryMode::Strict) and
+//! [`Salvage`](crate::RecoveryMode::Salvage) mode, exactly as if a
+//! batch append had crashed between the segment write and the manifest
+//! commit. Recovery therefore always restores a checkpoint-aligned
+//! prefix of the stream, and the durability loss of a crash is bounded
+//! by [`CheckpointPolicy::records_per_checkpoint`].
+//!
+//! The writer takes the [`DiskStore`] by value, so no interleaved batch
+//! append can commit a manifest entry out of stream order while
+//! segments are open; [`IngestWriter::finish`] checkpoints and hands
+//! the store back.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
+
+use ev_core::scenario::{EScenario, VScenario};
+
+use crate::codec;
+use crate::error::{DiskError, DiskResult};
+use crate::frame::write_frame;
+use crate::manifest::ManifestEntry;
+use crate::segment::{self, SegmentBounds, SegmentKind};
+use crate::store::{fsync_dir, DiskStore};
+
+/// When the writer checkpoints on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint automatically once at least this many records have
+    /// accumulated since the last checkpoint. `0` disables automatic
+    /// checkpoints (the caller drives [`IngestWriter::checkpoint`]).
+    /// This bounds how many records a crash can lose.
+    pub records_per_checkpoint: u64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            records_per_checkpoint: 1024,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// A policy that never checkpoints automatically.
+    #[must_use]
+    pub fn manual() -> Self {
+        CheckpointPolicy {
+            records_per_checkpoint: 0,
+        }
+    }
+}
+
+/// Receipt of one [`IngestWriter::push`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamAppendReceipt {
+    /// Records written by this push.
+    pub appended: u64,
+    /// Records staged in open segments after this push (zero when the
+    /// push triggered an automatic checkpoint).
+    pub staged_records: u64,
+    /// The manifest entries committed, when this push crossed the
+    /// [`CheckpointPolicy`] threshold.
+    pub checkpoint: Option<Vec<ManifestEntry>>,
+}
+
+/// One segment file being grown in place; sealed at checkpoint time.
+#[derive(Debug)]
+struct OpenSegment {
+    seq: u64,
+    kind: SegmentKind,
+    path: PathBuf,
+    file: File,
+    records: u64,
+    bounds: SegmentBounds,
+    len: u64,
+}
+
+impl OpenSegment {
+    fn create(store: &mut DiskStore, kind: SegmentKind) -> DiskResult<Self> {
+        let seq = store.reserve_seq();
+        let path = store.dir().join(format!("seg-{seq:06}-{}.seg", kind.tag()));
+        let mut file = File::create(&path).map_err(|e| DiskError::io("creating", &path, e))?;
+        let header = segment::header(kind);
+        file.write_all(&header)
+            .map_err(|e| DiskError::io("writing segment header", &path, e))?;
+        Ok(OpenSegment {
+            seq,
+            kind,
+            path,
+            file,
+            records: 0,
+            bounds: SegmentBounds::empty(),
+            len: header.len() as u64,
+        })
+    }
+
+    /// Frames one batch of encoded records into the open file with a
+    /// single write.
+    fn push(&mut self, records: &[(u64, u64, Vec<u8>)]) -> DiskResult<()> {
+        let mut buf = Vec::new();
+        for (time, cell, payload) in records {
+            self.bounds.absorb(*time, *cell);
+            write_frame(&mut buf, payload);
+        }
+        self.file
+            .write_all(&buf)
+            .map_err(|e| DiskError::io("appending to open segment", &self.path, e))?;
+        self.records += records.len() as u64;
+        self.len += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Makes the file durable and returns the manifest entry committing
+    /// it.
+    fn seal(self) -> DiskResult<ManifestEntry> {
+        self.file
+            .sync_all()
+            .map_err(|e| DiskError::io("fsyncing open segment", &self.path, e))?;
+        Ok(ManifestEntry {
+            seq: self.seq,
+            kind: self.kind,
+            records: self.records,
+            bounds: self.bounds,
+            file_len: self.len,
+        })
+    }
+}
+
+/// Streaming writer over a [`DiskStore`]: frames arriving E/V-Scenarios
+/// into open segments and commits them with periodic manifest
+/// checkpoints. See the [module docs](self) for the durability
+/// contract.
+///
+/// Dropping the writer without [`finish`](IngestWriter::finish) (or a
+/// final [`checkpoint`](IngestWriter::checkpoint)) abandons the open
+/// segments — deliberately crash-shaped: the next open heals them like
+/// any interrupted append.
+///
+/// ```
+/// use ev_core::{EScenario, ZoneAttr, Eid};
+/// use ev_core::region::CellId;
+/// use ev_core::time::Timestamp;
+/// use ev_disk::{CheckpointPolicy, DiskStore, IngestWriter};
+///
+/// let dir = std::env::temp_dir().join(format!("ev-ingest-doc-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// let store = DiskStore::create(&dir).unwrap();
+/// let mut writer = IngestWriter::new(store, CheckpointPolicy::manual());
+///
+/// let mut s = EScenario::new(CellId::new(0), Timestamp::new(5));
+/// s.insert(Eid::from_u64(1), ZoneAttr::Inclusive);
+/// writer.push(&[s], &[]).unwrap();        // staged, not yet committed
+/// assert_eq!(writer.staged_records(), 1);
+/// let store = writer.finish().unwrap();   // checkpoint: now durable
+/// assert_eq!(store.record_count(ev_disk::SegmentKind::EScenario), 1);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct IngestWriter {
+    store: DiskStore,
+    open_e: Option<OpenSegment>,
+    open_v: Option<OpenSegment>,
+    staged: u64,
+    policy: CheckpointPolicy,
+}
+
+impl IngestWriter {
+    /// Wraps `store` for streaming appends under `policy`.
+    #[must_use]
+    pub fn new(store: DiskStore, policy: CheckpointPolicy) -> Self {
+        IngestWriter {
+            store,
+            open_e: None,
+            open_v: None,
+            staged: 0,
+            policy,
+        }
+    }
+
+    /// The underlying store (committed segments only; open segments are
+    /// not visible until a checkpoint).
+    #[must_use]
+    pub fn store(&self) -> &DiskStore {
+        &self.store
+    }
+
+    /// Records staged in open segments since the last checkpoint.
+    #[must_use]
+    pub fn staged_records(&self) -> u64 {
+        self.staged
+    }
+
+    /// Frames both batches into their open segments (creating them on
+    /// first use) and auto-checkpoints when the policy threshold is
+    /// crossed.
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Io`] on write or fsync failure. The open segments
+    /// stay uncommitted, so a failed push never damages committed data.
+    pub fn push(
+        &mut self,
+        e_batch: &[EScenario],
+        v_batch: &[VScenario],
+    ) -> DiskResult<StreamAppendReceipt> {
+        if !e_batch.is_empty() {
+            if self.open_e.is_none() {
+                self.open_e = Some(OpenSegment::create(
+                    &mut self.store,
+                    SegmentKind::EScenario,
+                )?);
+            }
+            let records: Vec<(u64, u64, Vec<u8>)> = e_batch
+                .iter()
+                .map(|s| {
+                    (
+                        s.time().tick(),
+                        s.cell().index() as u64,
+                        codec::encode_escenario(s),
+                    )
+                })
+                .collect();
+            self.open_e
+                .as_mut()
+                .expect("open E segment just ensured")
+                .push(&records)?;
+        }
+        if !v_batch.is_empty() {
+            if self.open_v.is_none() {
+                self.open_v = Some(OpenSegment::create(
+                    &mut self.store,
+                    SegmentKind::VScenario,
+                )?);
+            }
+            let records: Vec<(u64, u64, Vec<u8>)> = v_batch
+                .iter()
+                .map(|s| {
+                    (
+                        s.time().tick(),
+                        s.cell().index() as u64,
+                        codec::encode_vscenario(s),
+                    )
+                })
+                .collect();
+            self.open_v
+                .as_mut()
+                .expect("open V segment just ensured")
+                .push(&records)?;
+        }
+        let appended = (e_batch.len() + v_batch.len()) as u64;
+        self.staged += appended;
+        let checkpoint = if self.policy.records_per_checkpoint > 0
+            && self.staged >= self.policy.records_per_checkpoint
+        {
+            Some(self.checkpoint()?)
+        } else {
+            None
+        };
+        Ok(StreamAppendReceipt {
+            appended,
+            staged_records: self.staged,
+            checkpoint,
+        })
+    }
+
+    /// Seals the open segments and commits them to the manifest,
+    /// making every record pushed so far durable. Returns the entries
+    /// committed (empty when nothing was staged).
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError::Io`] on fsync or manifest-append failure.
+    pub fn checkpoint(&mut self) -> DiskResult<Vec<ManifestEntry>> {
+        let mut entries = Vec::new();
+        for open in [self.open_e.take(), self.open_v.take()]
+            .into_iter()
+            .flatten()
+        {
+            entries.push(open.seal()?);
+        }
+        if entries.is_empty() {
+            return Ok(entries);
+        }
+        // Segment contents are durable; now make their directory names
+        // durable, then commit them in one manifest append.
+        fsync_dir(self.store.dir())?;
+        self.store.commit_entries(&entries)?;
+        self.staged = 0;
+        Ok(entries)
+    }
+
+    /// Final checkpoint, then hands the store back for batch use.
+    ///
+    /// # Errors
+    ///
+    /// As [`IngestWriter::checkpoint`].
+    pub fn finish(mut self) -> DiskResult<DiskStore> {
+        self.checkpoint()?;
+        Ok(self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ev_core::ids::Eid;
+    use ev_core::region::CellId;
+    use ev_core::scenario::ZoneAttr;
+    use ev_core::time::Timestamp;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ev-disk-ingest-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn e(cell: usize, time: u64, eid: u64) -> EScenario {
+        let mut s = EScenario::new(CellId::new(cell), Timestamp::new(time));
+        s.insert(Eid::from_u64(eid), ZoneAttr::Inclusive);
+        s
+    }
+
+    #[test]
+    fn staged_records_commit_at_checkpoint_and_reload() {
+        let dir = temp_dir("commit");
+        let store = DiskStore::create(&dir).unwrap();
+        let mut writer = IngestWriter::new(store, CheckpointPolicy::manual());
+        writer.push(&[e(0, 1, 10)], &[]).unwrap();
+        writer.push(&[e(1, 2, 11), e(2, 3, 12)], &[]).unwrap();
+        assert_eq!(writer.staged_records(), 3);
+        assert_eq!(writer.store().segments().len(), 0, "nothing committed yet");
+
+        let entries = writer.checkpoint().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].records, 3);
+        assert_eq!(writer.staged_records(), 0);
+
+        // More pushes open a fresh segment with a fresh sequence.
+        writer.push(&[e(3, 4, 13)], &[]).unwrap();
+        let store = writer.finish().unwrap();
+        assert_eq!(store.segments().len(), 2);
+
+        let estore = DiskStore::open(&dir).unwrap().load_estore().unwrap();
+        assert_eq!(estore.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn policy_auto_checkpoints_on_threshold() {
+        let dir = temp_dir("auto");
+        let store = DiskStore::create(&dir).unwrap();
+        let mut writer = IngestWriter::new(
+            store,
+            CheckpointPolicy {
+                records_per_checkpoint: 4,
+            },
+        );
+        let r = writer.push(&[e(0, 1, 1), e(1, 2, 2)], &[]).unwrap();
+        assert!(r.checkpoint.is_none());
+        let r = writer.push(&[e(2, 3, 3), e(3, 4, 4)], &[]).unwrap();
+        let entries = r.checkpoint.expect("threshold crossed");
+        assert_eq!(entries.iter().map(|e| e.records).sum::<u64>(), 4);
+        assert_eq!(r.staged_records, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn abandoned_open_segments_are_healed_as_orphans() {
+        let dir = temp_dir("abandon");
+        let store = DiskStore::create(&dir).unwrap();
+        let mut writer = IngestWriter::new(store, CheckpointPolicy::manual());
+        writer.push(&[e(0, 1, 10)], &[]).unwrap();
+        writer.checkpoint().unwrap();
+        writer.push(&[e(1, 2, 11)], &[]).unwrap();
+        drop(writer); // crash: open segment never committed
+
+        let reopened = DiskStore::open(&dir).unwrap();
+        assert_eq!(reopened.recovery().orphan_segments_removed, 1);
+        let estore = reopened.load_estore().unwrap();
+        assert_eq!(estore.len(), 1, "checkpoint-aligned prefix survives");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_e_and_v_batches_commit_one_entry_per_kind() {
+        let dir = temp_dir("mixed");
+        let store = DiskStore::create(&dir).unwrap();
+        let mut writer = IngestWriter::new(store, CheckpointPolicy::manual());
+        let mut v = ev_core::scenario::VScenario::new(CellId::new(0), Timestamp::new(1));
+        v.push(ev_core::scenario::Detection {
+            vid: ev_core::Vid::new(7),
+            feature: ev_core::feature::FeatureVector::new(vec![0.5, 0.5]).unwrap(),
+        });
+        writer
+            .push(&[e(0, 1, 10)], std::slice::from_ref(&v))
+            .unwrap();
+        let entries = writer.checkpoint().unwrap();
+        assert_eq!(entries.len(), 2);
+        let store = writer.finish().unwrap();
+        assert_eq!(store.record_count(SegmentKind::EScenario), 1);
+        assert_eq!(store.record_count(SegmentKind::VScenario), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

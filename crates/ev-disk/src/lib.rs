@@ -61,12 +61,14 @@ pub mod crc;
 pub mod error;
 pub mod format;
 pub mod frame;
+pub mod ingest;
 pub mod manifest;
 pub mod segment;
 pub mod store;
 
 pub use backend::DiskBackend;
 pub use error::{DiskError, DiskResult, RecoveryError};
+pub use ingest::{CheckpointPolicy, IngestWriter, StreamAppendReceipt};
 pub use manifest::ManifestEntry;
 pub use segment::{SegmentBounds, SegmentKind};
 pub use store::{AppendReceipt, DiskStore, RecoveryMode, RecoveryReport, MANIFEST_FILE};

@@ -81,7 +81,7 @@ pub struct SegmentBounds {
 }
 
 impl SegmentBounds {
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         SegmentBounds {
             min_time: u64::MAX,
             max_time: 0,
@@ -90,7 +90,7 @@ impl SegmentBounds {
         }
     }
 
-    fn absorb(&mut self, time: u64, cell: u64) {
+    pub(crate) fn absorb(&mut self, time: u64, cell: u64) {
         self.min_time = self.min_time.min(time);
         self.max_time = self.max_time.max(time);
         self.min_cell = self.min_cell.min(cell);
@@ -128,7 +128,7 @@ pub struct EncodedSegment {
     pub bounds: SegmentBounds,
 }
 
-fn header(kind: SegmentKind) -> Vec<u8> {
+pub(crate) fn header(kind: SegmentKind) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(HEADER_LEN);
     bytes.extend_from_slice(&SEGMENT_MAGIC);
     bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());

@@ -105,7 +105,7 @@ pub struct DiskStore {
     telemetry: Telemetry,
 }
 
-fn fsync_dir(dir: &Path) -> DiskResult<()> {
+pub(crate) fn fsync_dir(dir: &Path) -> DiskResult<()> {
     // Directory fsync makes the new directory entry itself durable;
     // without it a crash can lose the file name while keeping the data.
     let d = File::open(dir).map_err(|e| DiskError::io("opening directory", dir, e))?;
@@ -528,6 +528,51 @@ impl DiskStore {
                 .set(self.entries.len() as f64);
         }
         Ok(entry)
+    }
+
+    /// Hands out the next unused segment sequence number. The caller
+    /// owns the number forever: even if the segment it names is never
+    /// committed, recovery deletes the orphan file without reusing the
+    /// sequence (see `orphan_segment_is_removed_on_open`).
+    pub(crate) fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Commits a batch of already-durable segments in one manifest
+    /// append + fsync. The caller must have fsync'd the segment files
+    /// *and* the directory first; a crash mid-append leaves a torn
+    /// manifest tail, which the next open truncates — keeping a prefix
+    /// of `entries` and orphaning the rest.
+    pub(crate) fn commit_entries(&mut self, entries: &[ManifestEntry]) -> DiskResult<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let manifest_path = self.dir.join(MANIFEST_FILE);
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(&manifest_path)
+            .map_err(|e| DiskError::io("opening manifest for append", &manifest_path, e))?;
+        let mut bytes = Vec::new();
+        for entry in entries {
+            bytes.extend_from_slice(&manifest::encode_entry_frame(entry));
+        }
+        f.write_all(&bytes)
+            .map_err(|e| DiskError::io("appending manifest entries", &manifest_path, e))?;
+        f.sync_all()
+            .map_err(|e| DiskError::io("fsyncing manifest", &manifest_path, e))?;
+        self.entries.extend_from_slice(entries);
+        if self.telemetry.counters_on() {
+            let registry = self.telemetry.registry();
+            registry
+                .counter(names::DISK_SEGMENTS_WRITTEN)
+                .add(entries.len() as u64);
+            registry
+                .gauge(names::DISK_MANIFEST_ENTRIES)
+                .set(self.entries.len() as f64);
+        }
+        Ok(())
     }
 
     /// Reads, checks and decodes the segments selected by `filter`

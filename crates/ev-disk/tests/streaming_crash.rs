@@ -1,0 +1,165 @@
+//! Crash injection for the streaming append path: a kill between the
+//! open-segment writes and the manifest checkpoint must leave a corpus
+//! that recovery — Strict *and* Salvage — restores to the last
+//! checkpoint-aligned prefix of the stream.
+
+use ev_core::feature::FeatureVector;
+use ev_core::ids::{Eid, Vid};
+use ev_core::region::CellId;
+use ev_core::scenario::{Detection, EScenario, VScenario, ZoneAttr};
+use ev_core::time::Timestamp;
+use ev_disk::{CheckpointPolicy, DiskStore, IngestWriter, RecoveryMode, MANIFEST_FILE};
+use ev_telemetry::Telemetry;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ev-stream-crash-{tag}-{}-{n}", std::process::id()))
+}
+
+fn e(cell: usize, time: u64, eid: u64) -> EScenario {
+    let mut s = EScenario::new(CellId::new(cell), Timestamp::new(time));
+    s.insert(Eid::from_u64(eid), ZoneAttr::Inclusive);
+    s
+}
+
+fn v(cell: usize, time: u64, vid: u64) -> VScenario {
+    let mut s = VScenario::new(CellId::new(cell), Timestamp::new(time));
+    s.push(Detection {
+        vid: Vid::new(vid),
+        feature: FeatureVector::new(vec![0.25, 0.75]).unwrap(),
+    });
+    s
+}
+
+/// Stream two checkpointed batches plus a third that never commits,
+/// then "crash" by dropping the writer. Both recovery modes must keep
+/// exactly the two committed batches and report the open segments as
+/// orphans, never as corruption.
+#[test]
+fn crash_between_append_and_checkpoint_recovers_checkpoint_prefix() {
+    let dir = temp_dir("prefix");
+    let store = DiskStore::create(&dir).unwrap();
+    let mut writer = IngestWriter::new(store, CheckpointPolicy::manual());
+
+    writer
+        .push(&[e(0, 1, 10), e(1, 2, 11)], &[v(0, 1, 1)])
+        .unwrap();
+    writer.checkpoint().unwrap();
+    writer.push(&[e(2, 3, 12)], &[]).unwrap();
+    writer.checkpoint().unwrap();
+    // Batch three: written to open segments, manifest never updated.
+    writer
+        .push(&[e(3, 4, 13), e(4, 5, 14)], &[v(3, 4, 2)])
+        .unwrap();
+    assert_eq!(writer.staged_records(), 3);
+    drop(writer); // kill -9 between segment append and checkpoint
+
+    for mode in [RecoveryMode::Strict, RecoveryMode::Salvage] {
+        let reopened = DiskStore::open_with(&dir, mode, Telemetry::disabled()).unwrap();
+        let report = reopened.recovery();
+        assert_eq!(
+            report.orphan_segments_removed,
+            if mode == RecoveryMode::Strict { 2 } else { 0 },
+            "{mode:?}: first open removes the E+V open segments"
+        );
+        assert_eq!(report.records_dropped, 0, "{mode:?}: committed data intact");
+        let estore = reopened.load_estore().unwrap();
+        assert_eq!(estore.len(), 3, "{mode:?}: checkpoint-aligned E prefix");
+        assert!(estore.iter().all(|s| s.time().tick() <= 3));
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash *during* the checkpoint's manifest append leaves a torn
+/// manifest tail. Recovery truncates the tail, keeping a prefix of the
+/// checkpoint's entries and orphaning the segment files the lost
+/// entries were committing.
+#[test]
+fn torn_manifest_checkpoint_keeps_entry_prefix() {
+    let dir = temp_dir("torn");
+    let store = DiskStore::create(&dir).unwrap();
+    let mut writer = IngestWriter::new(store, CheckpointPolicy::manual());
+
+    writer.push(&[e(0, 1, 10)], &[]).unwrap();
+    writer.checkpoint().unwrap();
+    // One checkpoint committing two entries (an E and a V segment).
+    writer.push(&[e(1, 2, 11)], &[v(1, 2, 3)]).unwrap();
+    let entries = writer.checkpoint().unwrap();
+    assert_eq!(entries.len(), 2);
+    drop(writer.finish().unwrap());
+
+    // Tear the manifest mid-way through its final entry frame.
+    let manifest = dir.join(MANIFEST_FILE);
+    let bytes = fs::read(&manifest).unwrap();
+    fs::write(&manifest, &bytes[..bytes.len() - 7]).unwrap();
+
+    let reopened = DiskStore::open(&dir).unwrap();
+    let report = reopened.recovery();
+    assert!(report.manifest_bytes_truncated > 0, "torn tail truncated");
+    assert_eq!(report.orphan_segments_removed, 1, "uncommitted V segment");
+    assert_eq!(reopened.segments().len(), 2, "prefix of the checkpoint");
+    let estore = reopened.load_estore().unwrap();
+    assert_eq!(estore.len(), 2);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Garbage appended to an open segment (a torn frame from the crash
+/// itself) must not poison recovery: the file is uncommitted, so both
+/// modes delete it wholesale.
+#[test]
+fn torn_frame_in_open_segment_is_still_just_an_orphan() {
+    let dir = temp_dir("garbage");
+    let store = DiskStore::create(&dir).unwrap();
+    let mut writer = IngestWriter::new(store, CheckpointPolicy::manual());
+    writer.push(&[e(0, 1, 10)], &[]).unwrap();
+    writer.checkpoint().unwrap();
+    writer.push(&[e(1, 2, 11)], &[]).unwrap();
+    drop(writer);
+
+    // The crash persisted half a frame at the open segment's tail.
+    let orphan = dir.join("seg-000001-e.seg");
+    assert!(orphan.exists());
+    let mut bytes = fs::read(&orphan).unwrap();
+    bytes.extend_from_slice(&[0x2a, 0x00, 0x00, 0x00, 0xde, 0xad]);
+    fs::write(&orphan, &bytes).unwrap();
+
+    let reopened =
+        DiskStore::open_with(&dir, RecoveryMode::Salvage, Telemetry::disabled()).unwrap();
+    assert_eq!(reopened.recovery().orphan_segments_removed, 1);
+    assert!(!orphan.exists());
+    assert_eq!(reopened.load_estore().unwrap().len(), 1);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The auto-checkpoint policy bounds crash loss: stream many tiny
+/// batches through a `records_per_checkpoint = 8` writer, crash at an
+/// arbitrary point, and recovery must retain all but at most the last
+/// (uncheckpointed) 8 records.
+#[test]
+fn auto_checkpoint_bounds_crash_loss() {
+    let dir = temp_dir("bounded");
+    let store = DiskStore::create(&dir).unwrap();
+    let mut writer = IngestWriter::new(
+        store,
+        CheckpointPolicy {
+            records_per_checkpoint: 8,
+        },
+    );
+    for i in 0..45u64 {
+        writer.push(&[e(i as usize % 7, i, 100 + i)], &[]).unwrap();
+    }
+    let staged = writer.staged_records();
+    assert!(staged < 8, "policy keeps the uncommitted tail below 8");
+    drop(writer); // crash
+
+    let estore = DiskStore::open(&dir).unwrap().load_estore().unwrap();
+    assert_eq!(estore.len() as u64, 45 - staged);
+    // The survivors are exactly the stream's oldest records: a prefix.
+    let max_tick = estore.iter().map(|s| s.time().tick()).max().unwrap();
+    assert_eq!(max_tick, 45 - staged - 1);
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,14 +1,70 @@
-//! Incremental matching over a growing corpus.
+//! Incremental matching and partition maintenance over a growing
+//! corpus.
 //!
-//! Surveillance data never stops arriving. Rather than re-matching the
-//! whole cohort whenever new footage lands, [`update_matches`] keeps the
-//! matches that are still confident, and re-runs the pipeline only for
-//! the EIDs that need it — newly requested ones and previously ambiguous
-//! ones — with the kept VIDs excluded from candidacy so incremental runs
-//! cannot steal an established identity.
+//! Surveillance data never stops arriving, and this module holds the
+//! two pieces that keep pace with it without re-running the batch
+//! pipeline from scratch:
 //!
-//! Combine it with [`EScenarioStore::merged`](ev_store::EScenarioStore::merged)
-//! and [`VideoStore::merged`](ev_store::VideoStore::merged) to append an
+//! 1. **Report-level reuse** — [`update_matches`] keeps the matches of
+//!    a previous run that are still confident and re-runs the pipeline
+//!    only for the EIDs that need it (newly requested ones and
+//!    previously ambiguous ones), with the kept VIDs excluded from
+//!    candidacy so incremental runs cannot steal an established
+//!    identity.
+//! 2. **Partition-level delta-updates** — [`IncrementalSplit`] keeps
+//!    the live state of a chronological Algorithm-1 run (the EID
+//!    partition, the recorded splitters, and the pre-padding scenario
+//!    lists) so that freshly ingested scenarios *refine the existing
+//!    blocks* instead of recomputing the whole split. This is the
+//!    engine behind the streaming `evmatch serve` mode.
+//!
+//! # The delta-update rule
+//!
+//! [`SelectionStrategy::Chronological`] examines scenarios in
+//! [`ScenarioId`] order — which is time-major, because `ScenarioId`
+//! orders by `(time, cell)`. A streaming ingest only ever appends
+//! scenarios with ids strictly greater than everything already stored
+//! (that is the contract of `EScenarioStore::ingest`'s splice path), so
+//! the scenarios a from-scratch run would examine form a *prefix-stable
+//! sequence*: appending a batch extends the sequence at the end and
+//! changes nothing before it. Since every per-scenario decision of
+//! Algorithm 1 depends only on the partition state accumulated so far
+//! and the scenario's own target intersection, replaying just the new
+//! suffix ([`IncrementalSplit::absorb`]) reproduces the from-scratch
+//! run exactly:
+//!
+//! ```text
+//! absorb(S₀); absorb(S₁ \ S₀); …; absorb(Sₙ \ Sₙ₋₁)
+//!     ≡ split_ideal(Sₙ)            (chronological strategy)
+//! ```
+//!
+//! The loop's stop conditions are monotone — a fully split partition
+//! stays fully split, and the examined-scenario cap only fills up — so
+//! a run that stopped early stays stopped, again matching the
+//! from-scratch behaviour. The equivalence is proptested in
+//! `tests/incremental_split_equivalence.rs` against arbitrary
+//! prefix/suffix splits of a generated pool.
+//!
+//! The **padding passes** (anchors, list extension, uniqueness against
+//! the universe) are *not* prefix-stable: they consult the whole store
+//! at output time. [`IncrementalSplit`] therefore keeps its scenario
+//! lists pre-padding and re-runs those passes against the current store
+//! in [`IncrementalSplit::output`] — they are cheap relative to the
+//! split itself, and running them late is exactly what the batch
+//! pipeline does too.
+//!
+//! Other selection strategies are **not** delta-safe:
+//! [`SelectionStrategy::RandomTime`] reshuffles the timestamp draw when
+//! the store grows, and [`SelectionStrategy::GreedyBalanced`] may
+//! prefer a new scenario over previously chosen ones. Both would need
+//! full recomputation, which is why [`IncrementalSplit::new`] insists
+//! on the chronological strategy.
+//!
+//! # Report-level reuse
+//!
+//! Combine [`update_matches`] with
+//! [`EScenarioStore::merged`](ev_store::EScenarioStore::merged) and
+//! [`VideoStore::merged`](ev_store::VideoStore::merged) to append an
 //! ingest batch:
 //!
 //! ```text
@@ -18,11 +74,235 @@
 //! ```
 
 use crate::refine::{match_with_refinement_excluding, RefineConfig};
-use crate::types::{MatchOutcome, MatchReport};
+use crate::setsplit::{self, SelectionStrategy, SetSplitConfig, SplitOutput};
+use crate::types::{MatchOutcome, MatchReport, ScenarioList};
 use ev_core::ids::{Eid, Vid};
+use ev_core::partition::EidPartition;
+use ev_core::scenario::ScenarioId;
 use ev_store::{EScenarioStore, StoreBackend, VideoStore};
+use ev_telemetry::{names, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// What one [`IncrementalSplit::absorb`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// Scenarios examined by this delta (effective or not).
+    pub scenarios_absorbed: usize,
+    /// Splitters recorded by this delta.
+    pub splitters_recorded: usize,
+    /// Net partition blocks created by this delta's refinements.
+    pub blocks_split: usize,
+}
+
+/// Live state of a chronological Algorithm-1 run that new scenarios
+/// refine instead of restarting — see the [module docs](self) for the
+/// delta-update rule and its equivalence argument.
+///
+/// ```
+/// use ev_matching::incremental::IncrementalSplit;
+/// use ev_matching::setsplit::{split_ideal, SelectionStrategy, SetSplitConfig};
+/// # use ev_core::{Eid, ZoneAttr};
+/// # use ev_core::region::CellId;
+/// # use ev_core::scenario::EScenario;
+/// # use ev_core::time::Timestamp;
+/// # use ev_store::EScenarioStore;
+/// # use std::collections::BTreeSet;
+/// # fn scenario(t: u64, c: usize, people: &[u64]) -> EScenario {
+/// #     let mut s = EScenario::new(CellId::new(c), Timestamp::new(t));
+/// #     for &p in people { s.insert(Eid::from_u64(p), ZoneAttr::Inclusive); }
+/// #     s
+/// # }
+/// let config = SetSplitConfig {
+///     strategy: SelectionStrategy::Chronological,
+///     ..SetSplitConfig::default()
+/// };
+/// let targets: BTreeSet<_> = [0u64, 1, 2].map(Eid::from_u64).into();
+///
+/// // Day 1 comes up short: EIDs 1 and 2 are never separated.
+/// let mut store = EScenarioStore::from_scenarios(vec![scenario(0, 0, &[0, 1, 2])]);
+/// let mut live = IncrementalSplit::new(&targets, &config);
+/// live.absorb(&store);
+/// assert!(!live.is_fully_split());
+///
+/// // Day 2 streams in; only the new scenarios are examined.
+/// let delta = store.ingest(vec![scenario(5, 1, &[1]), scenario(6, 0, &[2])]);
+/// assert!(!delta.rebuilt, "appends splice, preserving the contract");
+/// let stats = live.absorb(&store);
+/// assert_eq!(stats.scenarios_absorbed, 2);
+/// assert!(live.is_fully_split());
+///
+/// // The refined state equals a from-scratch rebuild, list padding and all.
+/// assert_eq!(live.output(&store), split_ideal(&store, &targets, &config));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalSplit {
+    targets: BTreeSet<Eid>,
+    config: SetSplitConfig,
+    partition: EidPartition,
+    recorded: Vec<ScenarioId>,
+    /// Pre-padding lists: recorded splitters containing each EID. The
+    /// padding passes run against the *current* store in [`Self::output`].
+    core_lists: BTreeMap<Eid, ScenarioList>,
+    examined: usize,
+    frontier: Option<ScenarioId>,
+}
+
+impl IncrementalSplit {
+    /// Starts an empty incremental split over `targets`; feed it stores
+    /// with [`absorb`](Self::absorb).
+    ///
+    /// # Panics
+    ///
+    /// If `config.strategy` is not
+    /// [`SelectionStrategy::Chronological`] — the only strategy whose
+    /// selection sequence is prefix-stable under appends (see the
+    /// [module docs](self)).
+    #[must_use]
+    pub fn new(targets: &BTreeSet<Eid>, config: &SetSplitConfig) -> Self {
+        assert!(
+            matches!(config.strategy, SelectionStrategy::Chronological),
+            "incremental delta-updates require SelectionStrategy::Chronological"
+        );
+        IncrementalSplit {
+            targets: targets.clone(),
+            config: *config,
+            partition: EidPartition::new(targets.iter().copied()),
+            recorded: Vec::new(),
+            core_lists: targets.iter().map(|&e| (e, Vec::new())).collect(),
+            examined: 0,
+            frontier: None,
+        }
+    }
+
+    /// Whether every target is alone in its block.
+    #[must_use]
+    pub fn is_fully_split(&self) -> bool {
+        self.partition.is_fully_split()
+    }
+
+    /// The current partition.
+    #[must_use]
+    pub fn partition(&self) -> &EidPartition {
+        &self.partition
+    }
+
+    /// Effective splitters recorded so far, in application order.
+    #[must_use]
+    pub fn recorded(&self) -> &[ScenarioId] {
+        &self.recorded
+    }
+
+    /// Scenarios examined so far (effective or not).
+    #[must_use]
+    pub fn scenarios_examined(&self) -> usize {
+        self.examined
+    }
+
+    /// The largest scenario id examined so far; the next
+    /// [`absorb`](Self::absorb) resumes strictly after it.
+    #[must_use]
+    pub fn frontier(&self) -> Option<ScenarioId> {
+        self.frontier
+    }
+
+    /// Replays Algorithm 1 over the scenarios of `store` beyond the
+    /// current frontier, refining existing partition blocks in place.
+    ///
+    /// The first call (frontier `None`) walks the whole store — that
+    /// *is* the from-scratch run. Later calls walk only the appended
+    /// suffix. The caller must uphold the splice contract: `store` has
+    /// only gained scenarios with ids strictly greater than the
+    /// frontier since the last call (`EScenarioStore::ingest` reports
+    /// `rebuilt == true` when a batch violated it; rebuild this state
+    /// with [`new`](Self::new) + `absorb` in that case).
+    pub fn absorb(&mut self, store: &EScenarioStore) -> DeltaStats {
+        self.absorb_instrumented(store, Telemetry::disabled())
+    }
+
+    /// [`absorb`](Self::absorb) with telemetry: adds the delta's
+    /// examined/recorded/split counts to the `evm_incr_*` counters and
+    /// updates the partition-blocks gauge.
+    pub fn absorb_instrumented(&mut self, store: &EScenarioStore, tel: &Telemetry) -> DeltaStats {
+        let cap = self.config.max_scenarios.unwrap_or(usize::MAX);
+        let blocks_before = self.partition.block_count();
+        let recorded_before = self.recorded.len();
+        let mut absorbed = 0usize;
+
+        // `store.iter()` / `iter_after` yield id order = the
+        // chronological examination order of `split_ideal`.
+        let suffix: Box<dyn Iterator<Item = &ev_core::scenario::EScenario>> = match self.frontier {
+            Some(f) => Box::new(store.iter_after(f)),
+            None => Box::new(store.iter()),
+        };
+        for scenario in suffix {
+            if self.partition.is_fully_split() || self.examined >= cap {
+                break;
+            }
+            self.examined += 1;
+            absorbed += 1;
+            self.frontier = Some(scenario.id());
+            let c: BTreeSet<Eid> = self
+                .targets
+                .iter()
+                .copied()
+                .filter(|&e| scenario.contains(e))
+                .collect();
+            if c.is_empty() {
+                store.index().note_scan_avoided();
+            } else {
+                setsplit::apply_candidate(
+                    scenario.id(),
+                    &c,
+                    &mut self.partition,
+                    &mut self.recorded,
+                    &mut self.core_lists,
+                );
+            }
+        }
+
+        let stats = DeltaStats {
+            scenarios_absorbed: absorbed,
+            splitters_recorded: self.recorded.len() - recorded_before,
+            blocks_split: self.partition.block_count() - blocks_before,
+        };
+        if tel.counters_on() {
+            let registry = tel.registry();
+            registry
+                .counter(names::INCR_SCENARIOS_ABSORBED)
+                .add(stats.scenarios_absorbed as u64);
+            registry
+                .counter(names::INCR_SPLITTERS_RECORDED)
+                .add(stats.splitters_recorded as u64);
+            registry
+                .counter(names::INCR_BLOCKS_SPLIT)
+                .add(stats.blocks_split as u64);
+            registry
+                .gauge(names::INCR_PARTITION_BLOCKS)
+                .set(self.partition.block_count() as f64);
+        }
+        stats
+    }
+
+    /// Materializes the full [`SplitOutput`] by cloning the core state
+    /// and running the padding passes (anchors, minimum list length,
+    /// uniqueness against the EID universe) over the *current* store —
+    /// producing exactly what `split_ideal` over that store would.
+    #[must_use]
+    pub fn output(&self, store: &EScenarioStore) -> SplitOutput {
+        let mut lists = self.core_lists.clone();
+        setsplit::attach_anchors(store, &mut lists, false);
+        // Chronological runs pad with seed 0, matching `split_ideal`.
+        setsplit::extend_lists(store, &mut lists, self.config.min_list_len, 0, false, false);
+        setsplit::ensure_unique_against_universe(store, &mut lists, 0, false, false);
+        SplitOutput {
+            recorded: self.recorded.clone(),
+            lists,
+            partition: self.partition.clone(),
+            scenarios_examined: self.examined,
+        }
+    }
+}
 
 /// The result of an incremental update.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -118,8 +118,10 @@ impl SplitOutput {
 }
 
 /// Applies one candidate intersection as a splitter, recording it and
-/// extending the member lists when it was effective.
-fn apply_candidate(
+/// extending the member lists when it was effective. Shared with the
+/// streaming delta-update in [`crate::incremental`], which must refine
+/// blocks with byte-identical semantics.
+pub(crate) fn apply_candidate(
     id: ScenarioId,
     c: &BTreeSet<Eid>,
     partition: &mut EidPartition,
@@ -142,7 +144,7 @@ fn apply_candidate(
 /// Materializes each scenario's intersection with the targets by merging
 /// the targets' posting lists — one pass over `O(Σ_target |postings|)`
 /// records, touching only scenarios that contain at least one target.
-fn candidate_intersections(
+pub(crate) fn candidate_intersections(
     store: &EScenarioStore,
     targets: &BTreeSet<Eid>,
 ) -> BTreeMap<ScenarioId, BTreeSet<Eid>> {

@@ -136,6 +136,19 @@ impl EScenarioStore {
         self.scenarios.iter()
     }
 
+    /// Iterates, in id order, over the scenarios whose id is strictly
+    /// greater than `after` — the suffix a streaming
+    /// [`ingest`](Self::ingest) splices in. `O(log n)` to locate the
+    /// start, then one step per yielded scenario; the incremental
+    /// set-splitting delta-update walks only this suffix instead of
+    /// re-scanning the store.
+    pub fn iter_after(&self, after: ScenarioId) -> impl Iterator<Item = &EScenario> {
+        use std::ops::Bound;
+        self.by_id
+            .range((Bound::Excluded(after), Bound::Unbounded))
+            .map(|(_, &i)| &self.scenarios[i])
+    }
+
     /// All distinct timestamps with at least one scenario, ascending.
     pub fn times(&self) -> impl Iterator<Item = Timestamp> + '_ {
         self.by_time.keys().copied()

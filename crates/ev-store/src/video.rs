@@ -163,6 +163,24 @@ impl VideoStore {
         }
     }
 
+    /// Splices an ingest batch into the store in place — the streaming
+    /// counterpart of [`merged`](Self::merged). On a scenario-id
+    /// collision the newer footage wins, and any cached extraction of
+    /// the stale footage is forgotten so the next
+    /// [`extract`](Self::extract) re-processes (and re-charges) the
+    /// replacement. Returns the number of entries inserted or replaced.
+    pub fn ingest(&mut self, batch: Vec<VScenario>) -> usize {
+        let n = batch.len();
+        let state = self.state.get_mut();
+        for s in batch {
+            let id = s.id();
+            if self.footage.insert(id, Arc::new(s)).is_some() {
+                state.processed.remove(&id);
+            }
+        }
+        n
+    }
+
     /// Forgets all cached extractions and zeroes the ledger (for running
     /// several experiments against the same corpus).
     pub fn reset_usage(&self) {

@@ -160,6 +160,34 @@ pub const DISK_OPEN_SECONDS: &str = "evm_disk_open_seconds";
 /// Live manifest entries after the last open or append.
 pub const DISK_MANIFEST_ENTRIES: &str = "evm_disk_manifest_entries";
 
+/// Ingest batches accepted by the streaming serve loop.
+pub const SERVE_INGEST_BATCHES: &str = "evm_serve_ingest_batches_total";
+/// E/V events (scenario records) accepted by the streaming serve loop.
+pub const SERVE_INGEST_EVENTS: &str = "evm_serve_ingest_events_total";
+/// Apply rounds: staged events spliced into the queryable snapshot.
+pub const SERVE_APPLIES: &str = "evm_serve_applies_total";
+/// Manifest checkpoints committed by the streaming append path.
+pub const SERVE_CHECKPOINTS: &str = "evm_serve_checkpoints_total";
+/// Match queries answered against a live-corpus snapshot.
+pub const SERVE_QUERIES: &str = "evm_serve_queries_total";
+/// Events durably staged but not yet visible to queries — the staleness
+/// of the snapshot the next query will see.
+pub const SERVE_STALENESS_EVENTS: &str = "evm_serve_staleness_events";
+/// Snapshot epoch (generation counter) queries are answered against;
+/// bumped by every apply round.
+pub const SERVE_EPOCH: &str = "evm_serve_epoch";
+/// Histogram of end-to-end serve query latency, nanoseconds.
+pub const SERVE_QUERY_LATENCY_NS: &str = "evm_serve_query_latency_ns";
+
+/// Scenarios walked by the incremental Algorithm-1 delta-update.
+pub const INCR_SCENARIOS_ABSORBED: &str = "evm_incr_scenarios_absorbed_total";
+/// Effective splitters recorded by delta-updates (vs. full re-splits).
+pub const INCR_SPLITTERS_RECORDED: &str = "evm_incr_splitters_recorded_total";
+/// Partition blocks created by delta-update refinements.
+pub const INCR_BLOCKS_SPLIT: &str = "evm_incr_blocks_split_total";
+/// Partition blocks after the latest delta-update.
+pub const INCR_PARTITION_BLOCKS: &str = "evm_incr_partition_blocks";
+
 /// Every canonical counter name.
 pub const ALL_COUNTERS: &[&str] = &[
     SETSPLIT_SCENARIOS_EXAMINED,
@@ -202,6 +230,14 @@ pub const ALL_COUNTERS: &[&str] = &[
     DISK_RECORDS_READ,
     DISK_BYTES_READ,
     DISK_RECOVERY_TRUNCATIONS,
+    SERVE_INGEST_BATCHES,
+    SERVE_INGEST_EVENTS,
+    SERVE_APPLIES,
+    SERVE_CHECKPOINTS,
+    SERVE_QUERIES,
+    INCR_SCENARIOS_ABSORBED,
+    INCR_SPLITTERS_RECORDED,
+    INCR_BLOCKS_SPLIT,
 ];
 
 /// Every canonical gauge name.
@@ -229,6 +265,9 @@ pub const ALL_GAUGES: &[&str] = &[
     SELECTED_SCENARIOS,
     DISK_OPEN_SECONDS,
     DISK_MANIFEST_ENTRIES,
+    SERVE_STALENESS_EVENTS,
+    SERVE_EPOCH,
+    INCR_PARTITION_BLOCKS,
 ];
 
 /// Every canonical histogram name.
@@ -237,6 +276,7 @@ pub const ALL_HISTOGRAMS: &[&str] = &[
     VFILTER_SCORING_NS,
     ANYTIME_CONVERGENCE_ROUNDS,
     EXEC_WORKER_TASKS,
+    SERVE_QUERY_LATENCY_NS,
 ];
 
 /// Registers every canonical metric at its zero value, so an exported

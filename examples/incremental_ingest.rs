@@ -1,140 +1,136 @@
-//! Incremental ingestion over a persistent corpus: surveillance data
-//! arrives day by day; persist each batch, survive a crash, and only
-//! re-work what changed.
+//! Incremental ingestion through the **live serve loop**: surveillance
+//! data streams in tick by tick, queries run concurrently against a
+//! consistent snapshot with explicit staleness, the process crashes
+//! mid-stream, and a restarted service resumes from the applied state
+//! with only the uncheckpointed tail to regret.
 //!
-//! Day 1 generates a world, persists it into an `ev-disk` segment
-//! directory and matches a cohort. Day 2 appends a second batch of
-//! scenarios (same people, later time range) and requests a few
-//! additional EIDs. Then a crash mid-append is simulated by tearing the
-//! manifest tail; reopening heals it, and `update_matches_on` re-runs
-//! the pipeline against the recovered corpus only for the new and
-//! previously ambiguous identities.
+//! Act 1 opens a [`LiveCorpus`] with a watched cohort and streams the
+//! first half of the day in, querying mid-stream (stale) and after an
+//! apply (fresh). Act 2 stages more events and then *drops* the corpus
+//! without shutting down — exactly what a crash leaves behind: open
+//! uncommitted segments. Act 3 reopens the directory, shows the
+//! recovery report, replays the lost tail from the applied frontier and
+//! finishes the day; the watched cohort's set-splitting partition was
+//! maintained incrementally (Algorithm-1 delta updates) the whole way.
 //!
 //! ```text
 //! cargo run --release --example incremental_ingest
 //! ```
 
-use evmatch::disk::{DiskBackend, DiskStore};
-use evmatch::matching::incremental::update_matches_on;
-use evmatch::matching::refine::{match_with_refinement_on, RefineConfig};
+use evmatch::core::scenario::{EScenario, VScenario};
 use evmatch::prelude::*;
-use std::fs::OpenOptions;
-use std::io::Write;
+use evmatch::serve::{LiveCorpus, ServeConfig};
+
+/// The events of `d` whose tick falls in `[from, to)`.
+fn slice(d: &EvDataset, from: u64, to: u64) -> (Vec<EScenario>, Vec<VScenario>) {
+    let es = d
+        .estore
+        .iter()
+        .filter(|s| (from..to).contains(&s.time().tick()))
+        .cloned()
+        .collect();
+    let vs = d
+        .video
+        .scenarios()
+        .filter(|s| (from..to).contains(&s.time().tick()))
+        .cloned()
+        .collect();
+    (es, vs)
+}
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("evmatch-ingest-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    // Day 1: generate, persist, match from the persisted corpus.
-    let day1 = EvDataset::generate(&DatasetConfig {
+    // The world whose sensors we are streaming from.
+    let world = EvDataset::generate(&DatasetConfig {
         population: 200,
         duration: 300,
         seed: 42,
         ..DatasetConfig::default()
     })
     .expect("valid config");
-    let mut store = DiskStore::create(&dir).expect("fresh corpus directory");
-    let e1: Vec<_> = day1.estore.iter().cloned().collect();
-    let v1: Vec<_> = day1.video.scenarios().cloned().collect();
-    store.append(&e1, &v1).expect("durable day-1 append");
+    let cohort = sample_targets(&world, 40, 1);
+    let config = || ServeConfig {
+        cost: world.video.cost_model(),
+        watch: cohort.clone(),
+        // Manual applies (so the staleness is visible below) and
+        // checkpoints only on apply, so the crash has a tail to lose.
+        apply_every: 0,
+        checkpoint_every: 0,
+        ..ServeConfig::default()
+    };
+
+    // Act 1: stream the morning in, querying as it arrives.
+    let mut live = LiveCorpus::open(&dir, config(), Telemetry::disabled()).expect("fresh corpus");
+    let (e, v) = slice(&world, 0, 100);
     println!(
-        "day 1: persisted {} E-records / {} V-records into {}",
-        e1.len(),
-        v1.len(),
-        dir.display(),
+        "act 1: streaming ticks [0, 100) — {} events",
+        e.len() + v.len()
+    );
+    live.ingest(e, v).expect("morning ingest");
+
+    let stale = live.query(&cohort).expect("mid-stream query");
+    println!(
+        "  mid-stream query: epoch {} with {} events staged (invisible to this answer)",
+        stale.epoch, stale.staleness_events,
+    );
+    live.apply().expect("publish the morning");
+    let fresh = live.query(&cohort).expect("fresh query");
+    let score = score_report(&world, &fresh.report);
+    println!(
+        "  applied: epoch {}, staleness {}, accuracy on the morning {:.1}%",
+        fresh.epoch,
+        fresh.staleness_events,
+        score.percent(),
     );
 
-    let cohort = sample_targets(&day1, 40, 1);
-    let config = RefineConfig::default();
-    let backend = DiskBackend::open(&dir, day1.video.cost_model()).expect("open day-1 corpus");
-    let report1 = match_with_refinement_on(&backend, &cohort, &config);
-    let stats1 = score_report(&day1, &report1);
+    // Act 2: the afternoon starts arriving... and the process dies.
+    // Staged-but-unapplied events were never checkpointed: their open
+    // segments are uncommitted, so the crash will cost exactly them.
+    let (e, v) = slice(&world, 100, 200);
+    let at_risk = e.len() + v.len();
+    live.ingest(e, v).expect("afternoon ingest");
+    println!("\nact 2: crash with {at_risk} staged events never applied — dropping the corpus");
+    drop(live); // no finish(): open segments are abandoned on disk
+
+    // Act 3: restart. Recovery removes the orphaned open segments; the
+    // applied morning survives to the byte.
+    let mut live =
+        LiveCorpus::open(&dir, config(), Telemetry::disabled()).expect("recovering open");
+    let rec = *live.disk().recovery();
     println!(
-        "day 1: matched {} EIDs from disk, accuracy {:.1}%, {} scenarios extracted",
-        report1.outcomes.len(),
-        stats1.percent(),
-        report1.selected_count(),
+        "act 3: recovered — {} entries kept, {} orphan segment(s) removed, {} records dropped",
+        rec.manifest_entries_kept, rec.orphan_segments_removed, rec.records_dropped,
+    );
+    let resume = live
+        .estore()
+        .iter()
+        .last()
+        .map_or(0, |s| s.time().tick() + 1);
+    println!("  applied frontier at tick {resume}; replaying the lost tail from there");
+
+    // Replay from the frontier and finish the day. The watch index
+    // absorbs each applied batch incrementally instead of re-splitting.
+    let (e, v) = slice(&world, resume, 300);
+    live.ingest(e, v).expect("replay + evening ingest");
+    live.apply().expect("publish the rest");
+
+    let final_answer = live.query(&cohort).expect("end-of-day query");
+    let final_score = score_report(&world, &final_answer.report);
+    let lists = live.watch_lists().expect("watched cohort");
+    println!(
+        "  end of day: epoch {}, accuracy {:.1}%, {} scenarios selected",
+        final_answer.epoch,
+        final_score.percent(),
+        final_answer.report.selected_count(),
+    );
+    println!(
+        "  live watch index: {} recorded splitters, fully split: {}",
+        lists.recorded.len(),
+        lists.fully_split(),
     );
 
-    // Day 2: the same world keeps running (same seed family, a fresh
-    // batch of movement), and three more devices become of interest.
-    // Append the new batch to the same corpus; scenario ids from
-    // different (time, cell) ranges never collide here because the
-    // generator restarts time — in a deployment the ingest pipeline
-    // carries real timestamps, and colliding snapshots are superseded
-    // later-wins at load.
-    let day2 = EvDataset::generate(&DatasetConfig {
-        population: 200,
-        duration: 300,
-        seed: 43,
-        ..DatasetConfig::default()
-    })
-    .expect("valid config");
-    let mut store = DiskStore::open(&dir).expect("reopen corpus");
-    let e2: Vec<_> = day2.estore.iter().cloned().collect();
-    let v2: Vec<_> = day2.video.scenarios().cloned().collect();
-    store.append(&e2, &v2).expect("durable day-2 append");
-    drop(store);
-
-    // Crash simulation: a third append dies midway through committing
-    // its manifest entry — its segment file is fully on disk but the
-    // entry naming it is only half written. That is byte-for-byte what
-    // an interrupted `DiskStore::append` leaves behind: an uncommitted
-    // orphan segment plus a torn manifest tail.
-    let mut orphan = OpenOptions::new()
-        .create(true)
-        .truncate(true)
-        .write(true)
-        .open(dir.join("seg-000099-e.seg"))
-        .expect("orphan file");
-    orphan.write_all(b"EVSG").expect("partial segment bytes");
-    drop(orphan);
-    let manifest = dir.join(evmatch::disk::MANIFEST_FILE);
-    let mut f = OpenOptions::new()
-        .append(true)
-        .open(&manifest)
-        .expect("open manifest");
-    f.write_all(&[65, 0, 0, 0, 0xde, 0xad, 0xbe])
-        .expect("half an entry frame");
-    drop(f);
-    println!("\ncrash simulated: manifest tail torn, orphan segment left behind");
-
-    // Recovery is the open path: the torn tail is truncated, the orphan
-    // removed, and every *committed* record survives.
-    let backend = DiskBackend::open(&dir, day1.video.cost_model()).expect("recovering open");
-    let rec = backend.recovery();
-    println!(
-        "recovered: {} entries kept, {} manifest bytes truncated, {} orphan(s) removed",
-        rec.manifest_entries_kept, rec.manifest_bytes_truncated, rec.orphan_segments_removed,
-    );
-
-    let mut extra = sample_targets(&day1, 43, 1);
-    for eid in &cohort {
-        extra.remove(eid);
-    }
-    println!("\nday 2: {} new EIDs requested", extra.len());
-
-    let update = update_matches_on(&report1, &extra, &backend, &config);
-    println!(
-        "kept {} confident matches untouched; re-ran {} EIDs",
-        update.kept.len(),
-        update.rematched.len(),
-    );
-    let stats2 = score_report(&day1, &update.report);
-    println!(
-        "combined report: {} EIDs, accuracy {:.1}%, {} total scenarios",
-        update.report.outcomes.len(),
-        stats2.percent(),
-        update.report.selected_count(),
-    );
-    for eid in &update.rematched {
-        let o = update.report.outcome_of(*eid).expect("present");
-        println!(
-            "  new: {} -> {}",
-            eid,
-            o.vid.map_or_else(|| "?".into(), |v| v.to_string())
-        );
-    }
-
+    live.finish().expect("clean shutdown");
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }

@@ -4,6 +4,10 @@
 //! evmatch generate  [--population N] [--duration T] [--seed S]
 //! evmatch ingest    --data-dir DIR [--population N] [--duration T]
 //!                   [--seed S] [--json]
+//! evmatch serve     --data-dir DIR [--apply-every N]
+//!                   [--checkpoint-every N] [--targets K]
+//!                   [--serve-metrics ADDR] [--recovery strict|salvage]
+//!                   [dataset + matcher flags as for match]
 //! evmatch match     [--population N] [--duration T] [--seed S]
 //!                   [--targets K] [--mode ideal|practical]
 //!                   [--workers W | --threads N]
@@ -31,6 +35,11 @@
 //! dataset). A corpus interrupted mid-append is healed on open; pass
 //! `--recovery salvage` to additionally keep the valid prefix of a
 //! damaged (not merely torn) corpus.
+//!
+//! `serve` turns the same corpus into a long-running **streaming
+//! service**: events arrive incrementally, queries run against a
+//! consistent applied snapshot, and every answer reports its staleness
+//! (see [`evmatch::serve`] and the stdin protocol on `cmd_serve`).
 //!
 //! `--workers W` runs the MapReduce pipeline (Algorithm 3);
 //! `--threads N` runs the cell-sharded pipeline on `N` real threads of
@@ -297,21 +306,24 @@ fn cmd_generate(args: &CommonArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
-    let dataset = build_dataset(args)?;
-    let targets = sample_targets(&dataset, args.targets, args.seed);
-    let execution = match (args.workers, args.threads) {
-        (Some(_), Some(_)) => {
-            return Err("--workers and --threads are mutually exclusive".into());
-        }
-        (None, Some(n)) => ExecutionMode::Sharded(n.max(1)),
-        (Some(w), None) => ExecutionMode::Parallel(ClusterConfig {
+/// The execution mode the `--workers` / `--threads` flags select.
+fn execution_mode(args: &CommonArgs) -> Result<ExecutionMode, String> {
+    match (args.workers, args.threads) {
+        (Some(_), Some(_)) => Err("--workers and --threads are mutually exclusive".into()),
+        (None, Some(n)) => Ok(ExecutionMode::Sharded(n.max(1))),
+        (Some(w), None) => Ok(ExecutionMode::Parallel(ClusterConfig {
             workers: w.max(1),
             reduce_partitions: w.max(1),
             ..ClusterConfig::default()
-        }),
-        (None, None) => ExecutionMode::Sequential,
-    };
+        })),
+        (None, None) => Ok(ExecutionMode::Sequential),
+    }
+}
+
+fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
+    let dataset = build_dataset(args)?;
+    let targets = sample_targets(&dataset, args.targets, args.seed);
+    let execution = execution_mode(args)?;
     let mut config = MatcherConfig {
         mode: args.mode,
         execution,
@@ -423,6 +435,181 @@ fn cmd_ingest(args: &CommonArgs) -> Result<(), String> {
             store.segments().len(),
         );
     }
+    Ok(())
+}
+
+/// `evmatch serve`: the long-running streaming ingest service of
+/// `DESIGN.md` §10. Opens (or creates) a live corpus at `--data-dir`
+/// and drives it with a stdin line protocol:
+///
+/// ```text
+/// ingest N    stream the next N ticks of the generated world in
+/// apply       publish staged events (checkpoint, splice, epoch bump)
+/// query [K]   match the first K watch targets on the applied snapshot
+/// stats       print epoch / staleness / store sizes
+/// quit        final apply + checkpoint, then clean shutdown
+/// ```
+///
+/// The event source is the deterministic dataset the flags describe,
+/// replayed in time order from a cursor that resumes past whatever the
+/// corpus already holds — so repeated serve sessions model a service
+/// that is stopped and restarted mid-stream. The sampled targets double
+/// as the live watch set, so the Algorithm-1 delta-update index is
+/// maintained across applies. `--apply-every N` bounds staleness by
+/// auto-applying after N staged events; `--checkpoint-every N` bounds
+/// crash loss (see `ServeConfig`).
+fn cmd_serve(args: &CommonArgs) -> Result<(), String> {
+    use evmatch::core::scenario::{EScenario, VScenario};
+    use evmatch::serve::{LiveCorpus, ServeConfig};
+    use std::collections::BTreeSet;
+    use std::io::BufRead;
+
+    let dir = args.data_dir.as_ref().ok_or("serve needs --data-dir DIR")?;
+    let apply_every: usize = args
+        .rest
+        .get("apply-every")
+        .map_or(Ok(0), |v| v.parse().map_err(|e| format!("{e}")))?;
+    let checkpoint_every: u64 = args
+        .rest
+        .get("checkpoint-every")
+        .map_or(Ok(1024), |v| v.parse().map_err(|e| format!("{e}")))?;
+
+    let dataset = build_dataset(args)?;
+    let targets = sample_targets(&dataset, args.targets, args.seed);
+
+    let telemetry = Telemetry::new(args.telemetry_level());
+    if telemetry.counters_on() {
+        names::preregister(telemetry.registry());
+    }
+    args.arm_flight_recorder(&telemetry);
+    let server = args.start_metrics_server(&telemetry)?;
+
+    let mut config = ServeConfig {
+        cost: dataset.video.cost_model(),
+        apply_every,
+        checkpoint_every,
+        recovery: args.recovery,
+        watch: targets.clone(),
+        ..ServeConfig::default()
+    };
+    config.matcher.mode = args.mode;
+    config.matcher.execution = execution_mode(args)?;
+    config.matcher.vfilter.anytime = args.anytime();
+    config.matcher.vfilter.kernel = args.kernel;
+
+    let mut live = LiveCorpus::open(dir, config, &telemetry).map_err(|e| {
+        telemetry.dump_flight("disk_corruption");
+        format!("opening live corpus {dir}: {e}")
+    })?;
+    if live.disk().recovery().repaired_anything() {
+        eprintln!("recovered corpus {dir}: {:?}", live.disk().recovery());
+    }
+
+    // The event source: the generated world's scenarios grouped by
+    // tick, replayed from a cursor that starts past the applied data.
+    let mut e_by_tick: BTreeMap<u64, Vec<EScenario>> = BTreeMap::new();
+    for s in dataset.estore.iter() {
+        e_by_tick
+            .entry(s.time().tick())
+            .or_default()
+            .push(s.clone());
+    }
+    let mut v_by_tick: BTreeMap<u64, Vec<VScenario>> = BTreeMap::new();
+    for s in dataset.video.scenarios() {
+        v_by_tick
+            .entry(s.time().tick())
+            .or_default()
+            .push(s.clone());
+    }
+    let mut cursor: u64 = live
+        .estore()
+        .iter()
+        .last()
+        .map_or(0, |s| s.time().tick() + 1);
+
+    println!(
+        "serve: corpus {dir} at epoch {} ({} E-scenarios applied, cursor at tick {cursor})",
+        live.epoch(),
+        live.estore().len(),
+    );
+    println!("serve: commands: ingest N | apply | query [K] | stats | quit");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else { continue };
+        match cmd {
+            "ingest" => {
+                let n: u64 = parts
+                    .next()
+                    .map_or(Ok(1), |v| v.parse().map_err(|e| format!("{e}")))?;
+                let mut accepted = 0u64;
+                let mut applied = false;
+                for _ in 0..n {
+                    let e = e_by_tick.get(&cursor).cloned().unwrap_or_default();
+                    let v = v_by_tick.get(&cursor).cloned().unwrap_or_default();
+                    cursor += 1;
+                    let receipt = live.ingest(e, v).map_err(|e| e.to_string())?;
+                    accepted += receipt.accepted;
+                    applied |= receipt.applied;
+                }
+                println!(
+                    "ingested {accepted} events from {n} tick(s); cursor at tick {cursor}, \
+                     staged {}, auto-applied: {applied}",
+                    live.staged_events(),
+                );
+            }
+            "apply" => {
+                live.apply().map_err(|e| e.to_string())?;
+                println!(
+                    "applied: epoch {} ({} E-scenarios, {} V-footages visible)",
+                    live.epoch(),
+                    live.estore().len(),
+                    live.video().len(),
+                );
+            }
+            "query" => {
+                let k: usize = parts
+                    .next()
+                    .map_or(Ok(args.targets), |v| v.parse().map_err(|e| format!("{e}")))?;
+                let q: BTreeSet<Eid> = targets.iter().take(k.max(1)).copied().collect();
+                let answer = live.query(&q).map_err(|e| e.to_string())?;
+                let stats = score_report(&dataset, &answer.report);
+                println!(
+                    "query: {} EIDs at epoch {} (staleness {} events): {} scenarios selected, \
+                     accuracy {:.1}%",
+                    q.len(),
+                    answer.epoch,
+                    answer.staleness_events,
+                    answer.report.selected_count(),
+                    stats.percent(),
+                );
+            }
+            "stats" => {
+                println!(
+                    "epoch {} | staged {} | applied E {} V {} | disk segments {}",
+                    live.epoch(),
+                    live.staged_events(),
+                    live.estore().len(),
+                    live.video().len(),
+                    live.disk().segments().len(),
+                );
+            }
+            "quit" => break,
+            other => {
+                println!("unknown command {other} (ingest N | apply | query [K] | stats | quit)");
+            }
+        }
+    }
+
+    let store = live.finish().map_err(|e| e.to_string())?;
+    println!(
+        "serve: shut down cleanly ({} committed segments)",
+        store.segments().len()
+    );
+    write_telemetry(args, &telemetry)?;
+    args.hold_metrics_server(server);
     Ok(())
 }
 
@@ -740,6 +927,66 @@ fn smoke_coverage_gate(args: &CommonArgs) -> Result<(), String> {
             }
             absorb_into(&mut seen, &tel);
         }
+
+        // 8. Streaming serve loop: ingest half the world, apply, stage
+        //    the rest, query stale then fresh — the serve-layer
+        //    counters, staleness/epoch gauges, query-latency histogram
+        //    and the Algorithm-1 delta-update (incr) metrics.
+        {
+            use evmatch::serve::{LiveCorpus, ServeConfig};
+            let tel = Telemetry::new(TelemetryLevel::Counters);
+            let dir = scratch.join("live");
+            let mut live = LiveCorpus::open(
+                &dir,
+                ServeConfig {
+                    watch: targets.clone(),
+                    ..ServeConfig::default()
+                },
+                &tel,
+            )
+            .map_err(|e| format!("opening live corpus: {e}"))?;
+            let mid = config.duration / 2;
+            let slice = |from: u64, to: u64| {
+                let es: Vec<_> = dataset
+                    .estore
+                    .iter()
+                    .filter(|s| (from..to).contains(&s.time().tick()))
+                    .cloned()
+                    .collect();
+                let vs: Vec<_> = dataset
+                    .video
+                    .scenarios()
+                    .filter(|s| (from..to).contains(&s.time().tick()))
+                    .cloned()
+                    .collect();
+                (es, vs)
+            };
+            let (es, vs) = slice(0, mid);
+            live.ingest(es, vs)
+                .map_err(|e| format!("serve ingest: {e}"))?;
+            live.apply().map_err(|e| format!("serve apply: {e}"))?;
+            let (es, vs) = slice(mid, config.duration);
+            live.ingest(es, vs)
+                .map_err(|e| format!("serve ingest: {e}"))?;
+            let stale = live
+                .query(&targets)
+                .map_err(|e| format!("serve query: {e}"))?;
+            if stale.staleness_events == 0 {
+                return Err("staged serve query reported zero staleness".into());
+            }
+            live.apply().map_err(|e| format!("serve apply: {e}"))?;
+            let fresh = live
+                .query(&targets)
+                .map_err(|e| format!("serve query: {e}"))?;
+            if fresh.staleness_events != 0 || fresh.epoch != 2 {
+                return Err(format!(
+                    "applied serve query at wrong snapshot: epoch {} staleness {}",
+                    fresh.epoch, fresh.staleness_events
+                ));
+            }
+            live.finish().map_err(|e| format!("serve finish: {e}"))?;
+            absorb_into(&mut seen, &tel);
+        }
         Ok(())
     })();
     let _ = std::fs::remove_dir_all(&scratch);
@@ -999,7 +1246,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         eprintln!(
-            "usage: evmatch <generate|ingest|match|query|check-metrics|check-anytime> [flags]"
+            "usage: evmatch <generate|ingest|serve|match|query|check-metrics|check-anytime> [flags]"
         );
         return ExitCode::from(2);
     };
@@ -1013,6 +1260,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => cmd_generate(&args),
         "ingest" => cmd_ingest(&args),
+        "serve" => cmd_serve(&args),
         "match" => cmd_match(&args),
         "query" => cmd_query(&args),
         "check-metrics" => cmd_check_metrics(&args),

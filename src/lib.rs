@@ -25,6 +25,7 @@
 //! | [`matching`] | `ev-matching` | set splitting, VID filtering, EDP, Algorithm 3 |
 //! | [`datagen`] | `ev-datagen` | end-to-end synthetic dataset generation |
 //! | [`fusion`] | `ev-fusion` | fused E+V queries over matched identities |
+//! | [`serve`] | (this crate) | streaming ingest service with live queries |
 //!
 //! # Quick start
 //!
@@ -65,6 +66,8 @@ pub use ev_store as store;
 pub use ev_telemetry as telemetry;
 pub use ev_vision as vision;
 
+pub mod serve;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use ev_core::{Eid, KernelMode, PersonId, Vid};
@@ -79,4 +82,6 @@ pub mod prelude {
     };
     pub use ev_store::{EScenarioStore, MemoryBackend, StoreBackend, VideoStore};
     pub use ev_telemetry::{Telemetry, TelemetryLevel};
+
+    pub use crate::serve::{LiveCorpus, ServeAnswer, ServeConfig};
 }
