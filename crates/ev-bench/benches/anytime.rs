@@ -91,6 +91,7 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (u64, R) {
 }
 
 fn main() {
+    let host_parallelism = ev_bench::announce_host_parallelism();
     let config = DatasetConfig {
         population: 2000,
         cell_size: 150.0,
@@ -176,7 +177,7 @@ fn main() {
         cell_size: config.cell_size,
         duration: config.duration,
         seed: config.seed,
-        host_parallelism: ev_bench::host_parallelism(),
+        host_parallelism,
         confidence: CONFIDENCE,
         eids: per_eid.len(),
         median_list_len: median(&mut per_eid.iter().map(|p| p.list_len).collect::<Vec<_>>()),

@@ -68,6 +68,7 @@ fn per_iter_ns(results: &[Entry], id: &str) -> f64 {
 }
 
 fn main() {
+    let host_parallelism = ev_bench::announce_host_parallelism();
     let population = 400;
     let duration = 300;
     let data = EvDataset::generate(&DatasetConfig {
@@ -158,7 +159,7 @@ fn main() {
     let record = Record {
         population,
         duration,
-        host_parallelism: ev_bench::host_parallelism(),
+        host_parallelism,
         e_records: e.len(),
         v_records: v.len(),
         segments,

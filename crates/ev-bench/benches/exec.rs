@@ -128,6 +128,7 @@ fn virtual_makespan(workers: usize) -> u64 {
 }
 
 fn main() {
+    let host_parallelism = ev_bench::announce_host_parallelism();
     let population = 200;
     let duration = 250;
     let n_targets = 40;
@@ -207,7 +208,7 @@ fn main() {
         population,
         duration,
         targets: n_targets,
-        host_parallelism: ev_bench::host_parallelism(),
+        host_parallelism,
         byte_identical,
         virtual_speedup_at_4_workers,
         wall_speedup_at_4_threads: per_iter_ns(&wall_results, "exec_sharded_wall/threads/1")

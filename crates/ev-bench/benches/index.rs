@@ -55,6 +55,7 @@ fn per_iter_ns(results: &[Entry], id: &str) -> f64 {
 }
 
 fn main() {
+    let host_parallelism = ev_bench::announce_host_parallelism();
     let population = 400;
     let duration = 300;
     let n_targets = 100;
@@ -111,7 +112,7 @@ fn main() {
         population,
         duration,
         targets: n_targets,
-        host_parallelism: ev_bench::host_parallelism(),
+        host_parallelism,
         greedy_speedup: per_iter_ns(&results, "setsplit_index/greedy/scan")
             / per_iter_ns(&results, "setsplit_index/greedy/indexed"),
         vfilter_speedup: per_iter_ns(&results, "vfilter_index/uncached")

@@ -106,6 +106,7 @@ fn best_of_interleaved(
 }
 
 fn main() {
+    let host_parallelism = ev_bench::announce_host_parallelism();
     let short = std::env::var_os("EVM_BENCH_SHORT").is_some();
     // Short mode trims the candidate batch, not the rep count: the gate
     // compares best-of-reps times, and on a busy 1-core CI host
@@ -231,7 +232,7 @@ fn main() {
         rows: ROWS,
         seed: SEED,
         reps,
-        host_parallelism: ev_bench::host_parallelism(),
+        host_parallelism,
         short_mode: short,
         gate_speedup: GATE_SPEEDUP,
         gate_min_dim: GATE_MIN_DIM,

@@ -104,6 +104,7 @@ fn scrape(addr: &std::net::SocketAddr) -> bool {
 }
 
 fn main() {
+    let host_parallelism = ev_bench::announce_host_parallelism();
     let population = 400;
     let duration = 300;
     let n_targets = 100;
@@ -175,7 +176,7 @@ fn main() {
         duration,
         targets: n_targets,
         workers,
-        host_parallelism: ev_bench::host_parallelism(),
+        host_parallelism,
         flight_overhead_pct: (flight - baseline) / baseline * 100.0,
         flight_serve_overhead_pct: (flight_serve - baseline) / baseline * 100.0,
         scrapes_answered,

@@ -105,6 +105,7 @@ fn scratch(tag: &str) -> PathBuf {
 }
 
 fn main() {
+    let host_parallelism = ev_bench::announce_host_parallelism();
     let population = 400;
     let duration = 300;
     let window = 30u64;
@@ -213,7 +214,7 @@ fn main() {
     let record = Record {
         population,
         duration,
-        host_parallelism: ev_bench::host_parallelism(),
+        host_parallelism,
         e_records: data.estore.len(),
         v_records: data.video.len(),
         windows: windows.len(),

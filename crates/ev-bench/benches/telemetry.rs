@@ -58,6 +58,7 @@ fn per_iter_ns(results: &[Entry], id: &str) -> f64 {
 }
 
 fn main() {
+    let host_parallelism = ev_bench::announce_host_parallelism();
     let population = 400;
     let duration = 300;
     let n_targets = 100;
@@ -96,7 +97,7 @@ fn main() {
         population,
         duration,
         targets: n_targets,
-        host_parallelism: ev_bench::host_parallelism(),
+        host_parallelism,
         counters_overhead_pct: (counters - off) / off * 100.0,
         full_overhead_pct: (full - off) / off * 100.0,
         results,

@@ -31,6 +31,27 @@ pub fn host_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Prints the host-parallelism banner every wall-clock bench opens
+/// with, and returns the core count for the JSON header.
+///
+/// Burying the core count at the bottom of a JSON file let single-core
+/// runs masquerade as "no speedup" regressions; this puts it on the
+/// first line of output and warns out loud when the host offers only
+/// one logical CPU (wall-clock curves are then flat by construction —
+/// read the virtual-time curves instead).
+#[must_use]
+pub fn announce_host_parallelism() -> usize {
+    let cores = host_parallelism();
+    println!("host_parallelism: {cores} logical CPU(s)");
+    if cores == 1 {
+        eprintln!(
+            "warning: single-core host — wall-clock speedups are bounded at ~1.0x; \
+             judge scaling by the virtual (simulated) curves, not the wall clock"
+        );
+    }
+    cores
+}
+
 /// Runs the experiment with the given id at the given scale.
 ///
 /// Returns `None` for an unknown id. `fig5` and `fig7` share their sweep

@@ -90,6 +90,12 @@ pub trait ExecObserver: Sync {
     /// `thief` (the first of which `thief` runs immediately).
     fn steal(&self, _thief: usize, _victim: usize, _moved: usize) {}
 
+    /// A task was submitted to `worker`'s deque. Unlike the other
+    /// callbacks this fires on the *driver* thread (submission is a
+    /// driver-side act); stage schedulers use it to count scheduled
+    /// attempts without threading a counter through every submit site.
+    fn task_submitted(&self, _worker: usize, _task: TaskId) {}
+
     /// A task attempt finished on `ctx.worker` (panicked ones
     /// included).
     fn task_finished(&self, _ctx: WorkerCtx, _dur_ns: u64, _panicked: bool) {}
@@ -370,6 +376,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 pub struct SessionHandle<'a, I, T> {
     shared: &'a Shared<I, T>,
     round_robin: AtomicUsize,
+    observer: &'a dyn ExecObserver,
 }
 
 impl<I, T> std::fmt::Debug for SessionHandle<'_, I, T> {
@@ -394,7 +401,17 @@ impl<I: Send, T: Send> SessionHandle<'_, I, T> {
     pub fn submit_to(&self, worker: usize, id: TaskId, payload: I) {
         let n = self.shared.queues.len();
         self.shared.outstanding.fetch_add(1, Ordering::Release);
+        self.observer.task_submitted(worker % n, id);
         self.shared.push_task(worker % n, id, payload);
+    }
+
+    /// Submits a whole stage of tasks round-robin in one call. Stage
+    /// schedulers (the DAG layer in `ev-mapreduce`) use this to launch
+    /// every ready partition of a stage at once.
+    pub fn submit_batch(&self, tasks: impl IntoIterator<Item = (TaskId, I)>) {
+        for (id, payload) in tasks {
+            self.submit(id, payload);
+        }
     }
 
     /// Blocks for the next completion; `None` once every submitted task
@@ -489,6 +506,7 @@ impl Executor {
             let handle = SessionHandle {
                 shared: &shared,
                 round_robin: AtomicUsize::new(0),
+                observer,
             };
             driver(&handle)
         });
@@ -556,6 +574,33 @@ impl Executor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn submit_batch_counts_through_the_submission_hook() {
+        struct Counting(AtomicU64);
+        impl ExecObserver for Counting {
+            fn task_submitted(&self, _worker: usize, _task: TaskId) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let observer = Counting(AtomicU64::new(0));
+        let exec = Executor::new(3);
+        let (total, stats) = exec.session_observed(
+            |_ctx, x: u64| x + 1,
+            |handle| {
+                handle.submit_batch((0u64..40).map(|i| (i, i)));
+                let mut total = 0u64;
+                while let Some(c) = handle.recv() {
+                    total += c.result.expect("no panics");
+                }
+                total
+            },
+            &observer,
+        );
+        assert_eq!(total, (1u64..=40).sum::<u64>());
+        assert_eq!(stats.tasks_executed, 40);
+        assert_eq!(observer.0.load(Ordering::Relaxed), 40);
+    }
 
     #[test]
     fn map_ordered_preserves_input_order() {

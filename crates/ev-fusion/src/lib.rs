@@ -21,7 +21,7 @@
 //!
 //! The paper's evaluation (§VI) stops at matching, so nothing here maps
 //! to a figure; this crate reproduces the *application* layer §I
-//! promises on top of the matched identities (see `DESIGN.md` §13,
+//! promises on top of the matched identities (see `DESIGN.md` §14,
 //! "Beyond the paper"). The `crime_scene` and `universal_labeling`
 //! examples drive it end to end.
 //!

@@ -1,0 +1,1148 @@
+//! Stage-DAG scheduler with partition lineage over `ev-exec`.
+//!
+//! The classic engine in this crate runs one job at a time with a full
+//! barrier between the map and reduce stages of each job, and between
+//! the jobs of an iterated driver (the Algorithm 3 splitter submits two
+//! jobs *per round*). This module generalizes that shape: a whole
+//! computation is declared up front as a **graph of stages**, each stage
+//! split into numbered **partitions**, each partition produced by one
+//! task. Edges are either
+//!
+//! * [`DepKind::Narrow`] — child partition `p` reads exactly one parent
+//!   partition (`p % parent.partitions`, which covers both the
+//!   identity 1:1 case and the 1→K broadcast case), or
+//! * [`DepKind::Shuffle`] — every child partition reads *all* parent
+//!   partitions, in partition-index order.
+//!
+//! The scheduler launches a partition the moment its inputs exist, so
+//! independent branches (e.g. the splitter's per-timestamp snapshot
+//! scans) overlap instead of barriering, on one [`ev_exec::Executor`]
+//! session for the whole graph.
+//!
+//! # Lineage and recovery
+//!
+//! Produced partitions are cached as [`Arc`]s keyed by
+//! `(stage, partition)`. The cache is released along two policies:
+//!
+//! * **Natural release** — when the last consumer task of a partition
+//!   completes and its stage is not [kept](DagSpec::keep), the entry is
+//!   dropped.
+//! * **Capacity pressure** — with [`DagConfig::cache_capacity`] set,
+//!   inserting beyond the budget evicts the oldest entry that is not an
+//!   input of an in-flight task, even if consumers still need it.
+//!
+//! Because every stage records *how* its partitions are computed (its
+//! compute closure plus its declared dependencies — the partition's
+//! **lineage**), an evicted-but-needed partition is simply recomputed
+//! on demand, transitively if its own inputs are also gone. A worker
+//! panic loses exactly one in-flight partition; only that partition is
+//! rescheduled (its pinned inputs are untouched), and after
+//! [`DagConfig::max_attempts`] consecutive losses the run aborts with
+//! the engine's [`JobError::WorkerPanicked`] semantics.
+//!
+//! Determinism: a partition's value is a pure function of its lineage,
+//! so recomputation (and any schedule interleaving) reproduces the same
+//! bytes — the property the `ev-matching` DAG pipeline leans on for its
+//! thread-count-invariant `MatchReport`.
+//!
+//! # Example
+//!
+//! ```
+//! use ev_mapreduce::dag::{DagConfig, DagSpec, StageDep};
+//! use ev_telemetry::{Telemetry, TraceCtx};
+//!
+//! let mut dag: DagSpec<'_, u64> = DagSpec::new();
+//! let nums = dag.stage("nums", 4, Vec::new(), |ctx, _inputs| ctx.partition as u64);
+//! let sum = dag.stage("sum", 1, vec![StageDep::shuffle(nums)], |_ctx, inputs| {
+//!     inputs.iter().map(|p| **p).sum()
+//! });
+//! let run = dag
+//!     .run(&DagConfig::new(2), Telemetry::disabled(), TraceCtx::default())
+//!     .unwrap();
+//! assert_eq!(*run.outputs[&sum][0], 6);
+//! ```
+
+use crate::config::FaultPlan;
+use crate::engine::{attempt_fails, TelemetryExecObserver};
+use crate::JobError;
+use ev_telemetry::{Telemetry, TraceCtx};
+use serde::Value;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+
+/// Silence the default panic-hook backtrace for *injected* fault
+/// panics only. Every `FaultPlan` fault is a real `panic!` whose
+/// `String` payload starts with `"injected fault"`; ev-exec's per-task
+/// isolation always catches it, so the default hook's stderr backtrace
+/// is pure noise (a high failure rate can print thousands). The
+/// wrapper is installed once per process — it forwards every other
+/// panic to the previously installed hook unchanged.
+fn quiet_injected_fault_panics() {
+    static QUIET_HOOK: Once = Once::new();
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("injected fault"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Identifier of a stage within one [`DagSpec`], returned by
+/// [`DagSpec::stage`]. Stages are numbered in insertion order and may
+/// only depend on lower-numbered stages, so every spec is acyclic by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(pub usize);
+
+/// How a stage reads a parent stage's partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Child partition `p` reads parent partition `p % parent.partitions`.
+    Narrow,
+    /// Every child partition reads all parent partitions, in index order.
+    Shuffle,
+}
+
+/// One dependency edge of a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageDep {
+    /// The producing stage.
+    pub parent: StageId,
+    /// Narrow or shuffle.
+    pub kind: DepKind,
+}
+
+impl StageDep {
+    /// A narrow edge on `parent`.
+    #[must_use]
+    pub fn narrow(parent: StageId) -> Self {
+        StageDep {
+            parent,
+            kind: DepKind::Narrow,
+        }
+    }
+
+    /// A shuffle edge on `parent`.
+    #[must_use]
+    pub fn shuffle(parent: StageId) -> Self {
+        StageDep {
+            parent,
+            kind: DepKind::Shuffle,
+        }
+    }
+}
+
+/// Identity of the task computing one partition, passed to the stage's
+/// compute closure. `attempt` distinguishes lineage recomputations and
+/// post-panic retries from first runs (tests use it to panic exactly
+/// once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskCtx {
+    /// The stage's name.
+    pub stage: &'static str,
+    /// The stage's id.
+    pub stage_id: StageId,
+    /// Partition index within the stage.
+    pub partition: usize,
+    /// 0 for the first execution, +1 per rerun (panic retry or lineage
+    /// recompute).
+    pub attempt: u32,
+}
+
+type Compute<'a, P> = Box<dyn Fn(TaskCtx, &[Arc<P>]) -> P + Sync + 'a>;
+
+struct Stage<'a, P> {
+    name: &'static str,
+    partitions: usize,
+    deps: Vec<StageDep>,
+    compute: Compute<'a, P>,
+    /// Virtual cost units per task, for the makespan models.
+    cost: u64,
+    keep: bool,
+}
+
+/// Scheduler configuration: thread count, retry budget, cache budget
+/// and the (engine-shared) fault-injection plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagConfig {
+    /// Worker threads for the single `ev-exec` session (min 1).
+    pub threads: usize,
+    /// Maximum executions of one partition's task before the run aborts
+    /// with [`JobError::WorkerPanicked`].
+    pub max_attempts: u32,
+    /// Soft cap on cached partitions; `None` keeps every partition
+    /// until its last consumer finishes. Pressure evictions may force
+    /// lineage recomputes.
+    pub cache_capacity: Option<usize>,
+    /// Fault injection: `task_failure_rate` draws become real
+    /// in-worker panics (killing the attempt mid-stage), retried up to
+    /// `max_attempts` — `faults.max_attempts` is ignored in favour of
+    /// the field above.
+    pub faults: FaultPlan,
+}
+
+impl DagConfig {
+    /// A healthy configuration with `threads` workers, 4 attempts and
+    /// an unbounded cache.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        DagConfig {
+            threads,
+            max_attempts: 4,
+            cache_capacity: None,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// Counters describing one DAG run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DagMetrics {
+    /// Stages in the spec.
+    pub stages: usize,
+    /// Task attempts submitted to the executor (first runs + retries +
+    /// recomputes), counted through the
+    /// [`ExecObserver::task_submitted`](ev_exec::ExecObserver::task_submitted)
+    /// hook.
+    pub tasks_submitted: u64,
+    /// Attempts that panicked and were retried.
+    pub retries: u64,
+    /// Previously-produced partitions recomputed from lineage after an
+    /// eviction.
+    pub recomputed_partitions: u64,
+    /// Cache entries dropped (natural releases + pressure evictions).
+    pub cache_evictions: u64,
+    /// High-water mark of live cached partitions.
+    pub cache_peak: u64,
+}
+
+impl DagMetrics {
+    /// Records the run's counters as `evm_dag_*` metrics.
+    pub fn record_to(&self, registry: &ev_telemetry::MetricsRegistry) {
+        use ev_telemetry::names;
+        registry
+            .counter(names::DAG_TASKS_TOTAL)
+            .add(self.tasks_submitted);
+        registry.counter(names::DAG_TASK_RETRIES).add(self.retries);
+        registry
+            .counter(names::DAG_RECOMPUTED_PARTITIONS)
+            .add(self.recomputed_partitions);
+        registry
+            .counter(names::DAG_CACHE_EVICTIONS)
+            .add(self.cache_evictions);
+        registry.gauge(names::DAG_STAGES).set(self.stages as f64);
+        registry
+            .gauge(names::DAG_CACHE_PEAK_PARTITIONS)
+            .set(self.cache_peak as f64);
+    }
+}
+
+/// A finished DAG run: kept stages' partitions plus scheduler counters.
+#[derive(Debug)]
+pub struct DagRun<P> {
+    /// Partitions (in index order) of every [kept](DagSpec::keep) or
+    /// terminal stage.
+    pub outputs: BTreeMap<StageId, Vec<Arc<P>>>,
+    /// Scheduler counters.
+    pub metrics: DagMetrics,
+}
+
+/// A declared stage graph over partition payloads of type `P`.
+///
+/// Build with [`stage`](DagSpec::stage), execute with
+/// [`run`](DagSpec::run). The lifetime lets compute closures borrow
+/// stores and configs from the caller's stack, mirroring
+/// [`Executor::session`](ev_exec::Executor::session).
+pub struct DagSpec<'a, P> {
+    stages: Vec<Stage<'a, P>>,
+}
+
+impl<P> std::fmt::Debug for DagSpec<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DagSpec")
+            .field("stages", &self.stages.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P> Default for DagSpec<'_, P> {
+    fn default() -> Self {
+        DagSpec { stages: Vec::new() }
+    }
+}
+
+/// Key of one partition: `(stage index, partition index)`.
+type Part = (usize, usize);
+
+impl<'a, P: Send + Sync> DagSpec<'a, P> {
+    /// An empty spec.
+    #[must_use]
+    pub fn new() -> Self {
+        DagSpec { stages: Vec::new() }
+    }
+
+    /// Declares a stage of `partitions` tasks computed by `compute`,
+    /// reading `deps` (validated by [`run`](DagSpec::run): every parent
+    /// must be an earlier stage and `partitions` non-zero). Returns the
+    /// stage's id for later edges.
+    pub fn stage(
+        &mut self,
+        name: &'static str,
+        partitions: usize,
+        deps: Vec<StageDep>,
+        compute: impl Fn(TaskCtx, &[Arc<P>]) -> P + Sync + 'a,
+    ) -> StageId {
+        self.stages.push(Stage {
+            name,
+            partitions,
+            deps,
+            compute: Box::new(compute),
+            cost: 1,
+            keep: false,
+        });
+        StageId(self.stages.len() - 1)
+    }
+
+    /// Marks a stage's partitions as run outputs: they are returned
+    /// from [`run`](DagSpec::run) and never evicted by the natural
+    /// release policy. Terminal stages (no consumers) are kept
+    /// implicitly.
+    pub fn keep(&mut self, id: StageId) {
+        self.stages[id.0].keep = true;
+    }
+
+    /// Sets a stage's per-task cost in virtual units (default 1), used
+    /// only by the [`virtual_makespan`](DagSpec::virtual_makespan) /
+    /// [`barriered_makespan`](DagSpec::barriered_makespan) models.
+    pub fn set_cost(&mut self, id: StageId, units: u64) {
+        self.stages[id.0].cost = units;
+    }
+
+    /// Number of declared stages.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    fn validate(&self) -> Result<(), JobError> {
+        for (i, stage) in self.stages.iter().enumerate() {
+            if stage.partitions == 0 {
+                return Err(JobError::InvalidConfig(ev_core::Error::InvalidParameter {
+                    name: "partitions",
+                    reason: format!(
+                        "stage {:?} ({}) has zero partitions",
+                        StageId(i),
+                        stage.name
+                    ),
+                }));
+            }
+            for dep in &stage.deps {
+                if dep.parent.0 >= i {
+                    return Err(JobError::InvalidConfig(ev_core::Error::InvalidParameter {
+                        name: "deps",
+                        reason: format!(
+                            "stage {:?} ({}) depends on {:?}, which is not an earlier stage",
+                            StageId(i),
+                            stage.name,
+                            dep.parent
+                        ),
+                    }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The input partitions of task `(stage, partition)`, in the
+    /// deterministic declared-dependency order the compute closure sees.
+    fn inputs_of(&self, stage: usize, partition: usize) -> Vec<Part> {
+        let mut inputs = Vec::new();
+        for dep in &self.stages[stage].deps {
+            let parent = &self.stages[dep.parent.0];
+            match dep.kind {
+                DepKind::Narrow => inputs.push((dep.parent.0, partition % parent.partitions)),
+                DepKind::Shuffle => {
+                    inputs.extend((0..parent.partitions).map(|q| (dep.parent.0, q)))
+                }
+            }
+        }
+        inputs
+    }
+
+    /// Stages whose outputs [`run`](DagSpec::run) returns: explicitly
+    /// kept ones plus terminal ones.
+    fn kept_stages(&self) -> Vec<bool> {
+        let mut has_consumer = vec![false; self.stages.len()];
+        for stage in &self.stages {
+            for dep in &stage.deps {
+                has_consumer[dep.parent.0] = true;
+            }
+        }
+        self.stages
+            .iter()
+            .zip(&has_consumer)
+            .map(|(s, &consumed)| s.keep || !consumed)
+            .collect()
+    }
+
+    /// Executes the graph on `config.threads` workers and returns the
+    /// kept stages' partitions. `parent_ctx` roots the run's trace
+    /// tree; each stage gets a child span so the flight recorder and
+    /// `/tracez` attribute tasks to stage nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::InvalidConfig`] if the spec or fault plan is
+    /// malformed; [`JobError::WorkerPanicked`] when one partition's
+    /// task panicked [`DagConfig::max_attempts`] times in a row.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(
+        &self,
+        config: &DagConfig,
+        telemetry: &Telemetry,
+        parent_ctx: TraceCtx,
+    ) -> Result<DagRun<P>, JobError> {
+        self.validate()?;
+        config.faults.validate().map_err(JobError::InvalidConfig)?;
+        if config.max_attempts == 0 {
+            return Err(JobError::InvalidConfig(ev_core::Error::InvalidParameter {
+                name: "max_attempts",
+                reason: "at least one attempt is required".into(),
+            }));
+        }
+        let dag_ctx = parent_ctx.child();
+        let mut dag_span = telemetry.span_ctx("dag_run", "pipeline", dag_ctx);
+        dag_span.arg("stages", Value::Int(self.stages.len() as i128));
+        telemetry
+            .flight()
+            .instant("dag_started", dag_ctx, Vec::new());
+
+        let kept = self.kept_stages();
+        let stage_ctxs: Vec<TraceCtx> = self.stages.iter().map(|_| dag_ctx.child()).collect();
+
+        // Static consumer counts: how many tasks read each partition.
+        let mut consumers: HashMap<Part, usize> = HashMap::new();
+        let mut total_tasks = 0usize;
+        for (s, stage) in self.stages.iter().enumerate() {
+            total_tasks += stage.partitions;
+            for p in 0..stage.partitions {
+                for input in self.inputs_of(s, p) {
+                    *consumers.entry(input).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let observer = DagObserver {
+            inner: TelemetryExecObserver::new(telemetry, "dag", dag_ctx),
+            submitted: AtomicU64::new(0),
+        };
+        let tel = telemetry;
+        let faults = &config.faults;
+        if faults.task_failure_rate > 0.0 {
+            quiet_injected_fault_panics();
+        }
+
+        // Worker side: unwrap the payload, optionally lose the attempt
+        // to an injected panic, and run the partition's compute under a
+        // per-attempt span (the engine's attempt_work shape).
+        let work = |_wctx: ev_exec::WorkerCtx, payload: Payload<P>| -> P {
+            let Payload {
+                stage,
+                partition,
+                attempt,
+                inputs,
+                ctx,
+            } = payload;
+            let name = self.stages[stage].name;
+            let mut span = tel.span_ctx(format!("{name}[{partition}]"), "task", ctx);
+            span.arg("stage", Value::Str(name.to_string()));
+            span.arg("partition", Value::Int(partition as i128));
+            span.arg("attempt", Value::Int(i128::from(attempt)));
+            if attempt_fails(faults, stage as u64, partition, attempt) {
+                // A real panic, not a flagged failure: the attempt dies
+                // mid-stage and ev-exec's per-task isolation catches it.
+                panic!("injected fault: {name}[{partition}] attempt {attempt}");
+            }
+            (self.stages[stage].compute)(
+                TaskCtx {
+                    stage: name,
+                    stage_id: StageId(stage),
+                    partition,
+                    attempt,
+                },
+                &inputs,
+            )
+        };
+
+        let exec = ev_exec::Executor::new(config.threads);
+        let (driver_out, stats) = exec.session_observed(
+            work,
+            |handle| {
+                Driver {
+                    spec: self,
+                    config,
+                    tel,
+                    kept: &kept,
+                    stage_ctxs: &stage_ctxs,
+                    consumers,
+                    cache: HashMap::new(),
+                    insert_order: VecDeque::new(),
+                    produced: HashSet::new(),
+                    done: HashSet::new(),
+                    inflight: HashMap::new(),
+                    waiting: HashMap::new(),
+                    waiters_of: HashMap::new(),
+                    failures: HashMap::new(),
+                    attempts: HashMap::new(),
+                    metrics: DagMetrics {
+                        stages: self.stages.len(),
+                        ..DagMetrics::default()
+                    },
+                    total_tasks,
+                }
+                .run(handle)
+            },
+            &observer,
+        );
+        if telemetry.counters_on() {
+            crate::metrics::record_exec_stats(telemetry.registry(), &stats);
+        }
+        let mut run = driver_out?;
+        run.metrics.tasks_submitted = observer.submitted.load(Ordering::Relaxed);
+        if telemetry.counters_on() {
+            run.metrics.record_to(telemetry.registry());
+        }
+        dag_span.arg(
+            "tasks_submitted",
+            Value::Int(i128::from(run.metrics.tasks_submitted)),
+        );
+        Ok(run)
+    }
+
+    /// Virtual-time makespan of this DAG on `workers` identical
+    /// workers: an event-driven list schedule (deterministic, no wall
+    /// clock) where each ready task takes its stage's
+    /// [cost](DagSpec::set_cost) units and a task becomes ready the
+    /// moment its producers finish. The overlap counterpart of
+    /// [`barriered_makespan`](DagSpec::barriered_makespan).
+    #[must_use]
+    pub fn virtual_makespan(&self, workers: usize) -> u64 {
+        let workers = workers.max(1);
+        // remaining producer tasks per task, in (stage, partition) key order.
+        let mut deps_left: BTreeMap<Part, usize> = BTreeMap::new();
+        let mut consumers_of: HashMap<Part, Vec<Part>> = HashMap::new();
+        for (s, stage) in self.stages.iter().enumerate() {
+            for p in 0..stage.partitions {
+                let inputs = self.inputs_of(s, p);
+                let distinct: HashSet<Part> = inputs.iter().copied().collect();
+                deps_left.insert((s, p), distinct.len());
+                for input in distinct {
+                    consumers_of.entry(input).or_default().push((s, p));
+                }
+            }
+        }
+        let mut ready: VecDeque<Part> = deps_left
+            .iter()
+            .filter(|&(_, &n)| n == 0)
+            .map(|(&t, _)| t)
+            .collect();
+        // (finish time, seq, task) min-heap via Reverse.
+        let mut events: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, Part)>> =
+            std::collections::BinaryHeap::new();
+        let mut seq = 0usize;
+        let mut free = workers;
+        let mut now = 0u64;
+        let mut remaining = deps_left.len();
+        while remaining > 0 {
+            while free > 0 {
+                let Some((s, p)) = ready.pop_front() else {
+                    break;
+                };
+                free -= 1;
+                events.push(std::cmp::Reverse((now + self.stages[s].cost, seq, (s, p))));
+                seq += 1;
+            }
+            let Some(std::cmp::Reverse((at, _, task))) = events.pop() else {
+                break; // a cycle would leave tasks unreachable; validate() forbids it
+            };
+            now = at;
+            free += 1;
+            remaining -= 1;
+            for &consumer in consumers_of.get(&task).map_or(&[][..], Vec::as_slice) {
+                let left = deps_left.get_mut(&consumer).expect("consumer tracked");
+                *left -= 1;
+                if *left == 0 {
+                    ready.push_back(consumer);
+                }
+            }
+        }
+        now
+    }
+
+    /// Virtual-time makespan of the same work under the classic
+    /// engine's discipline — stages execute one at a time with a full
+    /// barrier between them: `Σ ⌈partitions/workers⌉ · cost`.
+    #[must_use]
+    pub fn barriered_makespan(&self, workers: usize) -> u64 {
+        let workers = workers.max(1) as u64;
+        self.stages
+            .iter()
+            .map(|s| (s.partitions as u64).div_ceil(workers) * s.cost)
+            .sum()
+    }
+}
+
+/// What travels to a worker: the task's identity plus its pinned input
+/// partitions (the Arcs keep inputs alive even if the cache evicts
+/// them mid-flight) and the per-attempt trace context.
+struct Payload<P> {
+    stage: usize,
+    partition: usize,
+    attempt: u32,
+    inputs: Vec<Arc<P>>,
+    ctx: TraceCtx,
+}
+
+/// The session observer: forwards steals/latency to telemetry and
+/// counts submissions through the driver-side hook.
+struct DagObserver {
+    inner: TelemetryExecObserver,
+    submitted: AtomicU64,
+}
+
+impl ev_exec::ExecObserver for DagObserver {
+    fn wants_timing(&self) -> bool {
+        ev_exec::ExecObserver::wants_timing(&self.inner)
+    }
+    fn steal(&self, thief: usize, victim: usize, moved: usize) {
+        self.inner.steal(thief, victim, moved);
+    }
+    fn task_submitted(&self, _worker: usize, _task: ev_exec::TaskId) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+    fn task_finished(&self, ctx: ev_exec::WorkerCtx, dur_ns: u64, panicked: bool) {
+        self.inner.task_finished(ctx, dur_ns, panicked);
+    }
+}
+
+/// Driver-side scheduler state for one run.
+struct Driver<'d, 'a, P> {
+    spec: &'d DagSpec<'a, P>,
+    config: &'d DagConfig,
+    tel: &'d Telemetry,
+    kept: &'d [bool],
+    stage_ctxs: &'d [TraceCtx],
+    /// Remaining consumer tasks per partition (for natural release).
+    consumers: HashMap<Part, usize>,
+    cache: HashMap<Part, Arc<P>>,
+    /// Cache insertion order, for the pressure-eviction scan.
+    insert_order: VecDeque<Part>,
+    /// Ever produced successfully (distinguishes a lineage *re*compute
+    /// from a first computation).
+    produced: HashSet<Part>,
+    /// Completed and not currently being recomputed.
+    done: HashSet<Part>,
+    /// In-flight attempt number per task.
+    inflight: HashMap<Part, u32>,
+    /// task → inputs it still waits for.
+    waiting: HashMap<Part, HashSet<Part>>,
+    /// input → tasks waiting on it.
+    waiters_of: HashMap<Part, Vec<Part>>,
+    /// Consecutive panics per task.
+    failures: HashMap<Part, u32>,
+    /// Next attempt number per task (monotonic across recomputes).
+    attempts: HashMap<Part, u32>,
+    metrics: DagMetrics,
+    total_tasks: usize,
+}
+
+impl<P: Send + Sync> Driver<'_, '_, P> {
+    fn run(
+        mut self,
+        handle: &ev_exec::SessionHandle<'_, Payload<P>, P>,
+    ) -> Result<DagRun<P>, JobError> {
+        // Launch every dependency-free partition as one stage batch.
+        let mut first_done = 0usize;
+        let sources: Vec<Part> = self
+            .spec
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.deps.is_empty())
+            .flat_map(|(i, s)| (0..s.partitions).map(move |p| (i, p)))
+            .collect();
+        for (s, p) in sources {
+            self.launch((s, p), handle);
+        }
+
+        while first_done < self.total_tasks {
+            let Some(completion) = handle.recv() else {
+                unreachable!("tasks remain but the session is drained");
+            };
+            let task = decode(completion.task);
+            self.inflight.remove(&task);
+            match completion.result {
+                Err(panic) => {
+                    let failures = self.failures.entry(task).or_insert(0);
+                    *failures += 1;
+                    self.metrics.retries += u64::from(*failures < self.config.max_attempts);
+                    let (s, p) = task;
+                    let args = vec![
+                        (
+                            "stage".to_string(),
+                            Value::Str(self.spec.stages[s].name.to_string()),
+                        ),
+                        ("partition".to_string(), Value::Int(p as i128)),
+                        ("failures".to_string(), Value::Int(i128::from(*failures))),
+                    ];
+                    self.tel
+                        .event_ctx("task_failed", self.stage_ctxs[s], args.clone());
+                    self.tel
+                        .flight()
+                        .instant("task_failed", self.stage_ctxs[s], args);
+                    if *failures >= self.config.max_attempts {
+                        self.tel.dump_flight("worker_panicked");
+                        return Err(JobError::WorkerPanicked {
+                            stage: self.spec.stages[s].name,
+                            message: panic.message,
+                        });
+                    }
+                    // Lineage recovery: only the lost partition is
+                    // rescheduled; its inputs are still pinned (or will
+                    // recompute on demand if pressure-evicted).
+                    self.launch(task, handle);
+                }
+                Ok(value) => {
+                    if self.done.contains(&task) {
+                        continue; // stale duplicate; nothing to do
+                    }
+                    self.failures.remove(&task);
+                    let newly_produced = self.produced.insert(task);
+                    first_done += usize::from(newly_produced);
+                    self.done.insert(task);
+                    self.insert(task, Arc::new(value));
+                    // A finished consumer releases its inputs.
+                    for input in self.spec.inputs_of(task.0, task.1) {
+                        let left = self.consumers.get_mut(&input).expect("input tracked");
+                        *left = left.saturating_sub(1);
+                        if *left == 0 && !self.kept[input.0] {
+                            self.evict(input);
+                        }
+                    }
+                    // Wake tasks that were blocked on this partition.
+                    for waiter in self.waiters_of.remove(&task).unwrap_or_default() {
+                        if let Some(missing) = self.waiting.get_mut(&waiter) {
+                            missing.remove(&task);
+                            if missing.is_empty() {
+                                self.waiting.remove(&waiter);
+                                self.launch(waiter, handle);
+                            }
+                        }
+                    }
+                    // First completion unlocks first-time consumers.
+                    if newly_produced {
+                        let ready: Vec<Part> = self
+                            .consumers_of(task)
+                            .into_iter()
+                            .filter(|&c| self.ready_for_first_run(c))
+                            .collect();
+                        for consumer in ready {
+                            self.launch(consumer, handle);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut outputs = BTreeMap::new();
+        for (s, stage) in self.spec.stages.iter().enumerate() {
+            if self.kept[s] {
+                let parts: Vec<Arc<P>> = (0..stage.partitions)
+                    .map(|p| Arc::clone(self.cache.get(&(s, p)).expect("kept partition cached")))
+                    .collect();
+                outputs.insert(StageId(s), parts);
+            }
+        }
+        Ok(DagRun {
+            outputs,
+            metrics: self.metrics,
+        })
+    }
+
+    /// The consumer tasks reading any partition of `task`'s stage that
+    /// `task` produces — i.e. tasks whose input set contains `task`.
+    fn consumers_of(&self, task: Part) -> Vec<Part> {
+        let mut out = Vec::new();
+        for (c, stage) in self.spec.stages.iter().enumerate().skip(task.0 + 1) {
+            if !stage.deps.iter().any(|d| d.parent.0 == task.0) {
+                continue;
+            }
+            for p in 0..stage.partitions {
+                if self.spec.inputs_of(c, p).contains(&task) {
+                    out.push((c, p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Is `task` eligible for its first run: never produced, not in
+    /// flight, and every input produced at least once?
+    fn ready_for_first_run(&self, task: Part) -> bool {
+        !self.produced.contains(&task)
+            && !self.inflight.contains_key(&task)
+            && !self.waiting.contains_key(&task)
+            && self
+                .spec
+                .inputs_of(task.0, task.1)
+                .iter()
+                .all(|i| self.produced.contains(i))
+    }
+
+    /// Tries to start `task`: gathers inputs from the cache, scheduling
+    /// lineage recomputes for any evicted ones (parking `task` until
+    /// they land), and submits the attempt.
+    fn launch(&mut self, task: Part, handle: &ev_exec::SessionHandle<'_, Payload<P>, P>) {
+        if self.inflight.contains_key(&task) || self.waiting.contains_key(&task) {
+            return;
+        }
+        let (s, p) = task;
+        let needed = self.spec.inputs_of(s, p);
+        let mut missing: HashSet<Part> = HashSet::new();
+        for &input in &needed {
+            if !self.cache.contains_key(&input) {
+                missing.insert(input);
+            }
+        }
+        if !missing.is_empty() {
+            for &input in &missing {
+                self.waiters_of.entry(input).or_default().push(task);
+                if !self.inflight.contains_key(&input) && !self.waiting.contains_key(&input) {
+                    // The input was produced and later evicted: this is
+                    // the lineage recompute path (transitive — its own
+                    // inputs may be gone too).
+                    if self.produced.contains(&input) {
+                        self.metrics.recomputed_partitions += 1;
+                        self.done.remove(&input);
+                        let args = vec![
+                            (
+                                "stage".to_string(),
+                                Value::Str(self.spec.stages[input.0].name.to_string()),
+                            ),
+                            ("partition".to_string(), Value::Int(input.1 as i128)),
+                        ];
+                        self.tel.event_ctx(
+                            "lineage_recompute",
+                            self.stage_ctxs[input.0],
+                            args.clone(),
+                        );
+                        self.tel.flight().instant(
+                            "lineage_recompute",
+                            self.stage_ctxs[input.0],
+                            args,
+                        );
+                    }
+                    self.launch(input, handle);
+                }
+            }
+            self.waiting.insert(task, missing);
+            return;
+        }
+        let inputs: Vec<Arc<P>> = needed
+            .iter()
+            .map(|i| Arc::clone(self.cache.get(i).expect("input present")))
+            .collect();
+        let attempt = *self
+            .attempts
+            .entry(task)
+            .and_modify(|a| *a += 1)
+            .or_insert(0);
+        self.inflight.insert(task, attempt);
+        handle.submit(
+            encode(task),
+            Payload {
+                stage: s,
+                partition: p,
+                attempt,
+                inputs,
+                ctx: self.stage_ctxs[s].child(),
+            },
+        );
+    }
+
+    /// Caches a produced partition, applying capacity pressure.
+    fn insert(&mut self, task: Part, value: Arc<P>) {
+        self.cache.insert(task, value);
+        self.insert_order.push_back(task);
+        self.metrics.cache_peak = self.metrics.cache_peak.max(self.cache.len() as u64);
+        if let Some(cap) = self.config.cache_capacity {
+            while self.cache.len() > cap {
+                // Oldest unpinned, non-kept entry goes first. Pinned =
+                // an input of an in-flight or parked task (eviction
+                // would only cause an immediate recompute).
+                let victim = self.insert_order.iter().copied().find(|&part| {
+                    self.cache.contains_key(&part) && !self.kept[part.0] && !self.pinned(part)
+                });
+                let Some(victim) = victim else {
+                    break; // everything live is needed right now; run over budget
+                };
+                self.evict(victim);
+            }
+        }
+    }
+
+    /// Is `part` an input of an in-flight or parked task? (In-flight
+    /// attempts also hold their own Arcs, but evicting their inputs
+    /// guarantees recompute churn on retry.)
+    fn pinned(&self, part: Part) -> bool {
+        self.inflight
+            .keys()
+            .chain(self.waiting.keys())
+            .any(|&(s, p)| self.spec.inputs_of(s, p).contains(&part))
+    }
+
+    fn evict(&mut self, part: Part) {
+        if self.cache.remove(&part).is_some() {
+            self.metrics.cache_evictions += 1;
+            self.insert_order.retain(|&q| q != part);
+        }
+    }
+}
+
+fn encode((stage, partition): Part) -> ev_exec::TaskId {
+    ((stage as u64) << 32) | partition as u64
+}
+
+fn decode(id: ev_exec::TaskId) -> Part {
+    ((id >> 32) as usize, (id & 0xffff_ffff) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_dag<P: Send + Sync>(dag: &DagSpec<'_, P>, config: &DagConfig) -> DagRun<P> {
+        dag.run(config, Telemetry::disabled(), TraceCtx::default())
+            .unwrap()
+    }
+
+    /// Diamond: a → (b, c) → d.
+    fn diamond() -> (DagSpec<'static, u64>, StageId) {
+        let mut dag: DagSpec<'static, u64> = DagSpec::new();
+        let a = dag.stage("a", 2, Vec::new(), |ctx, _| ctx.partition as u64 + 1);
+        let b = dag.stage("b", 2, vec![StageDep::narrow(a)], |_, i| *i[0] * 10);
+        let c = dag.stage("c", 2, vec![StageDep::narrow(a)], |_, i| *i[0] * 100);
+        let d = dag.stage(
+            "d",
+            1,
+            vec![StageDep::shuffle(b), StageDep::shuffle(c)],
+            |_, i| i.iter().map(|p| **p).sum(),
+        );
+        (dag, d)
+    }
+
+    #[test]
+    fn diamond_computes_through_both_branches() {
+        let (dag, d) = diamond();
+        for threads in [1, 2, 4] {
+            let run = run_dag(&dag, &DagConfig::new(threads));
+            assert_eq!(*run.outputs[&d][0], 10 + 20 + 100 + 200);
+            assert_eq!(run.metrics.stages, 4);
+            assert_eq!(run.metrics.tasks_submitted, 7, "threads={threads}");
+            assert_eq!(run.metrics.retries, 0);
+            assert_eq!(run.metrics.recomputed_partitions, 0);
+        }
+    }
+
+    #[test]
+    fn capacity_pressure_forces_lineage_recompute() {
+        // Cache of 1 cannot hold a's two partitions until d reads b and c;
+        // something gets evicted and must be recomputed from lineage.
+        let (dag, d) = diamond();
+        let config = DagConfig {
+            cache_capacity: Some(1),
+            ..DagConfig::new(1)
+        };
+        let run = run_dag(&dag, &config);
+        assert_eq!(*run.outputs[&d][0], 330, "value survives recompute churn");
+        assert!(
+            run.metrics.recomputed_partitions > 0,
+            "capacity 1 must evict a needed partition at least once: {:?}",
+            run.metrics
+        );
+        assert!(run.metrics.cache_evictions > 0);
+        assert!(run.metrics.tasks_submitted > 7, "recomputes resubmit");
+    }
+
+    #[test]
+    fn panic_retries_only_the_lost_partition() {
+        use std::sync::atomic::AtomicU64;
+        let runs: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        let mut dag: DagSpec<'_, u64> = DagSpec::new();
+        let runs_ref = &runs;
+        let a = dag.stage("a", 4, Vec::new(), move |ctx, _| {
+            runs_ref[ctx.partition].fetch_add(1, Ordering::Relaxed);
+            ctx.partition as u64
+        });
+        let b = dag.stage("b", 1, vec![StageDep::shuffle(a)], move |ctx, i| {
+            runs_ref[4].fetch_add(1, Ordering::Relaxed);
+            if ctx.partition == 0 && ctx.attempt == 0 {
+                panic!("killed mid-shuffle");
+            }
+            i.iter().map(|p| **p).sum()
+        });
+        let run = dag
+            .run(
+                &DagConfig::new(2),
+                Telemetry::disabled(),
+                TraceCtx::default(),
+            )
+            .unwrap();
+        assert_eq!(*run.outputs[&b][0], 6);
+        assert_eq!(run.metrics.retries, 1);
+        assert_eq!(run.metrics.recomputed_partitions, 0, "inputs stayed cached");
+        for (p, ran) in runs.iter().enumerate().take(4) {
+            assert_eq!(ran.load(Ordering::Relaxed), 1, "partition a[{p}] ran once");
+        }
+        assert_eq!(
+            runs[4].load(Ordering::Relaxed),
+            2,
+            "only the lost task reran"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_keep_worker_panicked_semantics() {
+        let mut dag: DagSpec<'_, u64> = DagSpec::new();
+        dag.stage("always_dies", 1, Vec::new(), |_, _| {
+            panic!("unrecoverable");
+        });
+        let err = dag
+            .run(
+                &DagConfig {
+                    max_attempts: 2,
+                    ..DagConfig::new(1)
+                },
+                Telemetry::disabled(),
+                TraceCtx::default(),
+            )
+            .unwrap_err();
+        match err {
+            JobError::WorkerPanicked { stage, message } => {
+                assert_eq!(stage, "always_dies");
+                assert!(message.contains("unrecoverable"));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_faults_panic_and_recover() {
+        let (dag, d) = diamond();
+        let clean = run_dag(&dag, &DagConfig::new(2));
+        let faulted = run_dag(
+            &dag,
+            &DagConfig {
+                max_attempts: 16,
+                faults: FaultPlan {
+                    task_failure_rate: 0.4,
+                    seed: 11,
+                    ..FaultPlan::default()
+                },
+                ..DagConfig::new(2)
+            },
+        );
+        assert_eq!(*faulted.outputs[&d][0], *clean.outputs[&d][0]);
+        assert!(
+            faulted.metrics.retries > 0,
+            "rate 0.4 over 7 tasks must hit"
+        );
+        assert_eq!(
+            faulted.metrics.tasks_submitted,
+            7 + faulted.metrics.retries,
+            "unaffected partitions never reran"
+        );
+    }
+
+    #[test]
+    fn forward_and_zero_partition_specs_are_rejected() {
+        let mut dag: DagSpec<'_, u64> = DagSpec::new();
+        dag.stage("empty", 0, Vec::new(), |_, _| 0);
+        assert!(matches!(
+            dag.run(
+                &DagConfig::new(1),
+                Telemetry::disabled(),
+                TraceCtx::default()
+            ),
+            Err(JobError::InvalidConfig(_))
+        ));
+
+        let mut dag: DagSpec<'_, u64> = DagSpec::new();
+        dag.stage("self_loop", 1, vec![StageDep::narrow(StageId(0))], |_, _| 0);
+        assert!(matches!(
+            dag.run(
+                &DagConfig::new(1),
+                Telemetry::disabled(),
+                TraceCtx::default()
+            ),
+            Err(JobError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn makespan_models_price_round_overlap() {
+        // Two independent chains of 3 stages, 1 partition each, cost 4.
+        let mut dag: DagSpec<'_, u64> = DagSpec::new();
+        let mut prev: Option<StageId> = None;
+        for _ in 0..3 {
+            let deps = prev.map(StageDep::narrow).into_iter().collect();
+            prev = Some(dag.stage("left", 1, deps, |_, _| 0));
+        }
+        let mut prev2: Option<StageId> = None;
+        for _ in 0..3 {
+            let deps = prev2.map(StageDep::narrow).into_iter().collect();
+            prev2 = Some(dag.stage("right", 1, deps, |_, _| 0));
+        }
+        for id in 0..dag.stage_count() {
+            dag.set_cost(StageId(id), 4);
+        }
+        // Barriered: 6 stages × 4 units, serial. Overlapped on 2
+        // workers: the chains run side by side.
+        assert_eq!(dag.barriered_makespan(2), 24);
+        assert_eq!(dag.virtual_makespan(2), 12);
+        assert_eq!(dag.virtual_makespan(1), 24, "1 worker cannot overlap");
+    }
+
+    #[test]
+    fn outputs_are_thread_count_invariant() {
+        let mut dag: DagSpec<'_, Vec<u64>> = DagSpec::new();
+        let src = dag.stage("src", 8, Vec::new(), |ctx, _| {
+            (0..10u64).map(|i| i * ctx.partition as u64).collect()
+        });
+        let mid = dag.stage("mid", 4, vec![StageDep::narrow(src)], |_, i| {
+            i[0].iter().map(|x| x + 1).collect()
+        });
+        let sink = dag.stage(
+            "sink",
+            1,
+            vec![StageDep::shuffle(mid), StageDep::shuffle(src)],
+            |_, i| {
+                let mut all: Vec<u64> = i.iter().flat_map(|p| p.iter().copied()).collect();
+                all.sort_unstable();
+                all
+            },
+        );
+        let reference = run_dag(&dag, &DagConfig::new(1)).outputs[&sink][0].clone();
+        for threads in [2, 4, 8] {
+            let run = run_dag(&dag, &DagConfig::new(threads));
+            assert_eq!(*run.outputs[&sink][0], *reference, "threads={threads}");
+        }
+    }
+}

@@ -89,7 +89,7 @@ pub struct MapReduce {
 }
 
 /// SplitMix64: cheap deterministic per-(seed, task, attempt) draw.
-fn fault_draw(seed: u64, stage: u64, task: u64, attempt: u64) -> f64 {
+pub(crate) fn fault_draw(seed: u64, stage: u64, task: u64, attempt: u64) -> f64 {
     let mut z = seed
         .wrapping_add(stage.wrapping_mul(0x9e3779b97f4a7c15))
         .wrapping_add(task.wrapping_mul(0xbf58476d1ce4e5b9))
@@ -113,7 +113,7 @@ fn burn(units: u64) -> u64 {
 
 /// Does this attempt fail, per the fault plan? Pure in (plan, stage,
 /// task, attempt) — both backends consult the same draw.
-fn attempt_fails(faults: &FaultPlan, stage_id: u64, task: usize, attempt: u32) -> bool {
+pub(crate) fn attempt_fails(faults: &FaultPlan, stage_id: u64, task: usize, attempt: u32) -> bool {
     faults.task_failure_rate > 0.0
         && fault_draw(faults.seed, stage_id, task as u64, attempt.into()) < faults.task_failure_rate
 }

@@ -63,11 +63,13 @@
 
 mod api;
 mod config;
+pub mod dag;
 pub mod dfs;
 mod engine;
 mod metrics;
 
 pub use api::{Combiner, Emitter, HashPartitioner, Mapper, Partitioner, Reducer};
 pub use config::{Backend, ClusterConfig, FaultPlan};
+pub use dag::{DagConfig, DagMetrics, DagRun, DagSpec, DepKind, StageDep, StageId, TaskCtx};
 pub use engine::{JobError, JobResult, MapReduce, TelemetryExecObserver};
 pub use metrics::{record_exec_stats, JobMetrics};

@@ -34,6 +34,10 @@
 //! * [`sharded`] — real multi-core execution: the same pipeline sharded
 //!   by cell across the `ev-exec` work-stealing thread pool, with a
 //!   thread-count-independent (byte-identical) [`MatchReport`].
+//! * [`dagflow`] — the whole pipeline as **one stage-DAG submission**
+//!   on the lineage-tracking scheduler in [`ev_mapreduce::dag`]:
+//!   splitting rounds overlap instead of barriering, and a lost worker
+//!   costs only the partitions it was computing.
 //! * [`incremental`] — updates over a growing corpus: keep confident
 //!   matches, re-run only new or ambiguous EIDs.
 //! * [`matcher`] — the high-level [`EvMatcher`] API
@@ -50,6 +54,7 @@
 
 pub mod analysis;
 pub mod anytime;
+pub mod dagflow;
 pub mod edp;
 pub mod incremental;
 pub mod matcher;

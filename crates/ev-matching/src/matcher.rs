@@ -40,6 +40,14 @@ pub enum ExecutionMode {
     /// work-stealing pool; the report is byte-identical for every
     /// thread count (see [`crate::sharded`]).
     Sharded(usize),
+    /// The whole pipeline — every splitting round plus VID filtering —
+    /// as **one submission** to the lineage-tracking stage-DAG
+    /// scheduler on this many threads (see [`crate::dagflow`]).
+    /// Independent rounds overlap instead of barriering, and a worker
+    /// panic recomputes only the lost partitions. The report is
+    /// byte-identical to [`ExecutionMode::Sharded`] at every thread
+    /// count.
+    Dag(usize),
 }
 
 /// Matcher configuration.
@@ -229,6 +237,18 @@ impl<'a> EvMatcher<'a> {
                 &self.config.vfilter,
                 &self.telemetry,
             ),
+            ExecutionMode::Dag(threads) => crate::dagflow::dag_match(
+                &ev_mapreduce::DagConfig::new(*threads),
+                self.estore,
+                self.video,
+                targets,
+                &ParallelSplitConfig {
+                    seed: self.split_seed(),
+                    max_iterations: None,
+                },
+                &self.config.vfilter,
+                &self.telemetry,
+            ),
         }
     }
 
@@ -355,6 +375,36 @@ mod tests {
         for o in &report.outcomes {
             assert_eq!(o.vid.map(Vid::as_u64), Some(o.eid.as_u64()));
         }
+    }
+
+    #[test]
+    fn match_many_dag() {
+        let (store, video) = world();
+        let config = MatcherConfig {
+            execution: ExecutionMode::Dag(3),
+            ..MatcherConfig::default()
+        };
+        let matcher = EvMatcher::new(&store, &video, config);
+        let targets: BTreeSet<Eid> = (0..4).map(Eid::from_u64).collect();
+        let report = matcher.match_many(&targets).unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+        for o in &report.outcomes {
+            assert_eq!(o.vid.map(Vid::as_u64), Some(o.eid.as_u64()));
+        }
+    }
+
+    #[test]
+    fn universal_matching_through_the_dag_is_one_submission() {
+        let (store, video) = world();
+        let config = MatcherConfig {
+            execution: ExecutionMode::Dag(2),
+            ..MatcherConfig::default()
+        };
+        let matcher = EvMatcher::new(&store, &video, config);
+        let report = matcher.match_universal().unwrap();
+        assert_eq!(report.outcomes.len(), 4, "4 distinct EIDs in E-data");
+        assert!(report.majority_rate() > 0.9);
+        assert_eq!(report.rounds, 1, "one DAG submission covers the job");
     }
 
     #[test]

@@ -179,6 +179,22 @@ pub const SERVE_EPOCH: &str = "evm_serve_epoch";
 /// Histogram of end-to-end serve query latency, nanoseconds.
 pub const SERVE_QUERY_LATENCY_NS: &str = "evm_serve_query_latency_ns";
 
+/// Task attempts submitted to a DAG scheduler session (first runs +
+/// panic retries + lineage recomputes).
+pub const DAG_TASKS_TOTAL: &str = "evm_dag_tasks_total";
+/// DAG task attempts that panicked and were retried.
+pub const DAG_TASK_RETRIES: &str = "evm_dag_task_retries_total";
+/// Previously-produced DAG partitions recomputed from lineage after a
+/// cache eviction.
+pub const DAG_RECOMPUTED_PARTITIONS: &str = "evm_dag_recomputed_partitions_total";
+/// DAG partition-cache entries dropped (natural releases after the last
+/// consumer plus capacity-pressure evictions).
+pub const DAG_CACHE_EVICTIONS: &str = "evm_dag_cache_evictions_total";
+/// Stages in the most recent DAG submission.
+pub const DAG_STAGES: &str = "evm_dag_stages";
+/// High-water mark of live cached partitions in the most recent DAG run.
+pub const DAG_CACHE_PEAK_PARTITIONS: &str = "evm_dag_cache_peak_partitions";
+
 /// Scenarios walked by the incremental Algorithm-1 delta-update.
 pub const INCR_SCENARIOS_ABSORBED: &str = "evm_incr_scenarios_absorbed_total";
 /// Effective splitters recorded by delta-updates (vs. full re-splits).
@@ -235,6 +251,10 @@ pub const ALL_COUNTERS: &[&str] = &[
     SERVE_APPLIES,
     SERVE_CHECKPOINTS,
     SERVE_QUERIES,
+    DAG_TASKS_TOTAL,
+    DAG_TASK_RETRIES,
+    DAG_RECOMPUTED_PARTITIONS,
+    DAG_CACHE_EVICTIONS,
     INCR_SCENARIOS_ABSORBED,
     INCR_SPLITTERS_RECORDED,
     INCR_BLOCKS_SPLIT,
@@ -267,6 +287,8 @@ pub const ALL_GAUGES: &[&str] = &[
     DISK_MANIFEST_ENTRIES,
     SERVE_STALENESS_EVENTS,
     SERVE_EPOCH,
+    DAG_STAGES,
+    DAG_CACHE_PEAK_PARTITIONS,
     INCR_PARTITION_BLOCKS,
 ];
 

@@ -11,6 +11,7 @@
 //! evmatch match     [--population N] [--duration T] [--seed S]
 //!                   [--targets K] [--mode ideal|practical]
 //!                   [--workers W | --threads N]
+//!                   [--scheduler sharded|dag] [--universal]
 //!                   [--kernel scalar|block|quantized]
 //!                   [--confidence P] [--budget-scenarios N]
 //!                   [--telemetry off|counters|full] [--trace-out PATH]
@@ -46,6 +47,16 @@
 //! the `ev-exec` work-stealing pool — its report is byte-identical for
 //! every `N`, so the flag only changes wall time. The two flags are
 //! mutually exclusive.
+//!
+//! `--scheduler` picks the thread pipeline `--threads` runs: `sharded`
+//! (the default) barriers between phases, `dag` submits the whole job
+//! — every splitting round plus VID filtering — as **one** stage DAG
+//! to the lineage-tracking scheduler (`DESIGN.md` §11), so independent
+//! rounds overlap and a lost worker recomputes only its lost
+//! partitions. Both produce byte-identical reports. `--universal`
+//! matches every EID present in the E-data instead of a sampled target
+//! set; with `--scheduler dag` the whole universal matching job is a
+//! single DAG submission.
 //!
 //! `--kernel` selects the similarity kernel of `DESIGN.md` §9 used to
 //! score VID galleries: `scalar` is the per-pair reference, `block`
@@ -91,6 +102,16 @@ use evmatch::prelude::*;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+/// Which thread pipeline `--threads` selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SchedulerKind {
+    /// Phase-barriered cell-sharded pipeline (`crate::matching::sharded`).
+    Sharded,
+    /// One stage-DAG submission with lineage recovery
+    /// (`crate::matching::dagflow`).
+    Dag,
+}
+
 #[derive(Debug)]
 struct CommonArgs {
     population: u64,
@@ -100,6 +121,8 @@ struct CommonArgs {
     mode: SplitMode,
     workers: Option<usize>,
     threads: Option<usize>,
+    scheduler: Option<SchedulerKind>,
+    universal: bool,
     confidence: Option<f64>,
     budget_scenarios: Option<usize>,
     kernel: KernelMode,
@@ -186,6 +209,8 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
         mode: SplitMode::Practical,
         workers: None,
         threads: None,
+        scheduler: None,
+        universal: false,
         confidence: None,
         budget_scenarios: None,
         kernel: KernelMode::default(),
@@ -215,6 +240,14 @@ fn parse_args(args: &[String]) -> Result<CommonArgs, String> {
             "--targets" => out.targets = take()?.parse().map_err(|e| format!("{e}"))?,
             "--workers" => out.workers = Some(take()?.parse().map_err(|e| format!("{e}"))?),
             "--threads" => out.threads = Some(take()?.parse().map_err(|e| format!("{e}"))?),
+            "--scheduler" => {
+                out.scheduler = Some(match take()?.as_str() {
+                    "sharded" => SchedulerKind::Sharded,
+                    "dag" => SchedulerKind::Dag,
+                    other => return Err(format!("unknown scheduler {other} (sharded | dag)")),
+                })
+            }
+            "--universal" => out.universal = true,
             "--confidence" => {
                 let p: f64 = take()?.parse().map_err(|e| format!("{e}"))?;
                 if !(p > 0.0 && p <= 1.0) {
@@ -306,17 +339,30 @@ fn cmd_generate(args: &CommonArgs) -> Result<(), String> {
     Ok(())
 }
 
-/// The execution mode the `--workers` / `--threads` flags select.
+/// The execution mode the `--workers` / `--threads` / `--scheduler`
+/// flags select. `--scheduler dag` without `--threads` runs the DAG
+/// pipeline single-threaded (the report is thread-count-invariant
+/// anyway).
 fn execution_mode(args: &CommonArgs) -> Result<ExecutionMode, String> {
+    if args.scheduler.is_some() && args.workers.is_some() {
+        return Err("--scheduler picks a --threads pipeline; it conflicts with --workers".into());
+    }
     match (args.workers, args.threads) {
         (Some(_), Some(_)) => Err("--workers and --threads are mutually exclusive".into()),
-        (None, Some(n)) => Ok(ExecutionMode::Sharded(n.max(1))),
+        (None, Some(n)) => Ok(match args.scheduler {
+            Some(SchedulerKind::Dag) => ExecutionMode::Dag(n.max(1)),
+            _ => ExecutionMode::Sharded(n.max(1)),
+        }),
         (Some(w), None) => Ok(ExecutionMode::Parallel(ClusterConfig {
             workers: w.max(1),
             reduce_partitions: w.max(1),
             ..ClusterConfig::default()
         })),
-        (None, None) => Ok(ExecutionMode::Sequential),
+        (None, None) => Ok(match args.scheduler {
+            Some(SchedulerKind::Dag) => ExecutionMode::Dag(1),
+            Some(SchedulerKind::Sharded) => ExecutionMode::Sharded(1),
+            None => ExecutionMode::Sequential,
+        }),
     }
 }
 
@@ -353,7 +399,12 @@ fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
             eprintln!("recovered corpus {dir}: {:?}", backend.recovery());
         }
         let matcher = EvMatcher::from_backend(&backend, config).with_telemetry(&telemetry);
-        let report = matcher.match_many(&targets).map_err(|e| e.to_string())?;
+        let report = if args.universal {
+            matcher.match_universal()
+        } else {
+            matcher.match_many(&targets)
+        }
+        .map_err(|e| e.to_string())?;
         if telemetry.counters_on() {
             telemetry
                 .registry()
@@ -364,7 +415,12 @@ fn run_match(args: &CommonArgs) -> Result<(EvDataset, MatchReport), String> {
     } else {
         let matcher =
             EvMatcher::new(&dataset.estore, &dataset.video, config).with_telemetry(&telemetry);
-        let report = matcher.match_many(&targets).map_err(|e| e.to_string())?;
+        let report = if args.universal {
+            matcher.match_universal()
+        } else {
+            matcher.match_many(&targets)
+        }
+        .map_err(|e| e.to_string())?;
         if telemetry.counters_on() {
             telemetry
                 .registry()
@@ -985,6 +1041,64 @@ fn smoke_coverage_gate(args: &CommonArgs) -> Result<(), String> {
                 ));
             }
             live.finish().map_err(|e| format!("serve finish: {e}"))?;
+            absorb_into(&mut seen, &tel);
+        }
+
+        // 9. The stage-DAG pipeline under injected worker loss *and*
+        //    cache pressure, so every `evm_dag_*` metric carries a live
+        //    value: retries from the panics, recomputes + evictions
+        //    from the squeezed partition cache. The report must still
+        //    be byte-identical to an unfaulted run.
+        {
+            use evmatch::mapreduce::DagConfig;
+            use evmatch::matching::dagflow::dag_match;
+            use evmatch::matching::parallel::ParallelSplitConfig;
+            use evmatch::matching::vfilter::VFilterConfig;
+
+            let tel = Telemetry::new(TelemetryLevel::Full);
+            let split = ParallelSplitConfig {
+                seed: args.seed,
+                max_iterations: None,
+            };
+            let healthy = dag_match(
+                &DagConfig::new(2),
+                &dataset.estore,
+                &dataset.video,
+                &targets,
+                &split,
+                &VFilterConfig::default(),
+                Telemetry::disabled(),
+            )
+            .map_err(|e| format!("smoke dag run: {e}"))?;
+            let stressed = dag_match(
+                &DagConfig {
+                    max_attempts: 24,
+                    cache_capacity: Some(2),
+                    faults: FaultPlan {
+                        task_failure_rate: 0.2,
+                        seed: 7,
+                        ..FaultPlan::default()
+                    },
+                    ..DagConfig::new(2)
+                },
+                &dataset.estore,
+                &dataset.video,
+                &targets,
+                &split,
+                &VFilterConfig::default(),
+                &tel,
+            )
+            .map_err(|e| format!("smoke dag run (stressed): {e}"))?;
+            if stressed.outcomes != healthy.outcomes || stressed.lists != healthy.lists {
+                return Err("stressed dag run diverged from the healthy report".into());
+            }
+            let retries = tel
+                .registry()
+                .counter_value(names::DAG_TASK_RETRIES)
+                .unwrap_or(0);
+            if retries == 0 {
+                return Err("dag smoke run injected faults but recorded no retries".into());
+            }
             absorb_into(&mut seen, &tel);
         }
         Ok(())
